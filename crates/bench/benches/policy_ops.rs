@@ -1,0 +1,56 @@
+//! Microbenchmark: raw cost of the replacement algorithms' hit and miss
+//! bookkeeping — the operations the paper's critical section performs.
+//! This calibrates the simulator's `cs_per_access_ns` parameter against
+//! real data structures.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use bpw_replacement::{CacheSim, PolicyKind};
+
+fn bench_hits(c: &mut Criterion) {
+    let mut g = c.benchmark_group("record_hit");
+    g.sample_size(20);
+    g.measurement_time(std::time::Duration::from_millis(500));
+    g.warm_up_time(std::time::Duration::from_millis(200));
+    let frames = 4096;
+    for kind in PolicyKind::ALL {
+        let mut policy = kind.build(frames);
+        for i in 0..frames as u64 {
+            policy.record_miss(i, Some(i as u32), &mut |_| true);
+        }
+        let mut x = 0x9E3779B97F4A7C15u64;
+        g.bench_with_input(BenchmarkId::from_parameter(kind.name()), &(), |b, _| {
+            b.iter(|| {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                policy.record_hit(black_box((x % frames as u64) as u32));
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_miss_cycle(c: &mut Criterion) {
+    let mut g = c.benchmark_group("miss_evict_admit");
+    g.sample_size(20);
+    g.measurement_time(std::time::Duration::from_millis(500));
+    g.warm_up_time(std::time::Duration::from_millis(200));
+    let frames = 1024;
+    for kind in PolicyKind::ALL {
+        let mut sim = CacheSim::new(kind.build(frames));
+        let mut page = 0u64;
+        g.bench_with_input(BenchmarkId::from_parameter(kind.name()), &(), |b, _| {
+            b.iter(|| {
+                // Always-miss stream: full evict+admit cycle per call.
+                page += 1;
+                sim.access(black_box(page + 1_000_000));
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_hits, bench_miss_cycle);
+criterion_main!(benches);

@@ -1,0 +1,104 @@
+//! **Figure 2**: "Average lock acquisition and holding time per each page
+//! access with batch size varied from 1 to 64" — 2Q under DBT-1 on the
+//! 16-processor Altix 350 (both axes log scale in the paper).
+//!
+//! Two reproductions are printed:
+//! 1. the discrete-event simulator at 16 virtual CPUs (the paper's
+//!    setting), and
+//! 2. a real-thread measurement on this host, which reproduces the
+//!    amortization (hold time / accesses) even though the host cannot
+//!    supply 16 hardware threads.
+
+use bpw_bench::{fmt, Table};
+use bpw_core::{BpWrapper, SystemKind, WrapperConfig};
+use bpw_replacement::{ReplacementPolicy, TwoQ};
+use bpw_sim::{simulate, HardwareProfile, SimParams, SystemSpec, WorkloadParams};
+
+fn simulated() {
+    let mut t = Table::new(
+        "Fig. 2 (simulated, Altix 350, 16 processors, DBT-1, 2Q): lock time per access",
+        &["batch_size", "lock_time_us_per_access", "accesses_per_acquisition"],
+    );
+    for exp in 0..=6 {
+        let batch = 1u32 << exp; // 1..64
+        let spec = if batch == 1 {
+            SystemSpec::new(SystemKind::LockPerAccess)
+        } else {
+            SystemSpec::with_batching(SystemKind::Batching, batch, (batch / 2).max(1))
+        };
+        let mut p =
+            SimParams::new(HardwareProfile::altix350(), 16, spec, WorkloadParams::dbt1());
+        p.horizon_ms = 1_000;
+        let r = simulate(p);
+        t.row(vec![
+            batch.to_string(),
+            fmt(r.lock_time_per_access_us),
+            fmt(r.accesses_per_acquisition),
+        ]);
+    }
+    t.print();
+    t.write_csv("fig2_simulated");
+}
+
+fn real_threads() {
+    let mut t = Table::new(
+        "Fig. 2 (real threads on this host, 2Q, Zipf hits): lock time per access",
+        &["batch_size", "lock_time_us_per_access", "acquisitions", "accesses"],
+    );
+    let frames = 4096usize;
+    let threads = 4;
+    let per_thread = 200_000u64;
+    for exp in 0..=6 {
+        let batch = 1usize << exp;
+        let cfg = if batch == 1 {
+            WrapperConfig::lock_per_access()
+        } else {
+            WrapperConfig {
+                queue_size: batch,
+                batch_threshold: (batch / 2).max(1),
+                batching: true,
+                prefetching: true,
+            }
+        };
+        let wrapper = BpWrapper::new(TwoQ::new(frames), cfg);
+        wrapper.with_locked(|p| {
+            for i in 0..frames as u64 {
+                p.record_miss(i, Some(i as u32), &mut |_| true);
+            }
+        });
+        std::thread::scope(|s| {
+            for th in 0..threads {
+                let wrapper = &wrapper;
+                s.spawn(move || {
+                    let mut h = wrapper.handle();
+                    let mut x = 0x1234_5678_9ABC_DEF0u64 ^ th;
+                    for _ in 0..per_thread {
+                        x ^= x << 13;
+                        x ^= x >> 7;
+                        x ^= x << 17;
+                        let page = x % frames as u64;
+                        h.record_hit(page, page as u32);
+                    }
+                });
+            }
+        });
+        let snap = wrapper.lock_stats().snapshot();
+        t.row(vec![
+            batch.to_string(),
+            fmt(snap.lock_time_per_access_ns() / 1e3),
+            snap.acquisitions.to_string(),
+            snap.accesses_covered.to_string(),
+        ]);
+    }
+    t.print();
+    t.write_csv("fig2_real");
+}
+
+fn main() {
+    simulated();
+    real_threads();
+    println!(
+        "Paper's observation: per-access lock time falls steeply with batch size;\n\
+         a batch of 16-64 makes the acquisition cost negligible (Fig. 2, §III-A)."
+    );
+}

@@ -1,0 +1,11 @@
+//! **Figure 6**: throughput, average response time, and average lock
+//! contention of the five systems (pgClock, pgQ, pgBat, pgPre, pgBatPre)
+//! under DBT-1, DBT-2, and TableScan on the SGI Altix 350 as processors
+//! scale 1 -> 16.
+
+use bpw_bench::scaling::scaling_figure;
+use bpw_sim::HardwareProfile;
+
+fn main() {
+    scaling_figure(HardwareProfile::altix350(), &[1, 2, 4, 8, 16], "fig6_altix");
+}

@@ -1,0 +1,12 @@
+//! **Figure 7**: the same experiment as Fig. 6 on the Dell PowerEdge
+//! 1900 (8 cores, hardware prefetch modules) with processors 1 -> 8.
+//! The paper's finding: contention is *more* intensive here than on the
+//! Altix, because the prefetcher accelerates non-critical code while the
+//! random-access critical section stays slow.
+
+use bpw_bench::scaling::scaling_figure;
+use bpw_sim::HardwareProfile;
+
+fn main() {
+    scaling_figure(HardwareProfile::poweredge1900(), &[1, 2, 4, 8], "fig7_poweredge");
+}

@@ -1,0 +1,52 @@
+//! **Table II**: throughput and average lock contention of `pgBatPre`
+//! as the FIFO queue size grows 1 → 64 with the batch threshold kept at
+//! half the queue size — Altix 350, 16 processors, all three workloads.
+
+use bpw_bench::{fmt, Table};
+use bpw_core::SystemKind;
+use bpw_sim::{simulate, HardwareProfile, SimParams, SystemSpec, WorkloadParams};
+use bpw_workloads::WorkloadKind;
+
+fn main() {
+    let mut tput = Table::new(
+        "Table II (throughput, txn/s): queue size sweep, threshold = S/2, 16 cpus",
+        &["queue_size", "DBT-1", "DBT-2", "TableScan"],
+    );
+    let mut cont = Table::new(
+        "Table II (avg lock contention per million accesses)",
+        &["queue_size", "DBT-1", "DBT-2", "TableScan"],
+    );
+    for exp in 0..=6 {
+        let s = 1u32 << exp;
+        let spec = if s == 1 {
+            SystemSpec::new(SystemKind::Prefetching) // S=1: no batching possible
+        } else {
+            SystemSpec::with_batching(SystemKind::BatchingPrefetching, s, (s / 2).max(1))
+        };
+        let mut tp = vec![s.to_string()];
+        let mut ct = vec![s.to_string()];
+        for wl in WorkloadKind::ALL {
+            let mut p = SimParams::new(
+                HardwareProfile::altix350(),
+                16,
+                spec,
+                WorkloadParams::for_kind(wl),
+            );
+            p.horizon_ms = 800;
+            let r = simulate(p);
+            tp.push(fmt(r.throughput_tps));
+            ct.push(fmt(r.contentions_per_million));
+        }
+        tput.row(tp);
+        cont.row(ct);
+    }
+    tput.print();
+    cont.print();
+    tput.write_csv("table2_throughput");
+    cont.write_csv("table2_contention");
+    println!(
+        "Paper's observation (Table II): going from S=1 to S=8 cuts contention by\n\
+         orders of magnitude and lifts throughput; beyond S~8-16 contention keeps\n\
+         falling but throughput no longer improves."
+    );
+}

@@ -1,0 +1,99 @@
+//! Shared driver for the Fig. 6 / Fig. 7 scaling experiments: five
+//! systems × three workloads × a processor sweep, reporting the paper's
+//! three metrics and checking the headline claims.
+
+use bpw_core::SystemKind;
+use bpw_sim::{sweep_systems, HardwareProfile, RunReport, WorkloadParams};
+use bpw_workloads::WorkloadKind;
+
+use crate::{fmt, Table};
+
+/// Run the full figure for one machine profile. Returns true if every
+/// headline claim reproduced.
+pub fn scaling_figure(hw: HardwareProfile, cpu_points: &[usize], tag: &str) -> bool {
+    let mut headline_ok = true;
+    for wl_kind in WorkloadKind::ALL {
+        let wl = WorkloadParams::for_kind(wl_kind);
+        let sweep = sweep_systems(hw, &wl, cpu_points, 800);
+        // Re-shape: one row per cpu count, one column per system.
+        let results: Vec<(usize, Vec<RunReport>)> = cpu_points
+            .iter()
+            .map(|&cpus| {
+                (
+                    cpus,
+                    SystemKind::ALL
+                        .iter()
+                        .map(|&k| *sweep.system(k).at(cpus).expect("swept"))
+                        .collect(),
+                )
+            })
+            .collect();
+        let sys_names: Vec<&str> = SystemKind::ALL.iter().map(|k| k.name()).collect();
+
+        let mut tput = Table::new(
+            &format!("{} ({}): throughput (txn/s)", wl_kind.name(), hw.name),
+            &[&["cpus"], &sys_names[..]].concat(),
+        );
+        let mut resp = Table::new(
+            &format!("{} ({}): average response time (ms)", wl_kind.name(), hw.name),
+            &[&["cpus"], &sys_names[..]].concat(),
+        );
+        let mut cont = Table::new(
+            &format!(
+                "{} ({}): average lock contention (per million accesses)",
+                wl_kind.name(),
+                hw.name
+            ),
+            &[&["cpus"], &sys_names[..]].concat(),
+        );
+        for (cpus, row) in &results {
+            tput.row(
+                std::iter::once(cpus.to_string())
+                    .chain(row.iter().map(|r| fmt(r.throughput_tps)))
+                    .collect(),
+            );
+            resp.row(
+                std::iter::once(cpus.to_string())
+                    .chain(row.iter().map(|r| fmt(r.avg_response_ms)))
+                    .collect(),
+            );
+            cont.row(
+                std::iter::once(cpus.to_string())
+                    .chain(row.iter().map(|r| fmt(r.contentions_per_million)))
+                    .collect(),
+            );
+        }
+        tput.print();
+        resp.print();
+        cont.print();
+        let slug = wl_kind.name().to_lowercase().replace('-', "");
+        tput.write_csv(&format!("{tag}_{slug}_throughput"));
+        resp.write_csv(&format!("{tag}_{slug}_response"));
+        cont.write_csv(&format!("{tag}_{slug}_contention"));
+
+        // Headline checks at the maximum processor count.
+        let (_, last) = results.last().unwrap();
+        let clock = &last[0];
+        let q = &last[1];
+        let batpre = &last[4];
+        let tracks_clock = batpre.throughput_tps >= 0.9 * clock.throughput_tps;
+        let q_degrades = q.throughput_tps <= 0.75 * clock.throughput_tps;
+        let contention_cut =
+            q.contentions_per_million >= 90.0 * batpre.contentions_per_million.max(0.1);
+        println!(
+            "[{}] pgBatPre/pgClock = {:.2}x (want ~1.0) | pgQ/pgClock = {:.2}x (want << 1) | \
+             contention cut pgQ/pgBatPre = {:.0}x (paper: 97x-9000x)\n",
+            wl_kind.name(),
+            batpre.throughput_tps / clock.throughput_tps,
+            q.throughput_tps / clock.throughput_tps,
+            q.contentions_per_million / batpre.contentions_per_million.max(0.1),
+        );
+        headline_ok &= tracks_clock && q_degrades && contention_cut;
+    }
+    println!(
+        "headline claims {} on {}",
+        if headline_ok { "REPRODUCED" } else { "NOT fully reproduced" },
+        hw.name
+    );
+    headline_ok
+}

@@ -1,0 +1,41 @@
+//! # bpw-bufferpool
+//!
+//! A DBMS-style buffer pool substrate for the BP-Wrapper reproduction:
+//! a sharded page table (concurrent lookups, per-bucket locks), buffer
+//! descriptors with pin counts and per-frame latches, simulated storage,
+//! and pluggable replacement managers covering the paper's three
+//! synchronization schemes (coarse lock per access, lock-free CLOCK
+//! hits, and BP-Wrapper).
+//!
+//! ```
+//! use std::sync::Arc;
+//! use bpw_bufferpool::{BufferPool, WrappedManager, SimDisk};
+//! use bpw_core::WrapperConfig;
+//! use bpw_replacement::TwoQ;
+//!
+//! let pool = BufferPool::new(
+//!     1024,                     // frames
+//!     8192,                     // page size
+//!     WrappedManager::new(TwoQ::new(1024), WrapperConfig::default()),
+//!     Arc::new(SimDisk::instant()),
+//! );
+//! let mut session = pool.session();
+//! let page = session.fetch(42);
+//! page.read(|bytes| assert_eq!(bytes.len(), 8192));
+//! ```
+
+pub mod bgwriter;
+pub mod desc;
+pub mod managers;
+pub mod page_table;
+pub mod pool;
+pub mod storage;
+pub mod wal;
+
+pub use bgwriter::BgWriter;
+pub use desc::{BufferDesc, DescState};
+pub use managers::{ClockManager, CoarseManager, ManagerHandle, ReplacementManager, WrappedManager};
+pub use page_table::PageTable;
+pub use pool::{BufferPool, PinnedPage, PoolSession, PoolStats};
+pub use storage::{SimDisk, Storage};
+pub use wal::{Lsn, Wal};

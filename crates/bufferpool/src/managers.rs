@@ -1,0 +1,379 @@
+//! Replacement managers: how the pool talks to its replacement
+//! algorithm. Three synchronization styles, matching the paper's tested
+//! systems:
+//!
+//! * [`CoarseManager`] — any policy behind one lock, acquired on every
+//!   access (the `pgQ` baseline, and `pgPre` when built with a
+//!   prefetching wrapper config).
+//! * [`ClockManager`] — CLOCK with PostgreSQL's lock-free hit path
+//!   (atomic reference bits); the lock is taken only on misses
+//!   (`pgClock`, the scalability gold standard).
+//! * [`WrappedManager`] — any policy behind BP-Wrapper (`pgBat`,
+//!   `pgBatPre`, and every configuration in between).
+
+use std::sync::atomic::{AtomicU8, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use bpw_core::{BpWrapper, InstrumentedLock, WrapperConfig};
+use bpw_metrics::{LockSnapshot, LockStats};
+use bpw_replacement::{FrameId, MissOutcome, PageId, ReplacementPolicy};
+
+/// How a pool thread reports accesses to the replacement algorithm.
+/// One handle per thread; handles hold whatever per-thread state the
+/// scheme needs (BP-Wrapper's private FIFO queue, in particular).
+pub trait ManagerHandle {
+    /// A pinned page was found in `frame`.
+    fn on_hit(&mut self, page: PageId, frame: FrameId);
+
+    /// `page` missed; choose (and record) a frame for it.
+    fn on_miss(
+        &mut self,
+        page: PageId,
+        free: Option<FrameId>,
+        evictable: &mut dyn FnMut(FrameId) -> bool,
+    ) -> MissOutcome;
+
+    /// Commit any deferred bookkeeping (end of a thread's run).
+    fn flush(&mut self) {}
+}
+
+/// A replacement algorithm plus its synchronization scheme.
+pub trait ReplacementManager: Send + Sync {
+    /// Scheme name for reports.
+    fn name(&self) -> String;
+
+    /// Per-thread access handle.
+    fn handle(&self) -> Box<dyn ManagerHandle + '_>;
+
+    /// Forget `frame` entirely (invalidation path; rare, takes the lock).
+    fn invalidate(&self, frame: FrameId);
+
+    /// Lock statistics for the replacement lock.
+    fn lock_snapshot(&self) -> LockSnapshot;
+}
+
+// --- Coarse: one lock, acquired per access -------------------------------
+
+/// Any policy behind a single lock taken on every hit and miss.
+pub struct CoarseManager<P: ReplacementPolicy> {
+    lock: InstrumentedLock<P>,
+}
+
+impl<P: ReplacementPolicy> CoarseManager<P> {
+    /// Wrap `policy`.
+    pub fn new(policy: P) -> Self {
+        CoarseManager { lock: InstrumentedLock::new(policy, Arc::new(LockStats::new())) }
+    }
+}
+
+impl<P: ReplacementPolicy> ReplacementManager for CoarseManager<P> {
+    fn name(&self) -> String {
+        format!("coarse({})", self.lock.lock().name())
+    }
+
+    fn handle(&self) -> Box<dyn ManagerHandle + '_> {
+        Box::new(CoarseHandle { mgr: self })
+    }
+
+    fn invalidate(&self, frame: FrameId) {
+        self.lock.lock().remove(frame);
+    }
+
+    fn lock_snapshot(&self) -> LockSnapshot {
+        self.lock.stats().snapshot()
+    }
+}
+
+struct CoarseHandle<'m, P: ReplacementPolicy> {
+    mgr: &'m CoarseManager<P>,
+}
+
+impl<'m, P: ReplacementPolicy> ManagerHandle for CoarseHandle<'m, P> {
+    fn on_hit(&mut self, _page: PageId, frame: FrameId) {
+        let mut g = self.mgr.lock.lock();
+        g.record_hit(frame);
+        g.cover_accesses(1);
+    }
+
+    fn on_miss(
+        &mut self,
+        page: PageId,
+        free: Option<FrameId>,
+        evictable: &mut dyn FnMut(FrameId) -> bool,
+    ) -> MissOutcome {
+        let mut g = self.mgr.lock.lock();
+        let out = g.record_miss(page, free, evictable);
+        g.cover_accesses(1);
+        out
+    }
+}
+
+// --- Clock: lock-free hit path --------------------------------------------
+
+struct ClockCore {
+    page_of: Vec<PageId>,
+    present: Vec<bool>,
+    hand: usize,
+    resident: usize,
+}
+
+/// PostgreSQL-style CLOCK: hits set an atomic reference bit (no lock);
+/// the sweep on a miss runs under the lock.
+pub struct ClockManager {
+    referenced: Vec<AtomicU8>,
+    lock: InstrumentedLock<ClockCore>,
+    hits: AtomicUsize,
+}
+
+impl ClockManager {
+    /// A clock over `frames` frames.
+    pub fn new(frames: usize) -> Self {
+        ClockManager {
+            referenced: (0..frames).map(|_| AtomicU8::new(0)).collect(),
+            lock: InstrumentedLock::new(
+                ClockCore {
+                    page_of: vec![0; frames],
+                    present: vec![false; frames],
+                    hand: 0,
+                    resident: 0,
+                },
+                Arc::new(LockStats::new()),
+            ),
+            hits: AtomicUsize::new(0),
+        }
+    }
+
+    fn frames(&self) -> usize {
+        self.referenced.len()
+    }
+}
+
+impl ReplacementManager for ClockManager {
+    fn name(&self) -> String {
+        "clock(lock-free hits)".to_owned()
+    }
+
+    fn handle(&self) -> Box<dyn ManagerHandle + '_> {
+        Box::new(ClockHandle { mgr: self })
+    }
+
+    fn invalidate(&self, frame: FrameId) {
+        let mut g = self.lock.lock();
+        if g.present[frame as usize] {
+            g.present[frame as usize] = false;
+            g.resident -= 1;
+        }
+        self.referenced[frame as usize].store(0, Ordering::Relaxed);
+    }
+
+    fn lock_snapshot(&self) -> LockSnapshot {
+        self.lock.stats().snapshot()
+    }
+}
+
+struct ClockHandle<'m> {
+    mgr: &'m ClockManager,
+}
+
+impl<'m> ManagerHandle for ClockHandle<'m> {
+    fn on_hit(&mut self, _page: PageId, frame: FrameId) {
+        // The whole point of pgClock: no latch, one relaxed store.
+        self.mgr.referenced[frame as usize].store(1, Ordering::Relaxed);
+        self.mgr.hits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn on_miss(
+        &mut self,
+        page: PageId,
+        free: Option<FrameId>,
+        evictable: &mut dyn FnMut(FrameId) -> bool,
+    ) -> MissOutcome {
+        let n = self.mgr.frames();
+        let mut g = self.mgr.lock.lock();
+        g.cover_accesses(1);
+        if let Some(f) = free {
+            g.page_of[f as usize] = page;
+            g.present[f as usize] = true;
+            g.resident += 1;
+            self.mgr.referenced[f as usize].store(1, Ordering::Relaxed);
+            return MissOutcome::AdmittedFree(f);
+        }
+        let mut steps = 0;
+        while steps < 3 * n {
+            let f = g.hand;
+            g.hand = (g.hand + 1) % n;
+            steps += 1;
+            if !g.present[f] {
+                continue;
+            }
+            if self.mgr.referenced[f].swap(0, Ordering::Relaxed) != 0 {
+                continue; // second chance
+            }
+            if evictable(f as FrameId) {
+                let victim = g.page_of[f];
+                g.page_of[f] = page;
+                self.mgr.referenced[f].store(1, Ordering::Relaxed);
+                return MissOutcome::Evicted { frame: f as FrameId, victim };
+            }
+        }
+        MissOutcome::NoEvictableFrame
+    }
+}
+
+// --- Wrapped: BP-Wrapper ---------------------------------------------------
+
+/// Any policy behind the BP-Wrapper framework.
+pub struct WrappedManager<P: ReplacementPolicy> {
+    wrapper: BpWrapper<P>,
+}
+
+impl<P: ReplacementPolicy> WrappedManager<P> {
+    /// Wrap `policy` with `config`.
+    pub fn new(policy: P, config: WrapperConfig) -> Self {
+        WrappedManager { wrapper: BpWrapper::new(policy, config) }
+    }
+
+    /// The underlying wrapper (counters, config).
+    pub fn wrapper(&self) -> &BpWrapper<P> {
+        &self.wrapper
+    }
+}
+
+impl<P: ReplacementPolicy> ReplacementManager for WrappedManager<P> {
+    fn name(&self) -> String {
+        let c = self.wrapper.config();
+        format!(
+            "bp-wrapper(batch={}, prefetch={}, S={}, T={})",
+            c.batching, c.prefetching, c.queue_size, c.batch_threshold
+        )
+    }
+
+    fn handle(&self) -> Box<dyn ManagerHandle + '_> {
+        Box::new(WrappedHandle { handle: self.wrapper.handle() })
+    }
+
+    fn invalidate(&self, frame: FrameId) {
+        self.wrapper.with_locked(|p| {
+            p.remove(frame);
+        });
+    }
+
+    fn lock_snapshot(&self) -> LockSnapshot {
+        self.wrapper.lock_stats().snapshot()
+    }
+}
+
+struct WrappedHandle<'m, P: ReplacementPolicy> {
+    handle: bpw_core::AccessHandle<'m, P>,
+}
+
+impl<'m, P: ReplacementPolicy> ManagerHandle for WrappedHandle<'m, P> {
+    fn on_hit(&mut self, page: PageId, frame: FrameId) {
+        self.handle.record_hit(page, frame);
+    }
+
+    fn on_miss(
+        &mut self,
+        page: PageId,
+        free: Option<FrameId>,
+        evictable: &mut dyn FnMut(FrameId) -> bool,
+    ) -> MissOutcome {
+        self.handle.record_miss(page, free, evictable)
+    }
+
+    fn flush(&mut self) {
+        self.handle.flush();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bpw_replacement::TwoQ;
+
+    #[test]
+    fn coarse_manager_locks_per_access() {
+        let m = CoarseManager::new(TwoQ::new(4));
+        let mut h = m.handle();
+        for i in 0..4u64 {
+            h.on_miss(i, Some(i as u32), &mut |_| true);
+        }
+        h.on_hit(0, 0);
+        h.on_hit(1, 1);
+        drop(h);
+        let snap = m.lock_snapshot();
+        assert_eq!(snap.acquisitions, 6);
+        assert_eq!(snap.accesses_covered, 6);
+    }
+
+    #[test]
+    fn clock_manager_hits_without_lock() {
+        let m = ClockManager::new(4);
+        let mut h = m.handle();
+        for i in 0..4u64 {
+            h.on_miss(i, Some(i as u32), &mut |_| true);
+        }
+        let before = m.lock_snapshot().acquisitions;
+        for _ in 0..100 {
+            h.on_hit(0, 0);
+        }
+        assert_eq!(m.lock_snapshot().acquisitions, before, "hits must not lock");
+        let out = h.on_miss(10, None, &mut |_| true);
+        assert!(out.victim().is_some());
+    }
+
+    #[test]
+    fn clock_manager_second_chance() {
+        let m = ClockManager::new(3);
+        let mut h = m.handle();
+        for i in 1..=3u64 {
+            h.on_miss(i, Some((i - 1) as u32), &mut |_| true);
+        }
+        // All ref bits set by admission; this miss clears them, evicts
+        // frame 0 and leaves the hand at frame 1.
+        let out = h.on_miss(10, None, &mut |_| true);
+        assert_eq!(out, MissOutcome::Evicted { frame: 0, victim: 1 });
+        // Protect frame 1 (page 2): the next sweep must skip it and take
+        // frame 2 (page 3) instead.
+        h.on_hit(2, 1);
+        let out = h.on_miss(11, None, &mut |_| true);
+        assert_eq!(out, MissOutcome::Evicted { frame: 2, victim: 3 });
+    }
+
+    #[test]
+    fn clock_invalidate_and_refill() {
+        let m = ClockManager::new(2);
+        let mut h = m.handle();
+        h.on_miss(1, Some(0), &mut |_| true);
+        m.invalidate(0);
+        let out = h.on_miss(2, Some(0), &mut |_| true);
+        assert_eq!(out, MissOutcome::AdmittedFree(0));
+    }
+
+    #[test]
+    fn wrapped_manager_batches() {
+        let m = WrappedManager::new(TwoQ::new(8), WrapperConfig::default());
+        let mut h = m.handle();
+        for i in 0..8u64 {
+            h.on_miss(i, Some(i as u32), &mut |_| true);
+        }
+        let before = m.lock_snapshot().acquisitions;
+        for k in 0..16u64 {
+            h.on_hit(k % 8, (k % 8) as u32);
+        }
+        // 16 hits with T=32: still queued, no lock taken.
+        assert_eq!(m.lock_snapshot().acquisitions, before);
+        h.flush();
+        assert!(m.lock_snapshot().acquisitions > before);
+        drop(h);
+        assert_eq!(m.wrapper().counters().committed.get(), 16);
+    }
+
+    #[test]
+    fn names_are_informative() {
+        assert!(CoarseManager::new(TwoQ::new(2)).name().contains("2Q"));
+        assert!(ClockManager::new(2).name().contains("clock"));
+        let w = WrappedManager::new(TwoQ::new(2), WrapperConfig::default());
+        assert!(w.name().contains("S=64"));
+    }
+}

@@ -1,0 +1,109 @@
+//! The buffer look-up structure: a hash table sharded into many buckets,
+//! each under its own reader-writer lock — the design the paper's §II
+//! explains is *not* a scalability problem ("one lock for each bucket...
+//! the possibility for multiple threads to compete for the same bucket
+//! is low", and buckets change only on misses).
+
+use std::collections::HashMap;
+
+use bpw_replacement::{FrameId, PageId};
+use parking_lot::RwLock;
+
+/// Sharded page-id → frame-id map.
+pub struct PageTable {
+    shards: Vec<RwLock<HashMap<PageId, FrameId>>>,
+    mask: u64,
+}
+
+impl PageTable {
+    /// Create a table with `shards` buckets (rounded up to a power of
+    /// two, minimum 16).
+    pub fn new(shards: usize) -> Self {
+        let n = shards.next_power_of_two().max(16);
+        PageTable {
+            shards: (0..n).map(|_| RwLock::new(HashMap::new())).collect(),
+            mask: (n - 1) as u64,
+        }
+    }
+
+    /// Number of shards.
+    pub fn shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    fn shard(&self, page: PageId) -> &RwLock<HashMap<PageId, FrameId>> {
+        // splitmix64 avalanche so sequential page ids spread over shards.
+        let mut x = page.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        x ^= x >> 31;
+        &self.shards[(x & self.mask) as usize]
+    }
+
+    /// Look up the frame caching `page`, if mapped.
+    pub fn get(&self, page: PageId) -> Option<FrameId> {
+        self.shard(page).read().get(&page).copied()
+    }
+
+    /// Map `page` to `frame`. Returns the previous mapping, if any.
+    pub fn insert(&self, page: PageId, frame: FrameId) -> Option<FrameId> {
+        self.shard(page).write().insert(page, frame)
+    }
+
+    /// Remove the mapping for `page`. Returns the frame it mapped to.
+    pub fn remove(&self, page: PageId) -> Option<FrameId> {
+        self.shard(page).write().remove(&page)
+    }
+
+    /// Total mappings (O(shards); for stats/tests).
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.read().len()).sum()
+    }
+
+    /// True if no pages are mapped.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_get_remove() {
+        let t = PageTable::new(4);
+        assert_eq!(t.get(1), None);
+        assert_eq!(t.insert(1, 10), None);
+        assert_eq!(t.get(1), Some(10));
+        assert_eq!(t.insert(1, 11), Some(10));
+        assert_eq!(t.remove(1), Some(11));
+        assert_eq!(t.get(1), None);
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn shard_count_rounds_up() {
+        assert_eq!(PageTable::new(1).shards(), 16);
+        assert_eq!(PageTable::new(17).shards(), 32);
+    }
+
+    #[test]
+    fn concurrent_disjoint_inserts() {
+        let t = PageTable::new(64);
+        std::thread::scope(|s| {
+            for k in 0..4u64 {
+                let t = &t;
+                s.spawn(move || {
+                    for i in 0..1000u64 {
+                        t.insert(k * 1000 + i, (k * 1000 + i) as FrameId);
+                    }
+                });
+            }
+        });
+        assert_eq!(t.len(), 4000);
+        for i in 0..4000u64 {
+            assert_eq!(t.get(i), Some(i as FrameId));
+        }
+    }
+}

@@ -1,0 +1,636 @@
+//! The buffer pool: page table + descriptors + frames + storage +
+//! replacement manager, with the fetch path of Fig. 1/Fig. 3 in the
+//! paper — concurrent hash-table lookup, per-frame pinning, and
+//! replacement bookkeeping routed through a [`ReplacementManager`].
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use bpw_replacement::{FrameId, MissOutcome, PageId};
+use parking_lot::Mutex;
+
+use crate::desc::BufferDesc;
+use crate::managers::{ManagerHandle, ReplacementManager};
+use crate::page_table::PageTable;
+use crate::storage::Storage;
+use crate::wal::Wal;
+
+/// Aggregate pool statistics.
+#[derive(Debug, Default)]
+pub struct PoolStats {
+    /// Fetches satisfied from the buffer.
+    pub hits: AtomicU64,
+    /// Fetches that read from storage.
+    pub misses: AtomicU64,
+    /// Dirty victims written back.
+    pub writebacks: AtomicU64,
+}
+
+impl PoolStats {
+    /// Hit ratio over all fetches so far.
+    pub fn hit_ratio(&self) -> f64 {
+        let h = self.hits.load(Ordering::Relaxed) as f64;
+        let m = self.misses.load(Ordering::Relaxed) as f64;
+        if h + m == 0.0 {
+            0.0
+        } else {
+            h / (h + m)
+        }
+    }
+}
+
+/// A DBMS-style buffer pool generic over its replacement manager.
+pub struct BufferPool<M: ReplacementManager> {
+    table: PageTable,
+    descs: Vec<BufferDesc>,
+    data: Vec<Mutex<Box<[u8]>>>,
+    free: Mutex<Vec<FrameId>>,
+    /// Serializes victim selection + table rebinding (not the I/O).
+    miss_lock: Mutex<()>,
+    manager: M,
+    storage: Arc<dyn Storage>,
+    wal: Option<Arc<Wal>>,
+    stats: PoolStats,
+    page_size: usize,
+}
+
+impl<M: ReplacementManager> BufferPool<M> {
+    /// Build a pool of `frames` frames of `page_size` bytes each.
+    pub fn new(frames: usize, page_size: usize, manager: M, storage: Arc<dyn Storage>) -> Self {
+        assert!(frames >= 1);
+        BufferPool {
+            table: PageTable::new(frames / 4),
+            descs: (0..frames).map(|_| BufferDesc::new()).collect(),
+            data: (0..frames)
+                .map(|_| Mutex::new(vec![0u8; page_size].into_boxed_slice()))
+                .collect(),
+            free: Mutex::new((0..frames as FrameId).rev().collect()),
+            miss_lock: Mutex::new(()),
+            manager,
+            storage,
+            wal: None,
+            stats: PoolStats::default(),
+            page_size,
+        }
+    }
+
+    /// Attach a write-ahead log: page writes append records and dirty
+    /// write-backs wait for durability (WAL-before-data).
+    pub fn with_wal(mut self, wal: Arc<Wal>) -> Self {
+        self.wal = Some(wal);
+        self
+    }
+
+    /// The attached WAL, if any.
+    pub fn wal(&self) -> Option<&Arc<Wal>> {
+        self.wal.as_ref()
+    }
+
+    /// Commit everything logged so far (transaction boundary): group
+    /// commit makes the log durable up to the current append point.
+    pub fn commit_transaction(&self) {
+        if let Some(wal) = &self.wal {
+            wal.commit(wal.append_lsn());
+        }
+    }
+
+    /// Number of frames.
+    pub fn frames(&self) -> usize {
+        self.descs.len()
+    }
+
+    /// Page size in bytes.
+    pub fn page_size(&self) -> usize {
+        self.page_size
+    }
+
+    /// Pool statistics.
+    pub fn stats(&self) -> &PoolStats {
+        &self.stats
+    }
+
+    /// The replacement manager.
+    pub fn manager(&self) -> &M {
+        &self.manager
+    }
+
+    /// The storage device.
+    pub fn storage(&self) -> &Arc<dyn Storage> {
+        &self.storage
+    }
+
+    /// Create a per-thread session (carries the manager handle, i.e. the
+    /// BP-Wrapper private queue for wrapped managers).
+    pub fn session(&self) -> PoolSession<'_, M> {
+        PoolSession { pool: self, handle: self.manager.handle() }
+    }
+
+    /// Drop `page` from the buffer (e.g. relation truncation). The page
+    /// must not be pinned.
+    pub fn invalidate(&self, page: PageId) -> bool {
+        let _g = self.miss_lock.lock();
+        let Some(frame) = self.table.get(page) else {
+            return false;
+        };
+        {
+            let mut s = self.descs[frame as usize].lock();
+            if s.pins > 0 || s.io_in_progress || !(s.valid && s.tag == page) {
+                return false; // in use or stale: caller may retry
+            }
+            s.valid = false;
+            s.dirty = false;
+        }
+        self.table.remove(page);
+        self.manager.invalidate(frame);
+        self.free.lock().push(frame);
+        true
+    }
+
+    /// Frame `f`'s descriptor (crate-internal: background writer).
+    pub(crate) fn desc(&self, f: FrameId) -> &BufferDesc {
+        &self.descs[f as usize]
+    }
+
+    /// Lock frame `f`'s content (crate-internal: background writer).
+    pub(crate) fn data_lock(&self, f: FrameId) -> parking_lot::MutexGuard<'_, Box<[u8]>> {
+        self.data[f as usize].lock()
+    }
+
+    /// Crash recovery: redo every durable WAL record into `storage`
+    /// (later records overwrite earlier ones, so the final state is the
+    /// last committed version of each page). Run against a *fresh* pool's
+    /// storage after a crash that lost dirty buffers.
+    pub fn replay_wal_into_storage(wal: &Wal, storage: &dyn Storage) {
+        wal.replay(|payload| {
+            if payload.len() >= 8 {
+                let page = PageId::from_le_bytes(payload[..8].try_into().expect("8 bytes"));
+                storage.write_page(page, &payload[8..]);
+            }
+        });
+    }
+
+    /// Number of valid resident pages (O(frames); tests).
+    pub fn resident_count(&self) -> usize {
+        self.descs.iter().filter(|d| d.snapshot().valid).count()
+    }
+}
+
+/// A thread's session against the pool.
+pub struct PoolSession<'p, M: ReplacementManager> {
+    pool: &'p BufferPool<M>,
+    handle: Box<dyn ManagerHandle + 'p>,
+}
+
+impl<'p, M: ReplacementManager> PoolSession<'p, M> {
+    /// Fetch `page`, pinning it in the buffer. Blocks on storage I/O for
+    /// a miss. Returns a guard that unpins on drop.
+    pub fn fetch(&mut self, page: PageId) -> PinnedPage<'p, M> {
+        loop {
+            // Fast path: concurrent hash lookup + pin.
+            if let Some(frame) = self.pool.table.get(page) {
+                if self.pool.descs[frame as usize].try_pin(page) {
+                    self.pool.stats.hits.fetch_add(1, Ordering::Relaxed);
+                    self.handle.on_hit(page, frame);
+                    return PinnedPage { pool: self.pool, frame, page };
+                }
+                // Mapping present but unpinnable: I/O in progress or a
+                // stale mapping mid-eviction. Yield and retry.
+                std::thread::yield_now();
+                continue;
+            }
+            // Miss path.
+            if let Some(pinned) = self.fetch_miss(page) {
+                return pinned;
+            }
+            std::thread::yield_now();
+        }
+    }
+
+    /// Slow path. Returns `None` when the state changed underfoot (the
+    /// caller retries).
+    fn fetch_miss(&mut self, page: PageId) -> Option<PinnedPage<'p, M>> {
+        let pool = self.pool;
+        let guard = pool.miss_lock.lock();
+        // Re-check: another thread may have loaded the page while we
+        // waited for the miss lock.
+        if pool.table.get(page).is_some() {
+            drop(guard);
+            return None; // retry via the hit path
+        }
+        pool.stats.misses.fetch_add(1, Ordering::Relaxed);
+        let free = pool.free.lock().pop();
+        // Victim filter: pinned or in-I/O frames are rejected; the
+        // accepted frame is atomically invalidated under its latch so no
+        // new pin can slip in after selection.
+        let descs = &pool.descs;
+        let outcome = self.handle.on_miss(page, free, &mut |f| {
+            let mut s = descs[f as usize].lock();
+            if s.pins == 0 && !s.io_in_progress && s.valid {
+                s.valid = false;
+                true
+            } else {
+                false
+            }
+        });
+        let (frame, victim) = match outcome {
+            MissOutcome::AdmittedFree(f) => (f, None),
+            MissOutcome::Evicted { frame, victim } => (frame, Some(victim)),
+            MissOutcome::NoEvictableFrame => {
+                // Everything pinned: put the free frame back (none was
+                // consumed — on_miss only returns NoEvictableFrame when
+                // free was None) and let the caller retry.
+                debug_assert!(free.is_none());
+                return None;
+            }
+        };
+        // Claim the frame for the new page, marked in-I/O.
+        let (was_dirty, victim_lsn) = {
+            let mut s = pool.descs[frame as usize].lock();
+            debug_assert_eq!(s.pins, 0, "evicted frame had pins");
+            let was_dirty = s.dirty && victim.is_some();
+            let victim_lsn = s.lsn;
+            s.tag = page;
+            s.valid = true;
+            s.dirty = false;
+            s.io_in_progress = true;
+            s.pins = 1; // pinned for the caller
+            s.lsn = 0;
+            if was_dirty { (was_dirty, victim_lsn) } else { (was_dirty, 0) }
+        };
+        if let Some(v) = victim {
+            pool.table.remove(v);
+        }
+        pool.table.insert(page, frame);
+        // I/O happens outside the miss lock: other misses proceed.
+        drop(guard);
+        {
+            let mut data = pool.data[frame as usize].lock();
+            if was_dirty {
+                let v = victim.expect("dirty implies eviction");
+                // WAL-before-data: the log covering this page must be
+                // durable before its new version reaches storage.
+                if let (Some(wal), true) = (&pool.wal, victim_lsn > 0) {
+                    wal.commit(victim_lsn);
+                }
+                pool.storage.write_page(v, &data);
+                pool.stats.writebacks.fetch_add(1, Ordering::Relaxed);
+            }
+            pool.storage.read_page(page, &mut data);
+        }
+        pool.descs[frame as usize].lock().io_in_progress = false;
+        Some(PinnedPage { pool, frame, page })
+    }
+
+    /// Commit any deferred replacement bookkeeping (BP-Wrapper queue).
+    pub fn flush(&mut self) {
+        self.handle.flush();
+    }
+}
+
+impl<'p, M: ReplacementManager> Drop for PoolSession<'p, M> {
+    fn drop(&mut self) {
+        self.handle.flush();
+    }
+}
+
+/// A pinned page: read/write access to the frame contents; unpins on
+/// drop.
+pub struct PinnedPage<'p, M: ReplacementManager> {
+    pool: &'p BufferPool<M>,
+    frame: FrameId,
+    page: PageId,
+}
+
+impl<'p, M: ReplacementManager> PinnedPage<'p, M> {
+    /// The page id this guard pins.
+    pub fn page(&self) -> PageId {
+        self.page
+    }
+
+    /// The frame holding the page.
+    pub fn frame(&self) -> FrameId {
+        self.frame
+    }
+
+    /// Read the page contents.
+    pub fn read<R>(&self, f: impl FnOnce(&[u8]) -> R) -> R {
+        let data = self.pool.data[self.frame as usize].lock();
+        f(&data)
+    }
+
+    /// Mutate the page contents and mark the page dirty. With a WAL
+    /// attached, a record describing the write is appended and the
+    /// frame's recovery LSN advances (flushed lazily at transaction
+    /// commit or forced by write-back).
+    pub fn write<R>(&self, f: impl FnOnce(&mut [u8]) -> R) -> R {
+        let mut data = self.pool.data[self.frame as usize].lock();
+        let r = f(&mut data);
+        let mut s = self.pool.descs[self.frame as usize].lock();
+        s.dirty = true;
+        if let Some(wal) = &self.pool.wal {
+            // Physical redo record: page id + after-image, so the log is
+            // replayable (a production system would log byte diffs).
+            let mut rec = Vec::with_capacity(8 + data.len());
+            rec.extend_from_slice(&self.page.to_le_bytes());
+            rec.extend_from_slice(&data);
+            let lsn = wal.append(&rec);
+            s.lsn = s.lsn.max(lsn);
+        }
+        r
+    }
+}
+
+impl<'p, M: ReplacementManager> Drop for PinnedPage<'p, M> {
+    fn drop(&mut self) {
+        self.pool.descs[self.frame as usize].unpin();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::managers::{ClockManager, CoarseManager, WrappedManager};
+    use crate::storage::SimDisk;
+    use bpw_core::WrapperConfig;
+    use bpw_replacement::{Lirs, ReplacementPolicy, TwoQ};
+
+    fn pool_2q(frames: usize) -> BufferPool<CoarseManager<TwoQ>> {
+        BufferPool::new(
+            frames,
+            128,
+            CoarseManager::new(TwoQ::new(frames)),
+            Arc::new(SimDisk::instant()),
+        )
+    }
+
+    #[test]
+    fn fetch_reads_correct_content() {
+        let pool = pool_2q(4);
+        let mut s = pool.session();
+        let p = s.fetch(42);
+        p.read(|data| {
+            assert_eq!(u64::from_le_bytes(data[..8].try_into().unwrap()), 42);
+        });
+        drop(p);
+        assert_eq!(pool.stats().misses.load(Ordering::Relaxed), 1);
+        let p = s.fetch(42);
+        drop(p);
+        assert_eq!(pool.stats().hits.load(Ordering::Relaxed), 1);
+        assert_eq!(pool.storage().reads(), 1, "second fetch must not hit disk");
+    }
+
+    #[test]
+    fn eviction_and_reload() {
+        let pool = pool_2q(2);
+        let mut s = pool.session();
+        for p in [1u64, 2, 3] {
+            drop(s.fetch(p));
+        }
+        // One of 1, 2 was evicted; fetch both again -> at least one miss.
+        drop(s.fetch(1));
+        drop(s.fetch(2));
+        let st = pool.stats();
+        assert!(st.misses.load(Ordering::Relaxed) >= 4);
+        assert_eq!(pool.resident_count(), 2);
+    }
+
+    #[test]
+    fn pinned_pages_are_never_evicted() {
+        let pool = pool_2q(2);
+        let mut s = pool.session();
+        let held = s.fetch(1); // stays pinned
+        drop(s.fetch(2));
+        for p in 10..20u64 {
+            drop(s.fetch(p)); // must always evict the *other* frame
+        }
+        held.read(|data| {
+            assert_eq!(u64::from_le_bytes(data[..8].try_into().unwrap()), 1);
+        });
+        drop(held);
+    }
+
+    #[test]
+    fn dirty_pages_written_back() {
+        let pool = pool_2q(2);
+        let mut s = pool.session();
+        let p = s.fetch(1);
+        p.write(|data| data[9] = 0xAB);
+        drop(p);
+        for q in [2u64, 3, 4] {
+            drop(s.fetch(q)); // force eviction of page 1
+        }
+        assert!(pool.storage().writes() >= 1, "dirty page must be written back");
+        assert!(pool.stats().writebacks.load(Ordering::Relaxed) >= 1);
+    }
+
+    #[test]
+    fn invalidate_frees_frame() {
+        let pool = pool_2q(2);
+        let mut s = pool.session();
+        drop(s.fetch(1));
+        drop(s.fetch(2));
+        assert!(pool.invalidate(1));
+        assert!(!pool.invalidate(1));
+        assert_eq!(pool.resident_count(), 1);
+        drop(s.fetch(3)); // takes the freed frame, no eviction
+        assert_eq!(pool.resident_count(), 2);
+    }
+
+    #[test]
+    fn wrapped_pool_concurrent_correctness() {
+        // Many threads hammering a small pool through BP-Wrapper: every
+        // fetch must return the right bytes, and accounting must add up.
+        let frames = 32;
+        let pool: BufferPool<WrappedManager<Lirs>> = BufferPool::new(
+            frames,
+            64,
+            WrappedManager::new(Lirs::new(frames), WrapperConfig::default()),
+            Arc::new(SimDisk::instant()),
+        );
+        let threads = 4;
+        let per_thread = 3000u64;
+        std::thread::scope(|sc| {
+            for t in 0..threads {
+                let pool = &pool;
+                sc.spawn(move || {
+                    let mut s = pool.session();
+                    let mut x = 0xDEADBEEFu64.wrapping_add(t);
+                    for _ in 0..per_thread {
+                        x ^= x << 13;
+                        x ^= x >> 7;
+                        x ^= x << 17;
+                        let page = x % 64; // 2x the pool size
+                        let p = s.fetch(page);
+                        p.read(|data| {
+                            assert_eq!(
+                                u64::from_le_bytes(data[..8].try_into().unwrap()),
+                                page,
+                                "wrong content for page {page}"
+                            );
+                        });
+                    }
+                });
+            }
+        });
+        let st = pool.stats();
+        assert_eq!(
+            st.hits.load(Ordering::Relaxed) + st.misses.load(Ordering::Relaxed),
+            threads * per_thread
+        );
+        pool.manager().wrapper().with_locked(|p| p.check_invariants());
+    }
+
+    #[test]
+    fn clock_pool_concurrent_correctness() {
+        let frames = 16;
+        let pool = BufferPool::new(
+            frames,
+            64,
+            ClockManager::new(frames),
+            Arc::new(SimDisk::instant()),
+        );
+        std::thread::scope(|sc| {
+            for t in 0..4u64 {
+                let pool = &pool;
+                sc.spawn(move || {
+                    let mut s = pool.session();
+                    for i in 0..2000u64 {
+                        let page = (i * (t + 1)) % 40;
+                        let p = s.fetch(page);
+                        p.read(|data| {
+                            assert_eq!(u64::from_le_bytes(data[..8].try_into().unwrap()), page);
+                        });
+                    }
+                });
+            }
+        });
+        assert_eq!(pool.resident_count(), frames);
+    }
+
+    #[test]
+    fn written_data_survives_eviction() {
+        // Write a marker, churn the page out, fetch it back: the
+        // write-back + SimDisk retention must round-trip the bytes.
+        let pool = pool_2q(2);
+        let mut s = pool.session();
+        let p = s.fetch(1);
+        p.write(|data| data[20] = 0xC4);
+        drop(p);
+        for q in 10..20u64 {
+            drop(s.fetch(q));
+        }
+        assert!(!pool.table.get(1).is_some() || pool.descs.len() == 2);
+        let p = s.fetch(1);
+        p.read(|data| assert_eq!(data[20], 0xC4, "write lost through eviction"));
+    }
+
+    #[test]
+    fn wal_before_data_enforced() {
+        let wal = Arc::new(crate::wal::Wal::instant());
+        let pool = BufferPool::new(
+            2,
+            128,
+            CoarseManager::new(TwoQ::new(2)),
+            Arc::new(SimDisk::instant()),
+        )
+        .with_wal(Arc::clone(&wal));
+        let mut s = pool.session();
+        let p = s.fetch(1);
+        p.write(|data| data[9] = 0x55);
+        drop(p);
+        let logged = wal.append_lsn();
+        assert!(logged > 0, "write must append a WAL record");
+        assert_eq!(wal.flushed_lsn(), 0, "nothing committed yet");
+        // Evict page 1: the write-back must first force the WAL.
+        for q in [2u64, 3, 4] {
+            drop(s.fetch(q));
+        }
+        assert!(pool.storage().writes() >= 1, "dirty page written back");
+        assert!(
+            wal.flushed_lsn() >= logged,
+            "WAL must be durable before the data page ({} < {logged})",
+            wal.flushed_lsn()
+        );
+    }
+
+    #[test]
+    fn crash_recovery_replays_committed_writes() {
+        let wal = Arc::new(crate::wal::Wal::instant());
+        let storage: Arc<SimDisk> = Arc::new(SimDisk::instant());
+        {
+            // Session 1: write two pages, commit, then "crash" (drop the
+            // pool with its dirty buffers never written back).
+            let pool = BufferPool::new(
+                8,
+                64,
+                CoarseManager::new(TwoQ::new(8)),
+                Arc::clone(&storage) as Arc<dyn crate::storage::Storage>,
+            )
+            .with_wal(Arc::clone(&wal));
+            let mut s = pool.session();
+            let p = s.fetch(5);
+            p.write(|data| data[16] = 0xAA);
+            drop(p);
+            let p = s.fetch(6);
+            p.write(|data| data[17] = 0xBB);
+            drop(p);
+            pool.commit_transaction();
+            // Uncommitted write: must NOT survive the crash.
+            let p = s.fetch(7);
+            p.write(|data| data[18] = 0xCC);
+            drop(p);
+        } // crash: dirty pages lost
+        assert_eq!(storage.writes(), 0, "nothing reached storage before the crash");
+
+        // Recovery: redo the durable log into storage.
+        BufferPool::<CoarseManager<TwoQ>>::replay_wal_into_storage(&wal, &*storage);
+
+        // Session 2: a fresh pool over the same storage sees the
+        // committed writes and not the uncommitted one.
+        let pool = BufferPool::new(
+            8,
+            64,
+            CoarseManager::new(TwoQ::new(8)),
+            Arc::clone(&storage) as Arc<dyn crate::storage::Storage>,
+        );
+        let mut s = pool.session();
+        s.fetch(5).read(|d| assert_eq!(d[16], 0xAA, "committed write lost"));
+        s.fetch(6).read(|d| assert_eq!(d[17], 0xBB, "committed write lost"));
+        s.fetch(7).read(|d| assert_ne!(d[18], 0xCC, "uncommitted write must not survive"));
+    }
+
+    #[test]
+    fn commit_transaction_flushes_wal() {
+        let wal = Arc::new(crate::wal::Wal::instant());
+        let pool = BufferPool::new(
+            4,
+            128,
+            CoarseManager::new(TwoQ::new(4)),
+            Arc::new(SimDisk::instant()),
+        )
+        .with_wal(Arc::clone(&wal));
+        let mut s = pool.session();
+        let p = s.fetch(7);
+        p.write(|data| data[10] = 1);
+        p.write(|data| data[11] = 2);
+        drop(p);
+        pool.commit_transaction();
+        assert_eq!(wal.flushed_lsn(), wal.append_lsn());
+        assert_eq!(wal.flushes.get(), 1, "one group flush for the txn");
+    }
+
+    #[test]
+    fn hit_ratio_reported() {
+        let pool = pool_2q(8);
+        let mut s = pool.session();
+        for p in 0..8u64 {
+            drop(s.fetch(p));
+        }
+        for _ in 0..3 {
+            for p in 0..8u64 {
+                drop(s.fetch(p));
+            }
+        }
+        assert!((pool.stats().hit_ratio() - 0.75).abs() < 1e-9);
+    }
+}

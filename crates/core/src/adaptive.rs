@@ -1,0 +1,241 @@
+//! Adaptive batch threshold — an extension beyond the paper.
+//!
+//! Table III shows the threshold `T` trades freshness against TryLock
+//! headroom: too low wastes acquisition attempts on tiny batches, too
+//! high (T → S) removes the non-blocking path entirely. The paper picks
+//! T = S/2 statically. This module adapts `T` per thread from observed
+//! TryLock outcomes:
+//!
+//! * failures are frequent → the lock is busy → raise `T` (commit
+//!   bigger, rarer batches), up to `3S/4` so TryLock headroom survives;
+//! * failures stop → the lock is quiet → decay `T` toward a floor so
+//!   history reaches the policy promptly.
+//!
+//! The adaptation needs no coordination: each handle reacts to its own
+//! TryLock outcomes, which are themselves a (free) sample of lock
+//! pressure.
+
+use bpw_replacement::{FrameId, MissOutcome, PageId, ReplacementPolicy};
+
+use crate::queue::AccessQueue;
+use crate::wrapper::BpWrapper;
+
+/// Bounds and cadence of the adaptation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AdaptiveConfig {
+    /// Lowest threshold the decay may reach.
+    pub min_threshold: usize,
+    /// Initial threshold.
+    pub initial_threshold: usize,
+    /// Commit attempts per adaptation window.
+    pub window: u32,
+    /// Raise `T` when the window's failure fraction exceeds this.
+    pub raise_above: f64,
+    /// Lower `T` when the window's failure fraction falls below this.
+    pub lower_below: f64,
+}
+
+impl Default for AdaptiveConfig {
+    fn default() -> Self {
+        AdaptiveConfig {
+            min_threshold: 4,
+            initial_threshold: 32,
+            window: 16,
+            raise_above: 0.25,
+            lower_below: 0.05,
+        }
+    }
+}
+
+/// A per-thread handle with a self-adjusting batch threshold. Built from
+/// any [`BpWrapper`]; the wrapper's static `batch_threshold` is ignored
+/// in favour of the adaptive one (its `queue_size` still caps batches
+/// and forces the blocking path when full).
+pub struct AdaptiveHandle<'w, P: ReplacementPolicy> {
+    wrapper: &'w BpWrapper<P>,
+    queue: AccessQueue,
+    cfg: AdaptiveConfig,
+    threshold: usize,
+    attempts: u32,
+    failures: u32,
+}
+
+impl<'w, P: ReplacementPolicy> AdaptiveHandle<'w, P> {
+    /// Create a handle with default adaptation bounds.
+    pub fn new(wrapper: &'w BpWrapper<P>) -> Self {
+        Self::with_config(wrapper, AdaptiveConfig::default())
+    }
+
+    /// Create a handle with explicit adaptation bounds.
+    pub fn with_config(wrapper: &'w BpWrapper<P>, cfg: AdaptiveConfig) -> Self {
+        let s = wrapper.config().queue_size;
+        assert!(s >= 2, "adaptive batching needs a queue of at least 2");
+        assert!(cfg.min_threshold >= 1 && cfg.min_threshold < s);
+        let threshold = cfg.initial_threshold.clamp(cfg.min_threshold, 3 * s / 4);
+        AdaptiveHandle {
+            wrapper,
+            queue: AccessQueue::new(s),
+            cfg,
+            threshold,
+            attempts: 0,
+            failures: 0,
+        }
+    }
+
+    /// Current threshold (adapts over time).
+    pub fn threshold(&self) -> usize {
+        self.threshold
+    }
+
+    fn max_threshold(&self) -> usize {
+        (3 * self.wrapper.config().queue_size / 4).max(self.cfg.min_threshold)
+    }
+
+    fn note_attempt(&mut self, failed: bool) {
+        self.attempts += 1;
+        if failed {
+            self.failures += 1;
+        }
+        if self.attempts >= self.cfg.window {
+            let rate = self.failures as f64 / self.attempts as f64;
+            if rate > self.cfg.raise_above {
+                self.threshold = (self.threshold * 2).min(self.max_threshold());
+            } else if rate < self.cfg.lower_below {
+                self.threshold = (self.threshold / 2).max(self.cfg.min_threshold);
+            }
+            self.attempts = 0;
+            self.failures = 0;
+        }
+    }
+
+    /// Record a hit (paper Fig. 4 semantics with the adaptive `T`).
+    pub fn record_hit(&mut self, page: PageId, frame: FrameId) {
+        self.wrapper.counters().accesses.incr();
+        self.queue.push(page, frame);
+        if self.queue.len() >= self.threshold {
+            match self.wrapper.try_commit(&mut self.queue) {
+                Ok(()) => self.note_attempt(false),
+                Err(()) => {
+                    self.note_attempt(true);
+                    if self.queue.is_full() {
+                        self.wrapper.blocking_commit(&mut self.queue);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Record a miss: blocking lock, committed queue, policy miss path.
+    pub fn record_miss(
+        &mut self,
+        page: PageId,
+        free: Option<FrameId>,
+        evictable: &mut dyn FnMut(FrameId) -> bool,
+    ) -> MissOutcome {
+        self.wrapper.miss_commit(&mut self.queue, page, free, evictable)
+    }
+
+    /// Commit whatever is queued.
+    pub fn flush(&mut self) {
+        self.wrapper.blocking_commit(&mut self.queue);
+    }
+
+    /// Accesses currently queued.
+    pub fn queued(&self) -> usize {
+        self.queue.len()
+    }
+}
+
+impl<'w, P: ReplacementPolicy> Drop for AdaptiveHandle<'w, P> {
+    fn drop(&mut self) {
+        self.flush();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::WrapperConfig;
+    use bpw_replacement::Lru;
+
+    fn warmed(frames: usize) -> BpWrapper<Lru> {
+        let w = BpWrapper::new(Lru::new(frames), WrapperConfig::default());
+        w.with_locked(|p| {
+            for i in 0..frames as u64 {
+                p.record_miss(i, Some(i as u32), &mut |_| true);
+            }
+        });
+        w
+    }
+
+    #[test]
+    fn threshold_decays_when_uncontended() {
+        let w = warmed(64);
+        let mut h = AdaptiveHandle::new(&w);
+        let start = h.threshold();
+        for i in 0..50_000u64 {
+            h.record_hit(i % 64, (i % 64) as u32);
+        }
+        assert!(
+            h.threshold() <= AdaptiveConfig::default().min_threshold,
+            "uncontended threshold should decay ({} -> {})",
+            start,
+            h.threshold()
+        );
+    }
+
+    #[test]
+    fn threshold_rises_under_contention() {
+        let w = warmed(64);
+        let mut h = AdaptiveHandle::new(&w);
+        // Hold the lock from another guard so every TryLock fails.
+        let _held = w.lock_for_test();
+        for i in 0..5_000u64 {
+            if h.queued() + 1 >= w.config().queue_size {
+                break; // next push would force a blocking commit: stop
+            }
+            h.record_hit(i % 64, (i % 64) as u32);
+        }
+        assert!(
+            h.threshold() > AdaptiveConfig::default().initial_threshold / 2,
+            "threshold should not decay while the lock is busy"
+        );
+        drop(_held);
+        h.flush();
+    }
+
+    #[test]
+    fn adaptation_never_leaves_bounds() {
+        let w = warmed(32);
+        let cfg = AdaptiveConfig { min_threshold: 2, initial_threshold: 8, ..Default::default() };
+        let mut h = AdaptiveHandle::with_config(&w, cfg);
+        for i in 0..20_000u64 {
+            h.record_hit(i % 32, (i % 32) as u32);
+            assert!((2..=24).contains(&h.threshold()));
+        }
+    }
+
+    #[test]
+    fn accounting_matches_plain_handle() {
+        let w = warmed(64);
+        {
+            let mut h = AdaptiveHandle::new(&w);
+            for i in 0..10_000u64 {
+                h.record_hit(i % 64, (i % 64) as u32);
+            }
+        }
+        let c = w.counters();
+        // 64 warmup misses are not recorded through the handle.
+        assert_eq!(c.accesses.get(), 10_000);
+        assert_eq!(c.committed.get() + c.stale_skipped.get(), 10_000);
+    }
+
+    #[test]
+    fn miss_path_works() {
+        let w = warmed(4);
+        let mut h = AdaptiveHandle::new(&w);
+        h.record_hit(0, 0);
+        let out = h.record_miss(99, None, &mut |_| true);
+        assert_eq!(out.victim(), Some(1), "hit on 0 must commit before the miss");
+    }
+}

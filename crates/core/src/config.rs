@@ -1,0 +1,131 @@
+//! Tuning parameters for the BP-Wrapper framework.
+
+/// Configuration of one [`BpWrapper`](crate::BpWrapper) instance.
+///
+/// The defaults are the values the paper uses in its evaluation (§IV-C):
+/// FIFO queue size 64, batch threshold 32, both techniques enabled.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WrapperConfig {
+    /// `S` — capacity of each thread's private FIFO queue. When the queue
+    /// is full a blocking `Lock()` is unavoidable.
+    pub queue_size: usize,
+    /// `T` — number of queued accesses that triggers a non-blocking
+    /// `TryLock()` commit attempt. Must satisfy `1 <= T <= S`; the paper
+    /// shows `T = S/2` works well and `T = S` (no try-lock headroom)
+    /// hurts (§IV-E, Table III).
+    pub batch_threshold: usize,
+    /// Enable the batching technique. With batching disabled the wrapper
+    /// degenerates to one lock acquisition per access (the paper's `pgQ`
+    /// baseline when prefetching is also off, or `pgPre` with it on).
+    pub batching: bool,
+    /// Enable the prefetching technique: read the lock word and the
+    /// policy metadata of queued accesses into the processor cache
+    /// immediately before requesting the lock (§III-B).
+    pub prefetching: bool,
+}
+
+impl Default for WrapperConfig {
+    fn default() -> Self {
+        WrapperConfig { queue_size: 64, batch_threshold: 32, batching: true, prefetching: true }
+    }
+}
+
+impl WrapperConfig {
+    /// The paper's `pgQ` baseline: lock on every access, no prefetch.
+    pub fn lock_per_access() -> Self {
+        WrapperConfig { queue_size: 1, batch_threshold: 1, batching: false, prefetching: false }
+    }
+
+    /// The paper's `pgBat`: batching only.
+    pub fn batching_only() -> Self {
+        WrapperConfig { prefetching: false, ..Self::default() }
+    }
+
+    /// The paper's `pgPre`: prefetching only.
+    pub fn prefetching_only() -> Self {
+        WrapperConfig { queue_size: 1, batch_threshold: 1, batching: false, prefetching: true }
+    }
+
+    /// The paper's `pgBatPre`: both techniques (the default).
+    pub fn batching_and_prefetching() -> Self {
+        Self::default()
+    }
+
+    /// Set queue size `S` (clamping threshold to stay valid).
+    pub fn with_queue_size(mut self, s: usize) -> Self {
+        assert!(s >= 1, "queue size must be at least 1");
+        self.queue_size = s;
+        self.batch_threshold = self.batch_threshold.min(s);
+        self
+    }
+
+    /// Set batch threshold `T`.
+    pub fn with_batch_threshold(mut self, t: usize) -> Self {
+        assert!(t >= 1, "batch threshold must be at least 1");
+        assert!(t <= self.queue_size, "threshold cannot exceed queue size");
+        self.batch_threshold = t;
+        self
+    }
+
+    /// Validate the parameter combination, panicking if inconsistent.
+    pub fn validate(&self) {
+        assert!(self.queue_size >= 1, "queue size must be at least 1");
+        assert!(
+            (1..=self.queue_size).contains(&self.batch_threshold),
+            "batch threshold {} out of range 1..={}",
+            self.batch_threshold,
+            self.queue_size
+        );
+        if !self.batching {
+            assert_eq!(
+                self.queue_size, 1,
+                "non-batching configurations must use queue size 1"
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper() {
+        let c = WrapperConfig::default();
+        assert_eq!(c.queue_size, 64);
+        assert_eq!(c.batch_threshold, 32);
+        assert!(c.batching);
+        assert!(c.prefetching);
+        c.validate();
+    }
+
+    #[test]
+    fn presets_are_valid() {
+        for c in [
+            WrapperConfig::lock_per_access(),
+            WrapperConfig::batching_only(),
+            WrapperConfig::prefetching_only(),
+            WrapperConfig::batching_and_prefetching(),
+        ] {
+            c.validate();
+        }
+        assert!(!WrapperConfig::lock_per_access().batching);
+        assert!(!WrapperConfig::batching_only().prefetching);
+        assert!(WrapperConfig::prefetching_only().prefetching);
+    }
+
+    #[test]
+    fn builders_keep_consistency() {
+        let c = WrapperConfig::default().with_queue_size(16);
+        assert_eq!(c.batch_threshold, 16.min(32));
+        let c = c.with_batch_threshold(8);
+        assert_eq!(c.batch_threshold, 8);
+        c.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "threshold cannot exceed queue size")]
+    fn threshold_above_size_panics() {
+        let _ = WrapperConfig::default().with_queue_size(4).with_batch_threshold(5);
+    }
+}

@@ -1,0 +1,125 @@
+//! The per-thread private FIFO access queue (paper §III-A, Fig. 4).
+//!
+//! Each transaction-processing thread records its buffer hits here
+//! instead of taking the replacement lock. An entry mirrors the paper's
+//! PostgreSQL implementation: "each entry in the FIFO queues consists of
+//! two fields: one is a pointer to the meta-data of a buffer page
+//! (BufferDesc structure), and the other stores BufferTag" (§IV-B) — for
+//! us, a frame id and a page id. The page id is compared against the
+//! frame's current occupant at commit time so accesses to pages that were
+//! evicted or invalidated in the meantime are skipped.
+
+use bpw_replacement::{FrameId, PageId};
+
+/// One recorded page access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AccessEntry {
+    /// The page that was hit (the `BufferTag`).
+    pub page: PageId,
+    /// The frame it occupied at access time (the `BufferDesc` pointer).
+    pub frame: FrameId,
+}
+
+/// A fixed-capacity FIFO of recorded accesses, owned by one thread.
+/// Never shared: the paper chooses private queues precisely to avoid
+/// synchronization and coherence cost on the recording path.
+#[derive(Debug)]
+pub struct AccessQueue {
+    entries: Vec<AccessEntry>,
+    capacity: usize,
+}
+
+impl AccessQueue {
+    /// Create a queue with capacity `S`.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity >= 1, "queue capacity must be at least 1");
+        AccessQueue { entries: Vec::with_capacity(capacity), capacity }
+    }
+
+    /// Queue capacity `S`.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of recorded accesses (`Tail` in the paper's pseudo-code).
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if no accesses are recorded.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// True if the queue cannot accept another access.
+    pub fn is_full(&self) -> bool {
+        self.entries.len() >= self.capacity
+    }
+
+    /// Record an access. Panics if full — callers must commit first
+    /// (the paper's pseudo-code guarantees this by committing whenever
+    /// `Tail >= S`).
+    pub fn push(&mut self, page: PageId, frame: FrameId) {
+        assert!(!self.is_full(), "access queue overflow: commit before pushing");
+        self.entries.push(AccessEntry { page, frame });
+    }
+
+    /// The recorded accesses in FIFO order.
+    pub fn entries(&self) -> &[AccessEntry] {
+        &self.entries
+    }
+
+    /// Remove and return all recorded accesses in FIFO order.
+    pub fn drain(&mut self) -> std::vec::Drain<'_, AccessEntry> {
+        self.entries.drain(..)
+    }
+
+    /// Discard all recorded accesses (the `Tail = 0` reset).
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_order_preserved() {
+        let mut q = AccessQueue::new(4);
+        q.push(10, 0);
+        q.push(20, 1);
+        q.push(30, 2);
+        let order: Vec<PageId> = q.drain().map(|e| e.page).collect();
+        assert_eq!(order, vec![10, 20, 30]);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn capacity_tracking() {
+        let mut q = AccessQueue::new(2);
+        assert!(!q.is_full());
+        q.push(1, 0);
+        q.push(2, 1);
+        assert!(q.is_full());
+        assert_eq!(q.len(), 2);
+        q.clear();
+        assert!(q.is_empty());
+        assert_eq!(q.capacity(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "overflow")]
+    fn overflow_panics() {
+        let mut q = AccessQueue::new(1);
+        q.push(1, 0);
+        q.push(2, 1);
+    }
+
+    #[test]
+    fn entries_view() {
+        let mut q = AccessQueue::new(3);
+        q.push(5, 2);
+        assert_eq!(q.entries(), &[AccessEntry { page: 5, frame: 2 }]);
+    }
+}

@@ -1,0 +1,221 @@
+//! The design alternative the paper rejects in §III-A: "an alternative
+//! is to use one common FIFO queue shared by multiple threads. However,
+//! we choose to use a private FIFO queue for each thread" because
+//!
+//! 1. a private queue "keeps the precise order of the page accesses
+//!    that occur in the corresponding thread" — essential for
+//!    order-sensitive policies like SEQ — whereas a shared queue records
+//!    the *interleaved* order, chopping one thread's sequential run into
+//!    fragments; and
+//! 2. a shared queue pays "synchronization and coherence cost" on every
+//!    single recording, reintroducing a per-access lock (just a cheaper
+//!    one).
+//!
+//! This module implements that alternative faithfully so the
+//! `ablation_queue_design` benchmark can quantify both costs.
+
+use std::sync::Arc;
+
+use bpw_metrics::LockStats;
+use bpw_replacement::{FrameId, MissOutcome, PageId, ReplacementPolicy};
+
+use crate::lock::InstrumentedLock;
+use crate::queue::AccessEntry;
+
+/// A wrapper using one *shared* FIFO queue for all threads (the
+/// rejected design). API mirrors [`BpWrapper`](crate::BpWrapper) minus
+/// per-thread handles: every method is `&self`.
+pub struct SharedQueueWrapper<P: ReplacementPolicy> {
+    policy: InstrumentedLock<P>,
+    /// The shared queue and its own latch — the per-access
+    /// synchronization the paper's private queues avoid.
+    queue: InstrumentedLock<Vec<AccessEntry>>,
+    queue_size: usize,
+    batch_threshold: usize,
+}
+
+impl<P: ReplacementPolicy> SharedQueueWrapper<P> {
+    /// Wrap `policy` with a shared queue of `queue_size` entries,
+    /// committed at `batch_threshold`.
+    pub fn new(policy: P, queue_size: usize, batch_threshold: usize) -> Self {
+        assert!(queue_size >= 1 && (1..=queue_size).contains(&batch_threshold));
+        SharedQueueWrapper {
+            policy: InstrumentedLock::new(policy, Arc::new(LockStats::new())),
+            queue: InstrumentedLock::new(
+                Vec::with_capacity(queue_size),
+                Arc::new(LockStats::new()),
+            ),
+            queue_size,
+            batch_threshold,
+        }
+    }
+
+    /// Statistics of the replacement-policy lock.
+    pub fn policy_lock_stats(&self) -> &Arc<LockStats> {
+        self.policy.stats()
+    }
+
+    /// Statistics of the shared queue's latch (the extra cost).
+    pub fn queue_lock_stats(&self) -> &Arc<LockStats> {
+        self.queue.stats()
+    }
+
+    /// Record a hit. Takes the queue latch (every time); commits the
+    /// whole queue under the policy lock when the threshold is reached.
+    pub fn record_hit(&self, page: PageId, frame: FrameId) {
+        let batch = {
+            let mut q = self.queue.lock();
+            q.push(AccessEntry { page, frame });
+            if q.len() >= self.batch_threshold {
+                match self.policy.try_lock() {
+                    Some(mut guard) => {
+                        let batch: Vec<AccessEntry> = q.drain(..).collect();
+                        drop(q);
+                        Self::commit(&mut guard, &batch);
+                        guard.cover_accesses(batch.len() as u64);
+                        return;
+                    }
+                    None => {
+                        if q.len() >= self.queue_size {
+                            Some(q.drain(..).collect::<Vec<_>>())
+                        } else {
+                            None
+                        }
+                    }
+                }
+            } else {
+                None
+            }
+        };
+        if let Some(batch) = batch {
+            // Queue full: blocking commit (queue latch already released).
+            let mut guard = self.policy.lock();
+            Self::commit(&mut guard, &batch);
+            guard.cover_accesses(batch.len() as u64);
+        }
+    }
+
+    /// Record a miss: drain the shared queue and run the miss path.
+    pub fn record_miss(
+        &self,
+        page: PageId,
+        free: Option<FrameId>,
+        evictable: &mut dyn FnMut(FrameId) -> bool,
+    ) -> MissOutcome {
+        let batch: Vec<AccessEntry> = self.queue.lock().drain(..).collect();
+        let mut guard = self.policy.lock();
+        Self::commit(&mut guard, &batch);
+        let out = guard.record_miss(page, free, evictable);
+        guard.cover_accesses(batch.len() as u64 + 1);
+        out
+    }
+
+    /// Commit any queued accesses.
+    pub fn flush(&self) {
+        let batch: Vec<AccessEntry> = self.queue.lock().drain(..).collect();
+        if batch.is_empty() {
+            return;
+        }
+        let mut guard = self.policy.lock();
+        Self::commit(&mut guard, &batch);
+        guard.cover_accesses(batch.len() as u64);
+    }
+
+    fn commit(policy: &mut P, batch: &[AccessEntry]) {
+        for e in batch {
+            if policy.page_at(e.frame) == Some(e.page) {
+                policy.record_hit(e.frame);
+            }
+        }
+    }
+
+    /// Run `f` with the policy locked.
+    pub fn with_locked<R>(&self, f: impl FnOnce(&mut P) -> R) -> R {
+        let mut guard = self.policy.lock();
+        f(&mut guard)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bpw_replacement::Lru;
+
+    fn warmed(n: usize, s: usize, t: usize) -> SharedQueueWrapper<Lru> {
+        let w = SharedQueueWrapper::new(Lru::new(n), s, t);
+        w.with_locked(|p| {
+            for i in 0..n as u64 {
+                p.record_miss(i, Some(i as u32), &mut |_| true);
+            }
+        });
+        w
+    }
+
+    #[test]
+    fn commits_at_threshold() {
+        let w = warmed(8, 8, 4);
+        let base = w.policy_lock_stats().snapshot().acquisitions;
+        for i in 0..3u64 {
+            w.record_hit(i, i as u32);
+        }
+        assert_eq!(w.policy_lock_stats().snapshot().acquisitions, base);
+        w.record_hit(3, 3);
+        assert_eq!(w.policy_lock_stats().snapshot().acquisitions, base + 1);
+    }
+
+    #[test]
+    fn queue_latch_taken_every_access() {
+        let w = warmed(8, 64, 32);
+        let base = w.queue_lock_stats().snapshot().acquisitions;
+        for i in 0..10u64 {
+            w.record_hit(i % 8, (i % 8) as u32);
+        }
+        assert_eq!(
+            w.queue_lock_stats().snapshot().acquisitions,
+            base + 10,
+            "shared queue must synchronize on every recording"
+        );
+    }
+
+    #[test]
+    fn interleaved_recording_scrambles_order() {
+        // Two "threads" alternating hits: the commit order seen by the
+        // policy is the interleaved order, not per-thread order.
+        let w = warmed(8, 8, 8);
+        for i in 0..4u64 {
+            w.record_hit(i, i as u32); // thread A: pages 0..4
+            w.record_hit(4 + i, (4 + i) as u32); // thread B: pages 4..8
+        }
+        // After commit, LRU order reflects interleaving: 0,4,1,5,2,6,3,7.
+        w.with_locked(|p| {
+            assert_eq!(p.eviction_order(), vec![0, 4, 1, 5, 2, 6, 3, 7]);
+        });
+    }
+
+    #[test]
+    fn miss_drains_queue() {
+        let w = warmed(4, 16, 16);
+        w.record_hit(0, 0);
+        let out = w.record_miss(99, None, &mut |_| true);
+        // Hit on 0 committed first: victim is 1, not 0.
+        assert_eq!(out.victim(), Some(1));
+    }
+
+    #[test]
+    fn concurrent_use_is_safe() {
+        let w = std::sync::Arc::new(warmed(64, 64, 32));
+        std::thread::scope(|s| {
+            for t in 0..4u64 {
+                let w = std::sync::Arc::clone(&w);
+                s.spawn(move || {
+                    for i in 0..5_000u64 {
+                        let page = (t * 16 + i) % 64;
+                        w.record_hit(page, page as u32);
+                    }
+                });
+            }
+        });
+        w.flush();
+        w.with_locked(|p| p.check_invariants());
+    }
+}

@@ -1,0 +1,475 @@
+//! The BP-Wrapper framework (paper §III, Fig. 4): batching + prefetching
+//! around an *unmodified* replacement policy.
+//!
+//! ```text
+//! replacement_for_page_hit(p):            replacement_for_page_miss(p):
+//!   Queue[Tail++] = p                       Lock()
+//!   if Tail >= batch_threshold:             for each q in Queue: commit(q)
+//!     if TryLock() fails:                   run policy miss path for p
+//!       if Tail < S: return                 UnLock(); Tail = 0
+//!       Lock()
+//!     commit all queued accesses
+//!     UnLock(); Tail = 0
+//! ```
+//!
+//! The policy is wrapped, not changed: any [`ReplacementPolicy`] gains an
+//! (almost) lock-contention-free hit path.
+
+use std::sync::Arc;
+
+use bpw_metrics::{Counter, LockStats};
+use bpw_replacement::{FrameId, MissOutcome, PageId, ReplacementPolicy};
+
+use crate::config::WrapperConfig;
+use crate::lock::{InstrumentedLock, LockGuard};
+use crate::prefetch::Prefetcher;
+use crate::queue::AccessQueue;
+
+/// Counters specific to the wrapper (beyond the lock statistics).
+#[derive(Debug, Default)]
+pub struct WrapperCounters {
+    /// Page accesses recorded through any handle (hits + misses).
+    pub accesses: Counter,
+    /// Queued entries applied to the policy at commit time.
+    pub committed: Counter,
+    /// Queued entries skipped at commit because the frame no longer held
+    /// the recorded page (eviction/invalidation raced the delayed commit).
+    pub stale_skipped: Counter,
+    /// Commit rounds (batches) executed.
+    pub batches: Counter,
+}
+
+/// A replacement policy wrapped with the paper's batching and prefetching
+/// techniques. Clone an [`AccessHandle`] per worker thread via
+/// [`BpWrapper::handle`].
+pub struct BpWrapper<P: ReplacementPolicy> {
+    lock: InstrumentedLock<P>,
+    config: WrapperConfig,
+    prefetcher: Prefetcher,
+    counters: WrapperCounters,
+}
+
+impl<P: ReplacementPolicy> BpWrapper<P> {
+    /// Wrap `policy` with the given configuration.
+    pub fn new(policy: P, config: WrapperConfig) -> Self {
+        config.validate();
+        let region = policy.node_region();
+        let lock = InstrumentedLock::new(policy, Arc::new(LockStats::new()));
+        let prefetcher = if config.prefetching {
+            // Warm the policy header (list heads, counters) — bounded so
+            // huge policy structs don't turn the hint into a scan.
+            let header = std::mem::size_of::<P>().min(256);
+            Prefetcher::new(lock.data_addr(), header, region)
+        } else {
+            Prefetcher::disabled()
+        };
+        BpWrapper { lock, config, prefetcher, counters: WrapperCounters::default() }
+    }
+
+    /// Wrap with the paper's default configuration (S=64, T=32, both
+    /// techniques on).
+    pub fn with_defaults(policy: P) -> Self {
+        Self::new(policy, WrapperConfig::default())
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> WrapperConfig {
+        self.config
+    }
+
+    /// Lock statistics (acquisitions, contentions, hold/wait time).
+    pub fn lock_stats(&self) -> &Arc<LockStats> {
+        self.lock.stats()
+    }
+
+    /// Wrapper counters (accesses, commits, stale skips).
+    pub fn counters(&self) -> &WrapperCounters {
+        &self.counters
+    }
+
+    /// Create a per-thread access handle with its own private FIFO queue.
+    pub fn handle(&self) -> AccessHandle<'_, P> {
+        AccessHandle { wrapper: self, queue: AccessQueue::new(self.config.queue_size) }
+    }
+
+    /// Like [`handle`](Self::handle) but owning an `Arc` to the wrapper,
+    /// for threads that outlive a borrow scope.
+    pub fn handle_arc(self: &std::sync::Arc<Self>) -> ArcAccessHandle<P> {
+        ArcAccessHandle {
+            wrapper: std::sync::Arc::clone(self),
+            queue: AccessQueue::new(self.config.queue_size),
+        }
+    }
+
+    /// The paper's contention metric: blocked lock acquisitions per
+    /// million recorded page accesses.
+    pub fn contentions_per_million(&self) -> f64 {
+        self.lock.stats().contentions_per_million(self.counters.accesses.get())
+    }
+
+    /// Run `f` with the policy locked (for invalidation, inspection,
+    /// warm-up). Counts as an ordinary acquisition.
+    pub fn with_locked<R>(&self, f: impl FnOnce(&mut P) -> R) -> R {
+        let mut guard = self.lock.lock();
+        f(&mut guard)
+    }
+
+    /// The hit path of the paper's pseudo-code, against a caller-owned
+    /// private queue.
+    fn hit_with_queue(&self, queue: &mut AccessQueue, page: PageId, frame: FrameId) {
+        self.counters.accesses.incr();
+        queue.push(page, frame);
+        if !self.config.batching || queue.len() >= self.config.batch_threshold {
+            self.prefetcher.prefetch_for_commit(queue.entries());
+            if !self.config.batching {
+                // Lock-per-access baseline: a blocking Lock() every time.
+                let mut guard = self.lock.lock();
+                self.commit_locked(&mut guard, queue);
+                return;
+            }
+            match self.lock.try_lock() {
+                Some(mut guard) => self.commit_locked(&mut guard, queue),
+                None => {
+                    if queue.is_full() {
+                        let mut guard = self.lock.lock();
+                        self.commit_locked(&mut guard, queue);
+                    }
+                    // Otherwise: keep accumulating; try again at the next
+                    // threshold crossing (i.e. the next access).
+                }
+            }
+        }
+    }
+
+    /// The miss path of the paper's pseudo-code: lock, commit queued
+    /// hits in order, then run the policy's miss logic.
+    fn miss_with_queue(
+        &self,
+        queue: &mut AccessQueue,
+        page: PageId,
+        free: Option<FrameId>,
+        evictable: &mut dyn FnMut(FrameId) -> bool,
+    ) -> MissOutcome {
+        self.counters.accesses.incr();
+        self.prefetcher.prefetch_for_commit(queue.entries());
+        let mut guard = self.lock.lock();
+        self.commit_locked(&mut guard, queue);
+        let out = guard.record_miss(page, free, evictable);
+        guard.cover_accesses(1);
+        out
+    }
+
+    /// Non-blocking commit attempt against a caller-owned queue
+    /// (used by [`AdaptiveHandle`](crate::adaptive::AdaptiveHandle)).
+    /// `Err(())` means the lock was busy; the queue is untouched.
+    pub(crate) fn try_commit(&self, queue: &mut AccessQueue) -> Result<(), ()> {
+        self.prefetcher.prefetch_for_commit(queue.entries());
+        match self.lock.try_lock() {
+            Some(mut guard) => {
+                self.commit_locked(&mut guard, queue);
+                Ok(())
+            }
+            None => Err(()),
+        }
+    }
+
+    /// Blocking commit of a caller-owned queue.
+    pub(crate) fn blocking_commit(&self, queue: &mut AccessQueue) {
+        self.flush_queue(queue);
+    }
+
+    /// Miss path against a caller-owned queue.
+    pub(crate) fn miss_commit(
+        &self,
+        queue: &mut AccessQueue,
+        page: PageId,
+        free: Option<FrameId>,
+        evictable: &mut dyn FnMut(FrameId) -> bool,
+    ) -> MissOutcome {
+        self.miss_with_queue(queue, page, free, evictable)
+    }
+
+    /// Hold the policy lock directly (tests: simulate a busy lock).
+    #[cfg(test)]
+    pub(crate) fn lock_for_test(&self) -> LockGuard<'_, P> {
+        self.lock.lock()
+    }
+
+    /// Force-commit a queue's accesses (blocking).
+    fn flush_queue(&self, queue: &mut AccessQueue) {
+        if queue.is_empty() {
+            return;
+        }
+        self.prefetcher.prefetch_for_commit(queue.entries());
+        let mut guard = self.lock.lock();
+        self.commit_locked(&mut guard, queue);
+    }
+
+    /// Apply every entry of `queue` to the policy, skipping entries whose
+    /// frame has been re-used for a different page since recording.
+    fn commit_locked(&self, guard: &mut LockGuard<'_, P>, queue: &mut AccessQueue) {
+        let n = queue.len() as u64;
+        let mut applied = 0u64;
+        for entry in queue.drain() {
+            if guard.page_at(entry.frame) == Some(entry.page) {
+                guard.record_hit(entry.frame);
+                applied += 1;
+            }
+        }
+        guard.cover_accesses(n);
+        self.counters.committed.add(applied);
+        self.counters.stale_skipped.add(n - applied);
+        self.counters.batches.incr();
+    }
+}
+
+/// A thread's private interface to a [`BpWrapper`]: records hits into the
+/// thread's FIFO queue and commits them in batches per the paper's
+/// pseudo-code.
+pub struct AccessHandle<'w, P: ReplacementPolicy> {
+    wrapper: &'w BpWrapper<P>,
+    queue: AccessQueue,
+}
+
+impl<'w, P: ReplacementPolicy> AccessHandle<'w, P> {
+    /// Record a buffer **hit** on `page` residing in `frame`
+    /// (`replacement_for_page_hit` in the paper).
+    pub fn record_hit(&mut self, page: PageId, frame: FrameId) {
+        self.wrapper.hit_with_queue(&mut self.queue, page, frame);
+    }
+
+    /// Record a buffer **miss** on `page`
+    /// (`replacement_for_page_miss`): takes the lock, commits any queued
+    /// hits first (preserving this thread's access order), then runs the
+    /// policy's miss path.
+    pub fn record_miss(
+        &mut self,
+        page: PageId,
+        free: Option<FrameId>,
+        evictable: &mut dyn FnMut(FrameId) -> bool,
+    ) -> MissOutcome {
+        self.wrapper.miss_with_queue(&mut self.queue, page, free, evictable)
+    }
+
+    /// Force-commit any queued accesses (blocking). Call when a thread
+    /// finishes its work so no history is lost.
+    pub fn flush(&mut self) {
+        self.wrapper.flush_queue(&mut self.queue);
+    }
+
+    /// Number of accesses currently waiting in this thread's queue.
+    pub fn queued(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// The wrapper this handle feeds.
+    pub fn wrapper(&self) -> &'w BpWrapper<P> {
+        self.wrapper
+    }
+}
+
+impl<'w, P: ReplacementPolicy> Drop for AccessHandle<'w, P> {
+    fn drop(&mut self) {
+        // Never lose recorded history: commit leftovers on teardown.
+        self.flush();
+    }
+}
+
+/// Owning counterpart of [`AccessHandle`]: holds an `Arc` to the wrapper,
+/// so it can move into long-lived threads or self-contained drivers.
+pub struct ArcAccessHandle<P: ReplacementPolicy> {
+    wrapper: std::sync::Arc<BpWrapper<P>>,
+    queue: AccessQueue,
+}
+
+impl<P: ReplacementPolicy> ArcAccessHandle<P> {
+    /// See [`AccessHandle::record_hit`].
+    pub fn record_hit(&mut self, page: PageId, frame: FrameId) {
+        self.wrapper.hit_with_queue(&mut self.queue, page, frame);
+    }
+
+    /// See [`AccessHandle::record_miss`].
+    pub fn record_miss(
+        &mut self,
+        page: PageId,
+        free: Option<FrameId>,
+        evictable: &mut dyn FnMut(FrameId) -> bool,
+    ) -> MissOutcome {
+        self.wrapper.miss_with_queue(&mut self.queue, page, free, evictable)
+    }
+
+    /// See [`AccessHandle::flush`].
+    pub fn flush(&mut self) {
+        self.wrapper.flush_queue(&mut self.queue);
+    }
+
+    /// Number of accesses currently waiting in this thread's queue.
+    pub fn queued(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// The wrapper this handle feeds.
+    pub fn wrapper(&self) -> &std::sync::Arc<BpWrapper<P>> {
+        &self.wrapper
+    }
+}
+
+impl<P: ReplacementPolicy> Drop for ArcAccessHandle<P> {
+    fn drop(&mut self) {
+        self.flush();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bpw_replacement::Lru;
+
+    /// Pre-warm a policy: pages 0..n bound to frames 0..n.
+    fn warmed(n: usize, cfg: WrapperConfig) -> BpWrapper<Lru> {
+        let w = BpWrapper::new(Lru::new(n), cfg);
+        w.with_locked(|p| {
+            for i in 0..n as u64 {
+                p.record_miss(i, Some(i as u32), &mut |_| true);
+            }
+        });
+        w
+    }
+
+    #[test]
+    fn hits_are_deferred_until_threshold() {
+        let w = warmed(8, WrapperConfig::default().with_queue_size(8).with_batch_threshold(4));
+        let mut h = w.handle();
+        let base = w.lock_stats().snapshot().acquisitions; // warmup acq
+        h.record_hit(0, 0);
+        h.record_hit(1, 1);
+        h.record_hit(2, 2);
+        assert_eq!(h.queued(), 3);
+        assert_eq!(w.lock_stats().snapshot().acquisitions, base, "no lock before threshold");
+        h.record_hit(3, 3); // threshold: commit
+        assert_eq!(h.queued(), 0);
+        assert_eq!(w.lock_stats().snapshot().acquisitions, base + 1);
+        assert_eq!(w.counters().committed.get(), 4);
+    }
+
+    #[test]
+    fn commit_preserves_access_order() {
+        // After commit, LRU order must reflect the recorded hit order.
+        let w = warmed(4, WrapperConfig::default().with_queue_size(4).with_batch_threshold(4));
+        let mut h = w.handle();
+        // Hit order: 2, 0, 3, 1 -> LRU eviction order 0-frames: 2 oldest hit... order of hits applied: 2,0,3,1 so LRU stack MRU..LRU = 1,3,0,2
+        for (page, frame) in [(2u64, 2u32), (0, 0), (3, 3), (1, 1)] {
+            h.record_hit(page, frame);
+        }
+        w.with_locked(|p| {
+            assert_eq!(p.eviction_order(), vec![2, 0, 3, 1]);
+        });
+    }
+
+    #[test]
+    fn miss_drains_queue_first() {
+        let w = warmed(4, WrapperConfig::default().with_queue_size(8).with_batch_threshold(8));
+        let mut h = w.handle();
+        h.record_hit(0, 0); // 0 becomes MRU once committed
+        // Miss must commit the hit *before* evicting, so victim is 1 not 0.
+        let out = h.record_miss(99, None, &mut |_| true);
+        assert_eq!(out.victim(), Some(1));
+        assert_eq!(h.queued(), 0);
+    }
+
+    #[test]
+    fn stale_entries_skipped() {
+        let w = warmed(4, WrapperConfig::default().with_queue_size(8).with_batch_threshold(8));
+        let mut h = w.handle();
+        h.record_hit(0, 0);
+        // Invalidate page 0 out from under the queued entry.
+        w.with_locked(|p| {
+            p.remove(0);
+        });
+        h.flush();
+        assert_eq!(w.counters().stale_skipped.get(), 1);
+        assert_eq!(w.counters().committed.get(), 0);
+    }
+
+    #[test]
+    fn lock_per_access_config_locks_every_hit() {
+        let w = warmed(4, WrapperConfig::lock_per_access());
+        let base = w.lock_stats().snapshot().acquisitions;
+        let mut h = w.handle();
+        for i in 0..10u64 {
+            h.record_hit(i % 4, (i % 4) as u32);
+        }
+        assert_eq!(w.lock_stats().snapshot().acquisitions, base + 10);
+    }
+
+    #[test]
+    fn handle_drop_flushes() {
+        let w = warmed(4, WrapperConfig::default().with_queue_size(16).with_batch_threshold(16));
+        {
+            let mut h = w.handle();
+            h.record_hit(0, 0);
+            h.record_hit(1, 1);
+        } // dropped with 2 queued
+        assert_eq!(w.counters().committed.get(), 2);
+    }
+
+    #[test]
+    fn trylock_failure_defers_commit() {
+        let w = warmed(4, WrapperConfig::default().with_queue_size(8).with_batch_threshold(2));
+        let held = w.lock.lock(); // block the lock externally
+        let mut h = w.handle();
+        h.record_hit(0, 0);
+        h.record_hit(1, 1); // threshold: TryLock fails, queue not full -> defer
+        assert_eq!(h.queued(), 2);
+        assert!(w.lock_stats().snapshot().trylock_failures >= 1);
+        drop(held);
+        h.record_hit(2, 2); // past threshold again: TryLock succeeds now
+        assert_eq!(h.queued(), 0);
+    }
+
+    #[test]
+    fn full_queue_forces_blocking_lock() {
+        let w = warmed(4, WrapperConfig::default().with_queue_size(3).with_batch_threshold(2));
+        let held = w.lock.lock();
+        let mut h = w.handle();
+        let flusher = std::thread::scope(|s| {
+            h.record_hit(0, 0);
+            h.record_hit(1, 1); // trylock fails, defer
+            assert_eq!(h.queued(), 2);
+            // Third hit fills the queue: must block until lock released.
+            let t = s.spawn(move || {
+                let mut h = h;
+                h.record_hit(2, 2);
+                h.queued()
+            });
+            std::thread::sleep(std::time::Duration::from_millis(20));
+            drop(held);
+            t.join().unwrap()
+        });
+        assert_eq!(flusher, 0, "queue must be committed after blocking lock");
+    }
+
+    #[test]
+    fn concurrent_hits_all_accounted() {
+        let w = warmed(64, WrapperConfig::default());
+        std::thread::scope(|s| {
+            for t in 0..4 {
+                let w = &w;
+                s.spawn(move || {
+                    let mut h = w.handle();
+                    for i in 0..10_000u64 {
+                        let page = (t * 16 + i % 16) % 64;
+                        h.record_hit(page, page as u32);
+                    }
+                });
+            }
+        });
+        assert_eq!(w.counters().accesses.get(), 40_000);
+        assert_eq!(
+            w.counters().committed.get() + w.counters().stale_skipped.get(),
+            40_000,
+            "every recorded access must be committed or skipped"
+        );
+        w.with_locked(|p| p.check_invariants());
+    }
+}

@@ -1,0 +1,117 @@
+//! Cache-line-padded atomic counters for hot-path instrumentation.
+//!
+//! The paper's whole subject is cross-processor cache-line traffic, so
+//! the instrumentation must not introduce false sharing of its own:
+//! every counter lives on its own cache line (`crossbeam`'s
+//! `CachePadded`), and all updates are `Relaxed` — we only ever read
+//! aggregates after a run quiesces.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crossbeam::utils::CachePadded;
+
+/// A monotonically increasing event counter, safe to bump from any
+/// thread without synchronization overhead beyond the atomic add.
+#[derive(Debug, Default)]
+pub struct Counter {
+    value: CachePadded<AtomicU64>,
+}
+
+impl Counter {
+    /// New counter at zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add one.
+    #[inline]
+    pub fn incr(&self) {
+        self.value.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Add `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    #[inline]
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+
+    /// Reset to zero, returning the previous value.
+    pub fn take(&self) -> u64 {
+        self.value.swap(0, Ordering::Relaxed)
+    }
+}
+
+/// A gauge tracking a maximum observed value.
+#[derive(Debug, Default)]
+pub struct MaxGauge {
+    value: CachePadded<AtomicU64>,
+}
+
+impl MaxGauge {
+    /// New gauge at zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record an observation, keeping the maximum.
+    #[inline]
+    pub fn observe(&self, v: u64) {
+        self.value.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Largest observation so far.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn counter_basic() {
+        let c = Counter::new();
+        assert_eq!(c.get(), 0);
+        c.incr();
+        c.add(41);
+        assert_eq!(c.get(), 42);
+        assert_eq!(c.take(), 42);
+        assert_eq!(c.get(), 0);
+    }
+
+    #[test]
+    fn counter_concurrent_sum() {
+        let c = Arc::new(Counter::new());
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            let c = Arc::clone(&c);
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..10_000 {
+                    c.incr();
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(c.get(), 40_000);
+    }
+
+    #[test]
+    fn max_gauge_keeps_peak() {
+        let g = MaxGauge::new();
+        g.observe(5);
+        g.observe(3);
+        g.observe(9);
+        g.observe(1);
+        assert_eq!(g.get(), 9);
+    }
+}

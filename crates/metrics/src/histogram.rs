@@ -1,0 +1,180 @@
+//! A log2-bucketed histogram for latency-style measurements.
+//!
+//! Values are binned by their bit length, giving ~2× resolution across
+//! the full `u64` range with a fixed 64-slot footprint — adequate for
+//! response-time distributions where we report means and coarse
+//! percentiles, and cheap enough for hot paths.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Fixed-size concurrent histogram over `u64` samples.
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: Box<[AtomicU64; 64]>,
+    count: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    /// New, empty histogram.
+    pub fn new() -> Self {
+        Histogram {
+            buckets: Box::new(std::array::from_fn(|_| AtomicU64::new(0))),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    fn bucket_index(v: u64) -> usize {
+        64 - v.leading_zeros() as usize // 0 -> bucket 0, 1 -> 1, 2..3 -> 2, ...
+    }
+
+    /// Lowest value that lands in bucket `i` (its representative).
+    fn bucket_floor(i: usize) -> u64 {
+        match i {
+            0 => 0,
+            _ => 1u64 << (i - 1),
+        }
+    }
+
+    /// Record one sample.
+    #[inline]
+    pub fn record(&self, v: u64) {
+        let idx = Self::bucket_index(v).min(63);
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Number of samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Exact arithmetic mean of all samples (sum is tracked exactly).
+    pub fn mean(&self) -> f64 {
+        let n = self.count();
+        if n == 0 {
+            0.0
+        } else {
+            self.sum.load(Ordering::Relaxed) as f64 / n as f64
+        }
+    }
+
+    /// Largest sample recorded.
+    pub fn max(&self) -> u64 {
+        self.max.load(Ordering::Relaxed)
+    }
+
+    /// Approximate quantile (`q` in `[0,1]`): lower bound of the bucket
+    /// containing the q-th sample. Exact to within one power of two.
+    pub fn quantile(&self, q: f64) -> u64 {
+        let n = self.count();
+        if n == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * n as f64).ceil() as u64).max(1);
+        let mut seen = 0;
+        for (i, b) in self.buckets.iter().enumerate() {
+            seen += b.load(Ordering::Relaxed);
+            if seen >= rank {
+                return Self::bucket_floor(i);
+            }
+        }
+        self.max()
+    }
+
+    /// Merge another histogram's counts into this one.
+    pub fn merge(&self, other: &Histogram) {
+        for (a, b) in self.buckets.iter().zip(other.buckets.iter()) {
+            a.fetch_add(b.load(Ordering::Relaxed), Ordering::Relaxed);
+        }
+        self.count.fetch_add(other.count(), Ordering::Relaxed);
+        self.sum.fetch_add(other.sum.load(Ordering::Relaxed), Ordering::Relaxed);
+        self.max.fetch_max(other.max(), Ordering::Relaxed);
+    }
+
+    /// Reset all buckets to zero.
+    pub fn clear(&self) {
+        for b in self.buckets.iter() {
+            b.store(0, Ordering::Relaxed);
+        }
+        self.count.store(0, Ordering::Relaxed);
+        self.sum.store(0, Ordering::Relaxed);
+        self.max.store(0, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_boundaries() {
+        assert_eq!(Histogram::bucket_index(0), 0);
+        assert_eq!(Histogram::bucket_index(1), 1);
+        assert_eq!(Histogram::bucket_index(2), 2);
+        assert_eq!(Histogram::bucket_index(3), 2);
+        assert_eq!(Histogram::bucket_index(4), 3);
+        assert_eq!(Histogram::bucket_index(u64::MAX), 64);
+        assert_eq!(Histogram::bucket_floor(0), 0);
+        assert_eq!(Histogram::bucket_floor(1), 1);
+        assert_eq!(Histogram::bucket_floor(2), 2);
+        assert_eq!(Histogram::bucket_floor(3), 4);
+    }
+
+    #[test]
+    fn mean_is_exact() {
+        let h = Histogram::new();
+        for v in [10u64, 20, 30, 40] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 4);
+        assert!((h.mean() - 25.0).abs() < 1e-12);
+        assert_eq!(h.max(), 40);
+    }
+
+    #[test]
+    fn quantiles_are_bucket_accurate() {
+        let h = Histogram::new();
+        for v in 1..=1000u64 {
+            h.record(v);
+        }
+        let median = h.quantile(0.5);
+        // 500 lives in bucket [256, 512): floor 256.
+        assert_eq!(median, 256);
+        let p99 = h.quantile(0.99);
+        assert_eq!(p99, 512); // 990 in [512, 1024)
+        assert_eq!(h.quantile(0.0), 1); // rank clamps to 1 -> smallest sample's bucket
+    }
+
+    #[test]
+    fn merge_and_clear() {
+        let a = Histogram::new();
+        let b = Histogram::new();
+        a.record(5);
+        b.record(7);
+        b.record(100);
+        a.merge(&b);
+        assert_eq!(a.count(), 3);
+        assert_eq!(a.max(), 100);
+        a.clear();
+        assert_eq!(a.count(), 0);
+        assert_eq!(a.mean(), 0.0);
+    }
+
+    #[test]
+    fn empty_quantile_is_zero() {
+        let h = Histogram::new();
+        assert_eq!(h.quantile(0.5), 0);
+    }
+}

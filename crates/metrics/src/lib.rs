@@ -1,0 +1,14 @@
+//! # bpw-metrics
+//!
+//! Instrumentation shared by the BP-Wrapper reproduction: padded atomic
+//! counters, lock-behaviour statistics matching the paper's metrics
+//! (contentions per million accesses, lock time per access), and a
+//! log2-bucketed histogram for response times.
+
+pub mod counters;
+pub mod histogram;
+pub mod lock_stats;
+
+pub use counters::{Counter, MaxGauge};
+pub use histogram::Histogram;
+pub use lock_stats::{LockSnapshot, LockStats};

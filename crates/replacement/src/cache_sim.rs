@@ -1,0 +1,169 @@
+//! Single-threaded cache simulator: drives any [`ReplacementPolicy`] with
+//! a page reference string and tracks hit/miss statistics. This is the
+//! harness behind hit-ratio experiments (paper Fig. 8) and most tests.
+
+use std::collections::HashMap;
+
+use crate::traits::{FrameId, MissOutcome, PageId, ReplacementPolicy};
+
+/// Aggregate access counts for a simulation run.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct SimStats {
+    /// Accesses satisfied from the cache.
+    pub hits: u64,
+    /// Accesses requiring a (simulated) disk read.
+    pub misses: u64,
+}
+
+impl SimStats {
+    /// Total accesses.
+    pub fn total(&self) -> u64 {
+        self.hits + self.misses
+    }
+
+    /// Hit ratio in `[0, 1]`; 0 for an empty run.
+    pub fn hit_ratio(&self) -> f64 {
+        if self.total() == 0 {
+            0.0
+        } else {
+            self.hits as f64 / self.total() as f64
+        }
+    }
+}
+
+/// Drives a policy with page accesses, maintaining the page table
+/// (page → frame) and free-frame list that a real buffer pool would.
+pub struct CacheSim<P: ReplacementPolicy> {
+    policy: P,
+    map: HashMap<PageId, FrameId>,
+    free: Vec<FrameId>,
+    stats: SimStats,
+}
+
+impl<P: ReplacementPolicy> CacheSim<P> {
+    /// Wrap `policy` in a fresh simulator with all frames free.
+    pub fn new(policy: P) -> Self {
+        let frames = policy.frames();
+        assert_eq!(policy.resident_count(), 0, "CacheSim requires an empty policy");
+        CacheSim {
+            policy,
+            map: HashMap::with_capacity(frames),
+            free: (0..frames as FrameId).rev().collect(),
+            stats: SimStats::default(),
+        }
+    }
+
+    /// Access `page`; returns `true` on a hit.
+    pub fn access(&mut self, page: PageId) -> bool {
+        if let Some(&frame) = self.map.get(&page) {
+            self.policy.record_hit(frame);
+            self.stats.hits += 1;
+            return true;
+        }
+        self.stats.misses += 1;
+        let free = self.free.pop();
+        match self.policy.record_miss(page, free, &mut |_| true) {
+            MissOutcome::AdmittedFree(f) => {
+                self.map.insert(page, f);
+            }
+            MissOutcome::Evicted { frame, victim } => {
+                let removed = self.map.remove(&victim);
+                debug_assert_eq!(removed, Some(frame), "victim {victim} map mismatch");
+                self.map.insert(page, frame);
+            }
+            MissOutcome::NoEvictableFrame => {
+                // All-evictable filter means this is a policy bug.
+                panic!("policy {} failed to evict with a permissive filter", self.policy.name());
+            }
+        }
+        false
+    }
+
+    /// Run a whole reference string, returning final stats.
+    pub fn run<I: IntoIterator<Item = PageId>>(&mut self, trace: I) -> SimStats {
+        for page in trace {
+            self.access(page);
+        }
+        self.stats
+    }
+
+    /// True if `page` is currently cached.
+    pub fn is_resident(&self, page: PageId) -> bool {
+        self.map.contains_key(&page)
+    }
+
+    /// Frame holding `page`, if resident.
+    pub fn frame_of(&self, page: PageId) -> Option<FrameId> {
+        self.map.get(&page).copied()
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> SimStats {
+        self.stats
+    }
+
+    /// Immutable access to the wrapped policy.
+    pub fn policy(&self) -> &P {
+        &self.policy
+    }
+
+    /// Mutable access to the wrapped policy (tests only; bypasses the
+    /// simulator's page table, so only use for read-mostly probing).
+    pub fn policy_mut(&mut self) -> &mut P {
+        &mut self.policy
+    }
+
+    /// Number of resident pages.
+    pub fn resident_count(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Cross-check simulator and policy agree on the resident set.
+    pub fn check_consistency(&self) {
+        self.policy.check_invariants();
+        assert_eq!(self.map.len(), self.policy.resident_count());
+        for (&page, &frame) in &self.map {
+            assert_eq!(
+                self.policy.page_at(frame),
+                Some(page),
+                "frame {frame} should hold page {page}"
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lru::Lru;
+
+    #[test]
+    fn counts_hits_and_misses() {
+        let mut sim = CacheSim::new(Lru::new(2));
+        assert!(!sim.access(1));
+        assert!(!sim.access(2));
+        assert!(sim.access(1));
+        assert!(!sim.access(3)); // evicts 2
+        assert!(!sim.access(2)); // miss again
+        let s = sim.stats();
+        assert_eq!(s.hits, 1);
+        assert_eq!(s.misses, 4);
+        assert!((s.hit_ratio() - 0.2).abs() < 1e-12);
+        sim.check_consistency();
+    }
+
+    #[test]
+    fn run_trace() {
+        let mut sim = CacheSim::new(Lru::new(3));
+        let stats = sim.run([1, 2, 3, 1, 2, 3, 4, 4, 4].into_iter());
+        assert_eq!(stats.hits, 5);
+        assert_eq!(stats.misses, 4);
+    }
+
+    #[test]
+    fn empty_stats() {
+        let s = SimStats::default();
+        assert_eq!(s.hit_ratio(), 0.0);
+        assert_eq!(s.total(), 0);
+    }
+}

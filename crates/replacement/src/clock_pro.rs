@@ -1,0 +1,538 @@
+//! CLOCK-Pro (Jiang, Chen & Zhang, USENIX ATC 2005) — the clock-based
+//! approximation of LIRS. The paper cites it as the lock-friendly
+//! transformation an OS/DBMS must accept if it cannot afford LIRS's
+//! per-access lock — the very compromise BP-Wrapper makes unnecessary.
+//!
+//! One circular list holds hot pages, resident cold pages, and
+//! non-resident cold pages (test-period ghosts), swept by three hands:
+//!
+//! * `hand_cold` — evicts resident cold pages (the replacement hand),
+//! * `hand_hot` — demotes hot pages and prunes ghosts it passes,
+//! * `hand_test` — bounds the number of non-resident pages at `m`.
+//!
+//! The cold-allocation target `mc` adapts: +1 when a page is re-accessed
+//! during its test period, −1 when a test period expires unused.
+
+use std::collections::HashMap;
+
+use crate::arena::{Arena, GhostSlots, List};
+use crate::frame_table::FrameTable;
+use crate::traits::{FrameId, MissOutcome, NodeRegion, PageId, ReplacementPolicy};
+
+/// The CLOCK-Pro replacement policy.
+pub struct ClockPro {
+    arena: Arena,
+    ring: List, // clock order; advancing a hand wraps back to the front
+    hot: Vec<bool>,
+    test: Vec<bool>, // indexed by node (frames + ghosts); ghosts always in test
+    referenced: Vec<bool>,
+    hand_hot: u32,
+    hand_cold: u32,
+    hand_test: u32,
+    mc: usize, // target number of resident cold pages
+    hot_count: usize,
+    cold_resident: usize,
+    ghost_slots: GhostSlots,
+    ghost_page: Vec<PageId>,
+    ghost_of: HashMap<PageId, u32>,
+    table: FrameTable,
+}
+
+const NIL: u32 = u32::MAX;
+
+impl ClockPro {
+    /// Create a CLOCK-Pro policy managing `frames` buffer frames.
+    pub fn new(frames: usize) -> Self {
+        assert!(frames >= 2, "CLOCK-Pro needs at least two frames");
+        let ghost_cap = frames; // paper bounds non-resident pages at m
+        let mut arena = Arena::new(2 * frames);
+        let ring = arena.new_list();
+        ClockPro {
+            arena,
+            ring,
+            hot: vec![false; frames],
+            test: vec![false; 2 * frames],
+            referenced: vec![false; frames],
+            hand_hot: NIL,
+            hand_cold: NIL,
+            hand_test: NIL,
+            mc: frames / 2,
+            hot_count: 0,
+            cold_resident: 0,
+            ghost_slots: GhostSlots::new(frames as u32, ghost_cap),
+            ghost_page: vec![0; ghost_cap],
+            ghost_of: HashMap::with_capacity(ghost_cap),
+            table: FrameTable::new(frames),
+        }
+    }
+
+    fn m(&self) -> usize {
+        self.table.frames()
+    }
+
+    fn is_ghost_node(&self, node: u32) -> bool {
+        node >= self.ghost_slots.base()
+    }
+
+    /// True if `page` has a non-resident test entry (test aid).
+    pub fn is_ghost(&self, page: PageId) -> bool {
+        self.ghost_of.contains_key(&page)
+    }
+
+    /// Current cold-allocation target (test aid).
+    pub fn mc(&self) -> usize {
+        self.mc
+    }
+
+    /// `(hot, resident_cold, non_resident)` counts (test aid).
+    pub fn counts(&self) -> (usize, usize, usize) {
+        (self.hot_count, self.cold_resident, self.ghost_of.len())
+    }
+
+    fn next_wrap(&self, node: u32) -> u32 {
+        self.ring
+            .next(&self.arena, node)
+            .unwrap_or_else(|| self.ring.front().expect("ring non-empty"))
+    }
+
+    /// Advance any hand equal to `node` before the node is unlinked/moved.
+    fn hands_step_past(&mut self, node: u32) {
+        if self.ring.len() <= 1 {
+            self.hand_hot = NIL;
+            self.hand_cold = NIL;
+            self.hand_test = NIL;
+            return;
+        }
+        let next = self.next_wrap(node);
+        if self.hand_hot == node {
+            self.hand_hot = next;
+        }
+        if self.hand_cold == node {
+            self.hand_cold = next;
+        }
+        if self.hand_test == node {
+            self.hand_test = next;
+        }
+    }
+
+    /// Insert `node` at the list head (just behind `hand_hot`, as in the
+    /// paper's figure), initializing hands on first insertion.
+    fn insert_at_head(&mut self, node: u32) {
+        if self.hand_hot == NIL {
+            self.ring.push_back(&mut self.arena, node);
+            self.hand_hot = node;
+            self.hand_cold = node;
+            self.hand_test = node;
+        } else {
+            self.ring.insert_before(&mut self.arena, self.hand_hot, node);
+        }
+    }
+
+    fn raise_mc(&mut self) {
+        self.mc = (self.mc + 1).min(self.m() - 1);
+    }
+
+    fn lower_mc(&mut self) {
+        self.mc = self.mc.saturating_sub(1).max(1);
+    }
+
+    fn drop_ghost(&mut self, node: u32) {
+        self.hands_step_past(node);
+        self.ring.remove(&mut self.arena, node);
+        let page = self.ghost_page[(node - self.ghost_slots.base()) as usize];
+        self.ghost_of.remove(&page);
+        self.ghost_slots.dealloc(node);
+        self.test[node as usize] = false;
+    }
+
+    /// Replace the resident node `frame` with a ghost entry at the same
+    /// clock position (eviction during test period keeps the metadata).
+    fn ghostify(&mut self, frame: u32, page: PageId) {
+        let slot = match self.ghost_slots.alloc() {
+            Some(s) => s,
+            None => {
+                self.run_hand_test();
+                self.ghost_slots.alloc().expect("hand_test must free a slot")
+            }
+        };
+        self.ring.insert_before(&mut self.arena, frame, slot);
+        self.hands_step_past(frame);
+        self.ring.remove(&mut self.arena, frame);
+        self.test[slot as usize] = true;
+        self.ghost_page[(slot - self.ghost_slots.base()) as usize] = page;
+        self.ghost_of.insert(page, slot);
+    }
+
+    /// Demote one hot page to cold; prunes ghosts and expires test
+    /// periods along the way.
+    fn run_hand_hot(&mut self) {
+        let mut steps = 0;
+        let max_steps = 3 * self.ring.len().max(1);
+        while self.hot_count > 0 && steps < max_steps {
+            steps += 1;
+            let node = self.hand_hot;
+            if self.is_ghost_node(node) {
+                // hand_hot removes non-resident pages it passes.
+                let next = if self.ring.len() > 1 { self.next_wrap(node) } else { NIL };
+                self.drop_ghost(node);
+                if self.hand_hot == node {
+                    self.hand_hot = next;
+                }
+                if self.hand_hot == NIL {
+                    return;
+                }
+                continue;
+            }
+            let f = node as usize;
+            if self.hot[f] {
+                if self.referenced[f] {
+                    self.referenced[f] = false;
+                    self.hand_hot = self.next_wrap(node);
+                } else {
+                    self.hot[f] = false;
+                    self.test[f] = false;
+                    self.hot_count -= 1;
+                    self.cold_resident += 1;
+                    self.hand_hot = self.next_wrap(node);
+                    return;
+                }
+            } else {
+                // Resident cold page passed by hand_hot: test period ends.
+                if self.test[f] {
+                    self.test[f] = false;
+                    self.lower_mc();
+                }
+                self.hand_hot = self.next_wrap(node);
+            }
+        }
+    }
+
+    /// Remove one non-resident page to keep their count at `m`.
+    fn run_hand_test(&mut self) {
+        let mut steps = 0;
+        let max_steps = 2 * self.ring.len().max(1);
+        while steps < max_steps {
+            steps += 1;
+            let node = self.hand_test;
+            if self.is_ghost_node(node) {
+                self.drop_ghost(node);
+                return;
+            }
+            let f = node as usize;
+            if !self.hot[f] && self.test[f] {
+                // Terminating a cold page's test period unused: lower mc.
+                self.test[f] = false;
+                self.lower_mc();
+            }
+            self.hand_test = self.next_wrap(node);
+        }
+    }
+
+    /// Find a frame to reuse: evict the first unreferenced resident cold
+    /// page under `hand_cold`.
+    fn run_hand_cold(
+        &mut self,
+        evictable: &mut dyn FnMut(FrameId) -> bool,
+    ) -> Option<(FrameId, PageId)> {
+        let mut steps = 0;
+        let max_steps = 4 * self.ring.len().max(1);
+        while steps < max_steps {
+            steps += 1;
+            if self.cold_resident == 0 {
+                // All residents are hot: force a demotion first.
+                self.run_hand_hot();
+                if self.cold_resident == 0 {
+                    return None;
+                }
+            }
+            let node = self.hand_cold;
+            if self.is_ghost_node(node) || self.hot[node as usize] {
+                self.hand_cold = self.next_wrap(node);
+                continue;
+            }
+            let f = node as usize;
+            if self.referenced[f] {
+                self.referenced[f] = false;
+                if self.test[f] {
+                    // Re-accessed within its test period: promote to hot.
+                    self.raise_mc();
+                    self.hand_cold = self.next_wrap(node);
+                    self.hands_step_past(node);
+                    self.ring.remove(&mut self.arena, node);
+                    self.insert_at_head(node);
+                    self.hot[f] = true;
+                    self.test[f] = false;
+                    self.hot_count += 1;
+                    self.cold_resident -= 1;
+                    if self.hot_count > self.m() - self.mc {
+                        self.run_hand_hot();
+                    }
+                } else {
+                    // Move to head with a fresh test period.
+                    self.hand_cold = self.next_wrap(node);
+                    self.hands_step_past(node);
+                    self.ring.remove(&mut self.arena, node);
+                    self.insert_at_head(node);
+                    self.test[f] = true;
+                }
+                continue;
+            }
+            if !evictable(node as FrameId) {
+                self.hand_cold = self.next_wrap(node);
+                continue;
+            }
+            // Unreferenced cold page: evict it.
+            let victim = self.table.unbind(node as FrameId);
+            self.cold_resident -= 1;
+            self.hand_cold = self.next_wrap(node);
+            if self.test[f] {
+                self.test[f] = false;
+                self.ghostify(node, victim);
+                if self.ghost_of.len() > self.m() {
+                    self.run_hand_test();
+                }
+            } else {
+                self.hands_step_past(node);
+                self.ring.remove(&mut self.arena, node);
+            }
+            return Some((node as FrameId, victim));
+        }
+        None
+    }
+}
+
+impl ReplacementPolicy for ClockPro {
+    fn name(&self) -> &'static str {
+        "CLOCK-Pro"
+    }
+
+    fn frames(&self) -> usize {
+        self.m()
+    }
+
+    fn resident_count(&self) -> usize {
+        self.table.resident()
+    }
+
+    fn record_hit(&mut self, frame: FrameId) {
+        if self.table.is_present(frame) {
+            self.referenced[frame as usize] = true;
+        }
+    }
+
+    fn record_miss(
+        &mut self,
+        page: PageId,
+        free: Option<FrameId>,
+        evictable: &mut dyn FnMut(FrameId) -> bool,
+    ) -> MissOutcome {
+        let ghost_node = self.ghost_of.get(&page).copied();
+
+        let (frame, outcome) = match free {
+            Some(f) => (f, MissOutcome::AdmittedFree(f)),
+            None => match self.run_hand_cold(evictable) {
+                Some((f, victim)) => (f, MissOutcome::Evicted { frame: f, victim }),
+                None => return MissOutcome::NoEvictableFrame,
+            },
+        };
+
+        // The ghost may have been pruned while making room; re-check.
+        let ghost_node = ghost_node.filter(|n| {
+            self.ghost_of.get(&page) == Some(n)
+        });
+
+        self.table.bind(frame, page);
+        self.referenced[frame as usize] = false;
+        self.insert_at_head(frame);
+        if let Some(node) = ghost_node {
+            // Re-access during test period: page becomes hot, mc grows.
+            self.raise_mc();
+            self.drop_ghost(node);
+            self.hot[frame as usize] = true;
+            self.test[frame as usize] = false;
+            self.hot_count += 1;
+            if self.hot_count > self.m() - self.mc {
+                self.run_hand_hot();
+            }
+        } else {
+            self.hot[frame as usize] = false;
+            self.test[frame as usize] = true;
+            self.cold_resident += 1;
+        }
+        outcome
+    }
+
+    fn remove(&mut self, frame: FrameId) -> Option<PageId> {
+        if !self.table.is_present(frame) {
+            return None;
+        }
+        let f = frame as usize;
+        self.hands_step_past(frame);
+        self.ring.remove(&mut self.arena, frame);
+        if self.hot[f] {
+            self.hot[f] = false;
+            self.hot_count -= 1;
+        } else {
+            self.cold_resident -= 1;
+        }
+        self.test[f] = false;
+        self.referenced[f] = false;
+        Some(self.table.unbind(frame))
+    }
+
+    fn page_at(&self, frame: FrameId) -> Option<PageId> {
+        self.table.page_at(frame)
+    }
+
+    fn node_region(&self) -> Option<NodeRegion> {
+        let (base, stride) = self.arena.raw_parts();
+        Some(NodeRegion { base, stride, count: self.frames() })
+    }
+
+    fn check_invariants(&self) {
+        self.ring.check(&self.arena);
+        assert_eq!(
+            self.ring.len(),
+            self.hot_count + self.cold_resident + self.ghost_of.len(),
+            "ring must hold every tracked entry exactly once"
+        );
+        assert_eq!(self.hot_count + self.cold_resident, self.table.resident());
+        assert!(self.ghost_of.len() <= self.m(), "too many non-resident entries");
+        assert!((1..self.m()).contains(&self.mc), "mc out of range");
+        if !self.ring.is_empty() {
+            for hand in [self.hand_hot, self.hand_cold, self.hand_test] {
+                assert!(self.ring.contains(&self.arena, hand), "hand off the ring");
+            }
+        }
+        let mut hot_seen = 0;
+        let mut cold_seen = 0;
+        for node in self.ring.iter(&self.arena) {
+            if self.is_ghost_node(node) {
+                let page = self.ghost_page[(node - self.ghost_slots.base()) as usize];
+                assert_eq!(self.ghost_of.get(&page), Some(&node));
+            } else if self.hot[node as usize] {
+                hot_seen += 1;
+                assert!(self.table.is_present(node as FrameId));
+            } else {
+                cold_seen += 1;
+                assert!(self.table.is_present(node as FrameId));
+            }
+        }
+        assert_eq!(hot_seen, self.hot_count);
+        assert_eq!(cold_seen, self.cold_resident);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cache_sim::CacheSim;
+
+    #[test]
+    fn warmup_admits_cold_pages() {
+        let mut s = CacheSim::new(ClockPro::new(4));
+        for p in 0..4 {
+            s.access(p);
+        }
+        let (hot, cold, ghosts) = s.policy().counts();
+        assert_eq!(hot, 0);
+        assert_eq!(cold, 4);
+        assert_eq!(ghosts, 0);
+        s.check_consistency();
+    }
+
+    #[test]
+    fn eviction_creates_test_ghost() {
+        let mut s = CacheSim::new(ClockPro::new(4));
+        for p in 0..5 {
+            s.access(p);
+        }
+        let (_, _, ghosts) = s.policy().counts();
+        assert_eq!(ghosts, 1, "evicted in-test page must leave a ghost");
+        s.check_consistency();
+    }
+
+    #[test]
+    fn ghost_reaccess_promotes_to_hot_and_raises_mc() {
+        let mut s = CacheSim::new(ClockPro::new(4));
+        for p in 0..5 {
+            s.access(p); // someone (page 0) was evicted with a ghost
+        }
+        let ghosted: Vec<PageId> = (0..5).filter(|&p| s.policy().is_ghost(p)).collect();
+        assert!(!ghosted.is_empty());
+        let g = ghosted[0];
+        let mc_before = s.policy().mc();
+        s.access(g);
+        assert!(s.is_resident(g));
+        let f = s.frame_of(g).unwrap();
+        assert!(s.policy().hot[f as usize], "test-period return must be hot");
+        assert!(s.policy().mc() >= mc_before);
+        s.check_consistency();
+    }
+
+    #[test]
+    fn referenced_cold_survives_sweep() {
+        let mut s = CacheSim::new(ClockPro::new(4));
+        for p in 0..4 {
+            s.access(p);
+        }
+        s.access(0); // hit: sets reference bit
+        s.access(10); // sweep must not take page 0 first
+        assert!(s.is_resident(0), "referenced cold page evicted prematurely");
+        s.check_consistency();
+    }
+
+    #[test]
+    fn long_churn_keeps_invariants() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let mut s = CacheSim::new(ClockPro::new(16));
+        for i in 0..5000 {
+            let p = if rng.gen_bool(0.7) { rng.gen_range(0..12u64) } else { rng.gen_range(0..200u64) };
+            s.access(p);
+            if i % 500 == 0 {
+                s.check_consistency();
+            }
+        }
+        s.check_consistency();
+    }
+
+    #[test]
+    fn hot_set_resists_scan() {
+        let mut s = CacheSim::new(ClockPro::new(32));
+        // Establish a hot set via repeated access.
+        for _ in 0..10 {
+            for p in 0..16u64 {
+                s.access(p);
+            }
+        }
+        for p in 1000..1200 {
+            s.access(p);
+        }
+        let survivors = (0..16u64).filter(|&p| s.is_resident(p)).count();
+        assert!(survivors >= 8, "scan displaced hot set: {survivors}/16 left");
+        s.check_consistency();
+    }
+
+    #[test]
+    fn all_pinned_gives_up() {
+        let mut s = CacheSim::new(ClockPro::new(4));
+        for p in 0..4 {
+            s.access(p);
+        }
+        let out = s.policy_mut().record_miss(99, None, &mut |_| false);
+        assert_eq!(out, MissOutcome::NoEvictableFrame);
+        s.check_consistency();
+    }
+
+    #[test]
+    fn remove_invalidates() {
+        let mut s = CacheSim::new(ClockPro::new(4));
+        for p in 0..4 {
+            s.access(p);
+        }
+        let f = s.frame_of(2).unwrap();
+        assert_eq!(s.policy_mut().remove(f), Some(2));
+        s.policy().check_invariants();
+    }
+}

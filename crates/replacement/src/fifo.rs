@@ -1,0 +1,137 @@
+//! FIFO — evict in admission order, ignore hits entirely. The floor of
+//! the policy spectrum: zero hit-path bookkeeping (even cheaper than
+//! CLOCK), worst hit ratios on reuse-heavy workloads. Included as the
+//! calibration baseline for the hit-ratio studies.
+
+use crate::arena::{Arena, List};
+use crate::frame_table::FrameTable;
+use crate::traits::{FrameId, MissOutcome, NodeRegion, PageId, ReplacementPolicy};
+
+/// First-in first-out replacement.
+pub struct Fifo {
+    arena: Arena,
+    queue: List, // front = newest admission
+    table: FrameTable,
+}
+
+impl Fifo {
+    /// Create a FIFO policy managing `frames` buffer frames.
+    pub fn new(frames: usize) -> Self {
+        assert!(frames > 0, "FIFO needs at least one frame");
+        let mut arena = Arena::new(frames);
+        let queue = arena.new_list();
+        Fifo { arena, queue, table: FrameTable::new(frames) }
+    }
+}
+
+impl ReplacementPolicy for Fifo {
+    fn name(&self) -> &'static str {
+        "FIFO"
+    }
+
+    fn frames(&self) -> usize {
+        self.table.frames()
+    }
+
+    fn resident_count(&self) -> usize {
+        self.table.resident()
+    }
+
+    fn record_hit(&mut self, _frame: FrameId) {
+        // FIFO's defining property: hits cost nothing and change nothing.
+    }
+
+    fn record_miss(
+        &mut self,
+        page: PageId,
+        free: Option<FrameId>,
+        evictable: &mut dyn FnMut(FrameId) -> bool,
+    ) -> MissOutcome {
+        let (frame, outcome) = match free {
+            Some(f) => (f, MissOutcome::AdmittedFree(f)),
+            None => {
+                let found = self.queue.iter_rev(&self.arena).find(|&f| evictable(f));
+                let Some(f) = found else {
+                    return MissOutcome::NoEvictableFrame;
+                };
+                self.queue.remove(&mut self.arena, f);
+                let victim = self.table.unbind(f);
+                (f, MissOutcome::Evicted { frame: f, victim })
+            }
+        };
+        self.table.bind(frame, page);
+        self.queue.push_front(&mut self.arena, frame);
+        outcome
+    }
+
+    fn remove(&mut self, frame: FrameId) -> Option<PageId> {
+        if !self.table.is_present(frame) {
+            return None;
+        }
+        self.queue.remove(&mut self.arena, frame);
+        Some(self.table.unbind(frame))
+    }
+
+    fn page_at(&self, frame: FrameId) -> Option<PageId> {
+        self.table.page_at(frame)
+    }
+
+    fn node_region(&self) -> Option<NodeRegion> {
+        let (base, stride) = self.arena.raw_parts();
+        Some(NodeRegion { base, stride, count: self.frames() })
+    }
+
+    fn check_invariants(&self) {
+        assert_eq!(self.queue.check(&self.arena), self.table.resident());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cache_sim::CacheSim;
+
+    #[test]
+    fn evicts_in_admission_order_regardless_of_hits() {
+        let mut s = CacheSim::new(Fifo::new(3));
+        s.access(1);
+        s.access(2);
+        s.access(3);
+        s.access(1); // hit: must NOT refresh 1's position
+        s.access(4); // evicts 1 (oldest admission)
+        assert!(!s.is_resident(1));
+        assert!(s.is_resident(2) && s.is_resident(3) && s.is_resident(4));
+        s.check_consistency();
+    }
+
+    #[test]
+    fn filter_respected() {
+        let mut s = CacheSim::new(Fifo::new(2));
+        s.access(1);
+        s.access(2);
+        let f1 = s.frame_of(1).unwrap();
+        let out = s.policy_mut().record_miss(3, None, &mut |f| f != f1);
+        assert_eq!(out.victim(), Some(2));
+        let out = s.policy_mut().record_miss(4, None, &mut |_| false);
+        assert_eq!(out, MissOutcome::NoEvictableFrame);
+    }
+
+    #[test]
+    fn worse_than_lru_on_reuse() {
+        let frames = 8;
+        // Loop of 6 hot pages + interleaved cold misses: LRU keeps the
+        // hot set pinned by recency, FIFO ages it out.
+        let mut trace = Vec::new();
+        for i in 0..400u64 {
+            trace.push(i % 6);
+            if i % 3 == 0 {
+                trace.push(1_000 + i);
+            }
+        }
+        let mut fifo = CacheSim::new(Fifo::new(frames));
+        let mut lru = CacheSim::new(crate::lru::Lru::new(frames));
+        let a = fifo.run(trace.iter().copied());
+        let b = lru.run(trace.iter().copied());
+        assert!(a.hits <= b.hits, "FIFO ({}) should not beat LRU ({}) here", a.hits, b.hits);
+    }
+}

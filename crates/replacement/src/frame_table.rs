@@ -1,0 +1,95 @@
+//! Per-frame residency bookkeeping shared by all policies.
+
+use crate::traits::{FrameId, PageId};
+
+/// Tracks which page (if any) each frame holds. Shared by every policy so
+/// that `page_at` / `resident_count` behave uniformly.
+pub struct FrameTable {
+    page_of: Vec<PageId>,
+    present: Vec<bool>,
+    resident: usize,
+}
+
+impl FrameTable {
+    /// Table for `n` frames, all initially empty.
+    pub fn new(n: usize) -> Self {
+        FrameTable { page_of: vec![0; n], present: vec![false; n], resident: 0 }
+    }
+
+    /// Number of frames.
+    pub fn frames(&self) -> usize {
+        self.present.len()
+    }
+
+    /// Number of occupied frames.
+    pub fn resident(&self) -> usize {
+        self.resident
+    }
+
+    /// True if `frame` holds a page.
+    pub fn is_present(&self, frame: FrameId) -> bool {
+        self.present[frame as usize]
+    }
+
+    /// Page held by `frame`, if any.
+    pub fn page_at(&self, frame: FrameId) -> Option<PageId> {
+        self.present[frame as usize].then(|| self.page_of[frame as usize])
+    }
+
+    /// Bind `page` to an empty `frame`.
+    pub fn bind(&mut self, frame: FrameId, page: PageId) {
+        assert!(!self.present[frame as usize], "frame {frame} already occupied");
+        self.present[frame as usize] = true;
+        self.page_of[frame as usize] = page;
+        self.resident += 1;
+    }
+
+    /// Empty `frame`, returning the page it held.
+    pub fn unbind(&mut self, frame: FrameId) -> PageId {
+        assert!(self.present[frame as usize], "frame {frame} already empty");
+        self.present[frame as usize] = false;
+        self.resident -= 1;
+        self.page_of[frame as usize]
+    }
+
+    /// Replace the occupant of `frame`, returning the old page.
+    pub fn rebind(&mut self, frame: FrameId, page: PageId) -> PageId {
+        let old = self.unbind(frame);
+        self.bind(frame, page);
+        old
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bind_unbind_cycle() {
+        let mut t = FrameTable::new(2);
+        assert_eq!(t.resident(), 0);
+        t.bind(0, 100);
+        assert_eq!(t.page_at(0), Some(100));
+        assert_eq!(t.page_at(1), None);
+        assert_eq!(t.resident(), 1);
+        assert_eq!(t.rebind(0, 200), 100);
+        assert_eq!(t.page_at(0), Some(200));
+        assert_eq!(t.unbind(0), 200);
+        assert_eq!(t.resident(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "already occupied")]
+    fn double_bind_panics() {
+        let mut t = FrameTable::new(1);
+        t.bind(0, 1);
+        t.bind(0, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "already empty")]
+    fn unbind_empty_panics() {
+        let mut t = FrameTable::new(1);
+        t.unbind(0);
+    }
+}

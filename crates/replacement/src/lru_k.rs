@@ -1,0 +1,304 @@
+//! LRU-K with K = 2 (O'Neil, O'Neil & Weikum, SIGMOD 1993) — the
+//! algorithm 2Q was invented to approximate cheaply, and the ancestor of
+//! the whole "deep access history" family the paper wraps. Eviction
+//! picks the page with the greatest *backward K-distance*: the page
+//! whose K-th most recent reference is oldest. Pages referenced fewer
+//! than K times have infinite distance and are preferred victims (among
+//! themselves, LRU by last reference).
+//!
+//! History for evicted pages is retained for a bounded period (the
+//! paper's Retained Information Period), so a page's second reference
+//! shortly after eviction still counts.
+
+use std::collections::HashMap;
+
+use crate::frame_table::FrameTable;
+use crate::linked_set::LinkedSet;
+use crate::traits::{FrameId, MissOutcome, PageId, ReplacementPolicy};
+
+/// Tuning knobs for [`LruK`].
+#[derive(Debug, Clone, Copy)]
+pub struct LruKConfig {
+    /// Retained-history capacity as a multiple of frames.
+    pub history_multiple: f64,
+}
+
+impl Default for LruKConfig {
+    fn default() -> Self {
+        LruKConfig { history_multiple: 2.0 }
+    }
+}
+
+/// The LRU-2 replacement policy.
+pub struct LruK {
+    /// Per-frame reference times: `last[f]` and `prev[f]` (0 = never).
+    last: Vec<u64>,
+    prev: Vec<u64>,
+    table: FrameTable,
+    now: u64,
+    /// Retained history of evicted pages: page -> (last, prev).
+    history: HashMap<PageId, (u64, u64)>,
+    history_order: LinkedSet,
+    history_cap: usize,
+}
+
+impl LruK {
+    /// Create an LRU-2 policy with default parameters.
+    pub fn new(frames: usize) -> Self {
+        Self::with_config(frames, LruKConfig::default())
+    }
+
+    /// Create an LRU-2 policy with explicit parameters.
+    pub fn with_config(frames: usize, cfg: LruKConfig) -> Self {
+        assert!(frames > 0, "LRU-2 needs at least one frame");
+        let cap = ((frames as f64 * cfg.history_multiple) as usize).max(1);
+        LruK {
+            last: vec![0; frames],
+            prev: vec![0; frames],
+            table: FrameTable::new(frames),
+            now: 0,
+            history: HashMap::with_capacity(cap),
+            history_order: LinkedSet::with_capacity(cap),
+            history_cap: cap,
+        }
+    }
+
+    /// True if `page` has retained (post-eviction) history (test aid).
+    pub fn has_history(&self, page: PageId) -> bool {
+        self.history.contains_key(&page)
+    }
+
+    fn remember(&mut self, page: PageId, last: u64, prev: u64) {
+        self.history.insert(page, (last, prev));
+        self.history_order.insert_front(page);
+        while self.history_order.len() > self.history_cap {
+            let old = self.history_order.pop_oldest().expect("len > 0");
+            self.history.remove(&old);
+        }
+    }
+
+    /// Victim: maximum backward-2 distance, i.e. minimum `prev` time;
+    /// pages with `prev == 0` (fewer than 2 refs) are infinitely distant
+    /// and chosen first, LRU by `last` among themselves.
+    ///
+    /// The `evictable` filter may have side effects (the pool invalidates
+    /// the frame it accepts), so it is probed once per *chosen* victim:
+    /// find the metadata-minimum, offer it, and exclude it on rejection.
+    fn pick_victim(&self, evictable: &mut dyn FnMut(FrameId) -> bool) -> Option<FrameId> {
+        let n = self.table.frames();
+        let mut rejected = vec![false; n];
+        loop {
+            let mut best: Option<(FrameId, u64, u64)> = None; // (frame, prev, last)
+            for f in 0..n as FrameId {
+                if rejected[f as usize] || !self.table.is_present(f) {
+                    continue;
+                }
+                let (p, l) = (self.prev[f as usize], self.last[f as usize]);
+                let better = match best {
+                    None => true,
+                    Some((_, bp, bl)) => (p, l) < (bp, bl),
+                };
+                if better {
+                    best = Some((f, p, l));
+                }
+            }
+            let (f, _, _) = best?;
+            if evictable(f) {
+                return Some(f);
+            }
+            rejected[f as usize] = true;
+        }
+    }
+}
+
+impl ReplacementPolicy for LruK {
+    fn name(&self) -> &'static str {
+        "LRU-2"
+    }
+
+    fn frames(&self) -> usize {
+        self.table.frames()
+    }
+
+    fn resident_count(&self) -> usize {
+        self.table.resident()
+    }
+
+    fn record_hit(&mut self, frame: FrameId) {
+        if !self.table.is_present(frame) {
+            return;
+        }
+        self.now += 1;
+        let f = frame as usize;
+        self.prev[f] = self.last[f];
+        self.last[f] = self.now;
+    }
+
+    fn record_miss(
+        &mut self,
+        page: PageId,
+        free: Option<FrameId>,
+        evictable: &mut dyn FnMut(FrameId) -> bool,
+    ) -> MissOutcome {
+        self.now += 1;
+        let (frame, outcome) = match free {
+            Some(f) => (f, MissOutcome::AdmittedFree(f)),
+            None => {
+                let Some(f) = self.pick_victim(evictable) else {
+                    return MissOutcome::NoEvictableFrame;
+                };
+                let victim = self.table.unbind(f);
+                self.remember(victim, self.last[f as usize], self.prev[f as usize]);
+                (f, MissOutcome::Evicted { frame: f, victim })
+            }
+        };
+        self.table.bind(frame, page);
+        let fi = frame as usize;
+        if let Some((last, _)) = self.history.remove(&page) {
+            // Second reference within the retained period: real history.
+            self.history_order.remove(page);
+            self.prev[fi] = last;
+        } else {
+            self.prev[fi] = 0;
+        }
+        self.last[fi] = self.now;
+        outcome
+    }
+
+    fn remove(&mut self, frame: FrameId) -> Option<PageId> {
+        if !self.table.is_present(frame) {
+            return None;
+        }
+        let f = frame as usize;
+        self.last[f] = 0;
+        self.prev[f] = 0;
+        Some(self.table.unbind(frame))
+    }
+
+    fn page_at(&self, frame: FrameId) -> Option<PageId> {
+        self.table.page_at(frame)
+    }
+
+    fn check_invariants(&self) {
+        assert!(self.history.len() <= self.history_cap);
+        assert_eq!(self.history.len(), self.history_order.len());
+        self.history_order.check();
+        for f in 0..self.table.frames() {
+            if self.table.is_present(f as FrameId) {
+                assert!(self.last[f] > 0, "resident frame {f} without a reference time");
+                assert!(self.prev[f] < self.last[f] || self.prev[f] == 0);
+                let page = self.table.page_at(f as FrameId).unwrap();
+                assert!(!self.history.contains_key(&page), "resident page {page} in history");
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cache_sim::CacheSim;
+
+    #[test]
+    fn one_shot_pages_evicted_before_hot_pages() {
+        let mut s = CacheSim::new(LruK::new(4));
+        s.access(1);
+        s.access(1); // page 1: two references
+        s.access(2);
+        s.access(2); // page 2: two references
+        s.access(3); // one reference
+        s.access(4); // one reference
+        s.access(5); // must evict 3 or 4 (infinite distance), not 1 or 2
+        assert!(s.is_resident(1) && s.is_resident(2));
+        assert!(!s.is_resident(3) || !s.is_resident(4));
+        s.check_consistency();
+    }
+
+    #[test]
+    fn among_one_shots_lru_wins() {
+        let mut s = CacheSim::new(LruK::new(3));
+        s.access(1);
+        s.access(2);
+        s.access(3);
+        s.access(4); // all single-ref: evict the oldest (1)
+        assert!(!s.is_resident(1));
+        assert!(s.is_resident(2) && s.is_resident(3));
+        s.check_consistency();
+    }
+
+    #[test]
+    fn retained_history_restores_distance() {
+        let mut s = CacheSim::new(LruK::new(2));
+        s.access(1); // 1 in
+        s.access(2);
+        s.access(3); // evicts 1 (oldest one-shot); history retained
+        assert!(s.policy().has_history(1));
+        s.access(1); // back with prev = its old last: now a 2-ref page
+        // A subsequent miss must spare 1 and evict a one-shot page.
+        s.access(9);
+        assert!(s.is_resident(1), "page with restored history evicted");
+        s.check_consistency();
+    }
+
+    #[test]
+    fn scan_resistance_vs_lru() {
+        // Hot set referenced repeatedly + one-shot scan: LRU-2 keeps the
+        // hot set; plain LRU loses it.
+        let frames = 16;
+        let mut trace = Vec::new();
+        for _ in 0..10 {
+            for h in 0..8u64 {
+                trace.push(h);
+            }
+        }
+        for p in 100..124u64 {
+            trace.push(p); // scan of 24 one-shot pages
+        }
+        for h in 0..8u64 {
+            trace.push(h); // hot re-reference after the scan
+        }
+        let mut lruk = CacheSim::new(LruK::new(frames));
+        let mut lru = CacheSim::new(crate::lru::Lru::new(frames));
+        let a = lruk.run(trace.iter().copied());
+        let b = lru.run(trace.iter().copied());
+        assert!(
+            a.hits > b.hits,
+            "LRU-2 ({}) should out-hit LRU ({}) around a scan",
+            a.hits,
+            b.hits
+        );
+        lruk.check_consistency();
+    }
+
+    #[test]
+    fn history_is_bounded() {
+        let mut s = CacheSim::new(LruK::with_config(4, LruKConfig { history_multiple: 1.0 }));
+        for p in 0..200u64 {
+            s.access(p);
+        }
+        s.policy().check_invariants();
+    }
+
+    #[test]
+    fn eviction_filter_respected() {
+        let mut s = CacheSim::new(LruK::new(2));
+        s.access(1);
+        s.access(2);
+        let f1 = s.frame_of(1).unwrap();
+        let out = s.policy_mut().record_miss(9, None, &mut |f| f != f1);
+        assert_ne!(out.frame(), Some(f1));
+        let out = s.policy_mut().record_miss(8, None, &mut |_| false);
+        assert_eq!(out, MissOutcome::NoEvictableFrame);
+    }
+
+    #[test]
+    fn random_consistency() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(21);
+        let mut s = CacheSim::new(LruK::new(12));
+        for _ in 0..3000 {
+            s.access(rng.gen_range(0..40u64));
+        }
+        s.check_consistency();
+    }
+}

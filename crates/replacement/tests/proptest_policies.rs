@@ -1,0 +1,197 @@
+//! Property-based tests over every replacement policy: random reference
+//! strings must never violate structural invariants, and LRU must agree
+//! with an executable specification.
+
+use std::collections::VecDeque;
+
+use bpw_replacement::{CacheSim, Lru, PolicyKind};
+use proptest::prelude::*;
+
+/// Strategy: a reference string with tunable skew (small page universe
+/// produces hits, large produces churn).
+fn trace(universe: u64, len: usize) -> impl Strategy<Value = Vec<u64>> {
+    prop::collection::vec(0..universe, 1..=len)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every policy keeps its invariants and the simulator's page table
+    /// in sync over arbitrary traces and cache sizes.
+    #[test]
+    fn policies_stay_consistent(
+        frames in 2usize..40,
+        pages in trace(64, 400),
+    ) {
+        for kind in PolicyKind::ALL {
+            let mut sim = CacheSim::new(kind.build(frames));
+            for &p in &pages {
+                sim.access(p);
+            }
+            sim.check_consistency();
+            prop_assert!(sim.resident_count() <= frames, "{kind}");
+            prop_assert_eq!(sim.stats().total(), pages.len() as u64);
+        }
+    }
+
+    /// The most recently accessed page is always resident afterwards.
+    #[test]
+    fn last_access_is_resident(
+        frames in 2usize..20,
+        pages in trace(50, 200),
+    ) {
+        for kind in PolicyKind::ALL {
+            let mut sim = CacheSim::new(kind.build(frames));
+            for &p in &pages {
+                sim.access(p);
+                prop_assert!(sim.is_resident(p), "{kind}: page {p} not resident after access");
+            }
+        }
+    }
+
+    /// Once the cache has warmed past `frames` distinct pages, the
+    /// resident count equals the frame count for every policy (no frame
+    /// leaks, no over-allocation).
+    #[test]
+    fn cache_fills_and_stays_full(
+        frames in 2usize..16,
+        seed_pages in trace(200, 300),
+    ) {
+        for kind in PolicyKind::ALL {
+            let mut sim = CacheSim::new(kind.build(frames));
+            // Guaranteed distinct warm-up.
+            for p in 0..frames as u64 {
+                sim.access(1_000_000 + p);
+            }
+            prop_assert_eq!(sim.resident_count(), frames, "{}", kind);
+            for &p in &seed_pages {
+                sim.access(p);
+                prop_assert_eq!(sim.resident_count(), frames, "{}", kind);
+            }
+        }
+    }
+
+    /// LRU agrees exactly with an executable specification (a VecDeque of
+    /// page ids, most recent at the front).
+    #[test]
+    fn lru_matches_reference_model(
+        frames in 1usize..24,
+        pages in trace(48, 500),
+    ) {
+        let mut sim = CacheSim::new(Lru::new(frames));
+        let mut model: VecDeque<u64> = VecDeque::new();
+        for &p in &pages {
+            let model_hit = model.contains(&p);
+            let sim_hit = sim.access(p);
+            prop_assert_eq!(model_hit, sim_hit, "hit/miss diverged on page {}", p);
+            if model_hit {
+                let pos = model.iter().position(|&x| x == p).unwrap();
+                model.remove(pos);
+            } else if model.len() == frames {
+                model.pop_back();
+            }
+            model.push_front(p);
+            // Resident sets must agree.
+            for &m in &model {
+                prop_assert!(sim.is_resident(m), "model page {} missing", m);
+            }
+            prop_assert_eq!(model.len(), sim.resident_count());
+        }
+    }
+
+    /// Hit ratios are trace-deterministic: two runs of the same trace
+    /// give identical statistics for every policy.
+    #[test]
+    fn deterministic_replay(
+        frames in 2usize..16,
+        pages in trace(32, 200),
+    ) {
+        for kind in PolicyKind::ALL {
+            let mut a = CacheSim::new(kind.build(frames));
+            let mut b = CacheSim::new(kind.build(frames));
+            let sa = a.run(pages.iter().copied());
+            let sb = b.run(pages.iter().copied());
+            prop_assert_eq!(sa, sb, "{} replay diverged", kind);
+        }
+    }
+
+    /// The `evictable` filter contract: the buffer pool's filter has a
+    /// side effect (it invalidates the frame it accepts), so a policy
+    /// must evict exactly the frame the filter accepted — one acceptance
+    /// per decision, and it is the victim. (LRU-K and LFU once violated
+    /// this with keep-scanning min-searches; this test pins the fix for
+    /// every policy.)
+    #[test]
+    fn filter_acceptance_is_the_victim(
+        frames in 2usize..16,
+        warm in trace(64, 80),
+        miss_page in 1_000_000u64..1_000_100,
+        pinned_mask in any::<u32>(),
+    ) {
+        for kind in PolicyKind::ALL {
+            let mut sim = CacheSim::new(kind.build(frames));
+            for &p in &warm {
+                sim.access(p);
+            }
+            if sim.resident_count() < frames {
+                continue; // not full: no eviction decision to test
+            }
+            let mut accepted = Vec::new();
+            let out = sim.policy_mut().record_miss(miss_page, None, &mut |f| {
+                // Reject a pseudo-random subset (as pins would), accept
+                // the rest — recording every acceptance.
+                if pinned_mask & (1 << (f % 31)) != 0 {
+                    false
+                } else {
+                    accepted.push(f);
+                    true
+                }
+            });
+            match out.frame() {
+                Some(victim_frame) => {
+                    prop_assert_eq!(
+                        &accepted,
+                        &vec![victim_frame],
+                        "{}: filter accepted {:?} but evicted {:?}",
+                        kind,
+                        accepted.clone(),
+                        victim_frame
+                    );
+                }
+                None => {
+                    prop_assert!(
+                        accepted.is_empty(),
+                        "{}: accepted {:?} but evicted nothing",
+                        kind,
+                        accepted.clone()
+                    );
+                }
+            }
+        }
+    }
+
+    /// Invalidation (`remove`) never corrupts a policy: after removing a
+    /// random resident frame, invariants still hold and the page misses
+    /// on next access.
+    #[test]
+    fn invalidation_is_clean(
+        frames in 2usize..16,
+        pages in trace(32, 120),
+        victim_idx in 0usize..16,
+    ) {
+        for kind in PolicyKind::ALL {
+            let mut sim = CacheSim::new(kind.build(frames));
+            for &p in &pages {
+                sim.access(p);
+            }
+            let residents = sim.policy().resident_pages();
+            if residents.is_empty() {
+                continue;
+            }
+            let (frame, _page) = residents[victim_idx % residents.len()];
+            sim.policy_mut().remove(frame);
+            sim.policy().check_invariants();
+            prop_assert_eq!(sim.policy().page_at(frame), None, "{}", kind);
+        }
+    }
+}

@@ -1,0 +1,30 @@
+//! # bpw-sim
+//!
+//! A discrete-event multiprocessor simulator reproducing the paper's
+//! scalability experiments (Figs. 2, 6, 7 and Tables II-III) on any
+//! host. The host running this reproduction has a single core, so
+//! wall-clock scaling up to 16 processors cannot be measured directly;
+//! the figures' shapes, however, are governed by queueing at a single
+//! lock — exactly what a discrete-event model captures.
+//!
+//! ```
+//! use bpw_core::SystemKind;
+//! use bpw_sim::{simulate, HardwareProfile, SimParams, SystemSpec, WorkloadParams};
+//!
+//! let report = simulate(SimParams::new(
+//!     HardwareProfile::altix350(),
+//!     16,
+//!     SystemSpec::new(SystemKind::BatchingPrefetching),
+//!     WorkloadParams::dbt1(),
+//! ));
+//! println!("{:.0} tps, {:.1} contentions/M", report.throughput_tps,
+//!          report.contentions_per_million);
+//! ```
+
+pub mod engine;
+pub mod profile;
+pub mod sweep;
+
+pub use engine::{simulate, RunReport, Sim, SimParams, SystemSpec, Time};
+pub use profile::{HardwareProfile, WorkloadParams};
+pub use sweep::{sweep_systems, Series, SweepResult};

@@ -1,0 +1,135 @@
+//! Validate the discrete-event simulator against closed-form queueing
+//! predictions. A simulation-based reproduction is only as credible as
+//! its model; these tests pin the simulator to the places where the
+//! right answer is computable by hand.
+
+use bpw_core::SystemKind;
+use bpw_sim::{simulate, HardwareProfile, SimParams, SystemSpec, WorkloadParams};
+
+/// A synthetic workload with *constant* transaction length and no WAL,
+/// so throughput is analytically predictable.
+fn flat_workload(txn_len: u32, work_ns: u64) -> WorkloadParams {
+    WorkloadParams {
+        name: "flat".to_owned(),
+        txn_lengths: vec![txn_len],
+        work_per_access_ns: work_ns,
+        txn_overhead_ns: 0,
+        wal_cs_ns: 0,
+        miss_ratio: 0.0,
+        io_ns: 0,
+        io_channels: 1,
+    }
+}
+
+fn run(cpus: usize, kind: SystemKind, wl: WorkloadParams) -> bpw_sim::RunReport {
+    let mut p = SimParams::new(HardwareProfile::altix350(), cpus, SystemSpec::new(kind), wl);
+    p.horizon_ms = 500;
+    simulate(p)
+}
+
+/// With no lock at all (pgClock, hit cost folded into compute), the
+/// machine is a perfect P-server: throughput = P / per_txn_work.
+#[test]
+fn lock_free_throughput_matches_capacity() {
+    let hw = HardwareProfile::altix350();
+    let txn_len = 50u32;
+    let work = 4_000u64;
+    for cpus in [1usize, 4, 16] {
+        let r = run(cpus, SystemKind::Clock, flat_workload(txn_len, work));
+        // Mean per-access compute includes the clock bit-set and the
+        // ±40% jitter (mean 1.0 × work).
+        let per_txn_ns = (work + hw.clock_hit_ns) as f64 * txn_len as f64;
+        let predicted = cpus as f64 * 1e9 / per_txn_ns;
+        let ratio = r.throughput_tps / predicted;
+        assert!(
+            (0.9..=1.05).contains(&ratio),
+            "{cpus} cpus: simulated {:.0} vs predicted {predicted:.0} (ratio {ratio:.3})",
+            r.throughput_tps
+        );
+    }
+}
+
+/// With a lock on every access and enough processors, the lock is the
+/// bottleneck: access throughput = 1 / mean-hold-time. The simulator's
+/// saturated throughput must match that bound within queueing slack.
+#[test]
+fn saturated_lock_throughput_matches_service_rate() {
+    let hw = HardwareProfile::altix350();
+    let txn_len = 50u32;
+    let work = 4_000u64;
+    let cpus = 16;
+    let r = run(cpus, SystemKind::LockPerAccess, flat_workload(txn_len, work));
+    // Serialized time per access: scaled acquisition + warm-up + body.
+    let acquire = hw.lock_acquire_ns as f64 * (1.0 + hw.coherence_per_cpu * cpus as f64);
+    let hold = acquire + (hw.cs_warmup_ns + hw.cs_per_access_ns) as f64;
+    let max_access_rate = 1e9 / hold;
+    let predicted_tps = max_access_rate / txn_len as f64;
+    // Demand check: parallel capacity would be ~3.3x the lock rate, so
+    // the lock must be saturated and throughput within [0.5, 1.05] of
+    // the service bound (wake-up latencies eat some of it).
+    let ratio = r.throughput_tps / predicted_tps;
+    assert!(
+        (0.5..=1.05).contains(&ratio),
+        "saturated lock: simulated {:.0} vs bound {predicted_tps:.0} (ratio {ratio:.3})",
+        r.throughput_tps
+    );
+    // And it must be far below the lock-free capacity.
+    let clock = run(cpus, SystemKind::Clock, flat_workload(txn_len, work));
+    assert!(r.throughput_tps < 0.5 * clock.throughput_tps);
+}
+
+/// Batching divides the serialized cost per access by ~the batch size:
+/// the saturated batched system must sustain close to the amortized
+/// bound.
+#[test]
+fn batched_throughput_matches_amortized_bound() {
+    let hw = HardwareProfile::altix350();
+    let txn_len = 50u32;
+    let work = 1_000u64; // heavy pressure so even batching saturates
+    let cpus = 16;
+    let spec = SystemSpec::with_batching(SystemKind::Batching, 64, 32);
+    let mut p = SimParams::new(hw, cpus, spec, flat_workload(txn_len, work));
+    p.horizon_ms = 500;
+    let r = simulate(p);
+    // Per-access serialized share at batch ~B >= 32.
+    let acquire = hw.lock_acquire_ns as f64 * (1.0 + hw.coherence_per_cpu * cpus as f64);
+    let b = r.accesses_per_acquisition.max(32.0);
+    let per_access = (acquire + hw.cs_warmup_ns as f64) / b + hw.cs_per_access_ns as f64;
+    let bound_tps = 1e9 / per_access / txn_len as f64;
+    // Parallel capacity bound.
+    let cap_tps = cpus as f64 * 1e9
+        / ((work + hw.queue_push_ns) as f64 * txn_len as f64);
+    let predicted = bound_tps.min(cap_tps);
+    let ratio = r.throughput_tps / predicted;
+    assert!(
+        (0.6..=1.1).contains(&ratio),
+        "batched: simulated {:.0} vs predicted {predicted:.0} (ratio {ratio:.3}, B={b:.1})",
+        r.throughput_tps
+    );
+}
+
+/// Response time at an uncontended single CPU equals txn service time.
+#[test]
+fn single_cpu_response_time_is_service_time() {
+    let txn_len = 50u32;
+    let work = 4_000u64;
+    let wl = flat_workload(txn_len, work);
+    let mut p = SimParams::new(
+        HardwareProfile::altix350(),
+        1,
+        SystemSpec::new(SystemKind::Clock),
+        wl,
+    );
+    p.threads = 1; // no queueing at all
+    p.horizon_ms = 200;
+    let r = simulate(p);
+    let hw = HardwareProfile::altix350();
+    let service_ms = (work + hw.clock_hit_ns) as f64 * txn_len as f64 / 1e6;
+    let ratio = r.avg_response_ms / service_ms;
+    assert!(
+        (0.95..=1.05).contains(&ratio),
+        "response {:.4} ms vs service {:.4} ms",
+        r.avg_response_ms,
+        service_ms
+    );
+}

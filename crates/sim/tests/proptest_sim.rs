@@ -1,0 +1,149 @@
+//! Property tests for the multiprocessor simulator: structural laws the
+//! queueing model must obey regardless of parameters.
+
+use bpw_core::SystemKind;
+use bpw_sim::{simulate, HardwareProfile, SimParams, SystemSpec, WorkloadParams};
+use proptest::prelude::*;
+
+fn quick(
+    hw: HardwareProfile,
+    cpus: usize,
+    spec: SystemSpec,
+    wl: WorkloadParams,
+    seed: u64,
+) -> bpw_sim::RunReport {
+    let mut p = SimParams::new(hw, cpus, spec, wl);
+    p.horizon_ms = 120;
+    p.seed = seed;
+    simulate(p)
+}
+
+fn any_workload() -> impl Strategy<Value = WorkloadParams> {
+    prop::sample::select(vec![
+        WorkloadParams::dbt1(),
+        WorkloadParams::dbt2(),
+        WorkloadParams::tablescan(),
+    ])
+}
+
+fn any_system() -> impl Strategy<Value = SystemKind> {
+    prop::sample::select(SystemKind::ALL.to_vec())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// The lock-free system's throughput never decreases when processors
+    /// are added (it has no serialization to saturate; WAL-free
+    /// workloads scale linearly).
+    #[test]
+    fn clock_throughput_monotone_in_cpus(
+        wl in any_workload(),
+        seed in 0u64..1000,
+    ) {
+        let mut prev = 0.0;
+        for cpus in [1usize, 2, 4, 8, 16] {
+            let r = quick(
+                HardwareProfile::altix350(),
+                cpus,
+                SystemSpec::new(SystemKind::Clock),
+                wl.clone(),
+                seed,
+            );
+            prop_assert!(
+                r.throughput_tps >= prev * 0.98,
+                "throughput fell {prev} -> {} at {cpus} cpus",
+                r.throughput_tps
+            );
+            prev = r.throughput_tps;
+        }
+    }
+
+    /// Batching never loses to lock-per-access on throughput (beyond
+    /// noise), at any processor count.
+    #[test]
+    fn batching_dominates_lock_per_access(
+        wl in any_workload(),
+        cpus in prop::sample::select(vec![2usize, 4, 8, 16]),
+    ) {
+        let q = quick(
+            HardwareProfile::altix350(),
+            cpus,
+            SystemSpec::new(SystemKind::LockPerAccess),
+            wl.clone(),
+            7,
+        );
+        let bat = quick(
+            HardwareProfile::altix350(),
+            cpus,
+            SystemSpec::new(SystemKind::Batching),
+            wl,
+            7,
+        );
+        prop_assert!(
+            bat.throughput_tps >= q.throughput_tps * 0.95,
+            "batching ({}) lost to lock-per-access ({}) at {cpus} cpus",
+            bat.throughput_tps,
+            q.throughput_tps
+        );
+    }
+
+    /// Conservation: simulated accesses are consistent with completed
+    /// transactions and the workload's transaction lengths.
+    #[test]
+    fn access_counts_are_consistent(
+        wl in any_workload(),
+        sys in any_system(),
+        cpus in prop::sample::select(vec![1usize, 4, 8]),
+    ) {
+        let min_len = *wl.txn_lengths.iter().min().unwrap() as u64;
+        let max_len = *wl.txn_lengths.iter().max().unwrap() as u64;
+        let r = quick(HardwareProfile::altix350(), cpus, SystemSpec::new(sys), wl, 11);
+        prop_assert!(r.txns > 0, "no transactions completed");
+        // Accesses from completed txns plus at most one in-flight txn per
+        // thread (threads = cpus + 2).
+        let slack = (cpus as u64 + 2) * max_len;
+        prop_assert!(r.accesses >= r.txns * min_len);
+        prop_assert!(r.accesses <= (r.txns + cpus as u64 + 2) * max_len + slack);
+    }
+
+    /// Determinism: identical parameters give identical reports.
+    #[test]
+    fn runs_are_deterministic(
+        wl in any_workload(),
+        sys in any_system(),
+        seed in 0u64..100,
+    ) {
+        let a = quick(HardwareProfile::poweredge1900(), 4, SystemSpec::new(sys), wl.clone(), seed);
+        let b = quick(HardwareProfile::poweredge1900(), 4, SystemSpec::new(sys), wl, seed);
+        prop_assert_eq!(a, b);
+    }
+
+    /// Larger batch thresholds never increase the per-access lock time
+    /// on a saturated lock (Fig. 2's monotonicity), comparing extremes.
+    #[test]
+    fn batch_amortization_monotone_at_extremes(
+        wl in any_workload(),
+    ) {
+        let small = quick(
+            HardwareProfile::altix350(),
+            16,
+            SystemSpec::with_batching(SystemKind::Batching, 2, 1),
+            wl.clone(),
+            3,
+        );
+        let large = quick(
+            HardwareProfile::altix350(),
+            16,
+            SystemSpec::with_batching(SystemKind::Batching, 64, 32),
+            wl,
+            3,
+        );
+        prop_assert!(
+            large.lock_time_per_access_us <= small.lock_time_per_access_us,
+            "batch 64 ({}) should not cost more per access than batch 2 ({})",
+            large.lock_time_per_access_us,
+            small.lock_time_per_access_us
+        );
+    }
+}

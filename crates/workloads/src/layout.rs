@@ -1,0 +1,182 @@
+//! Page-space layout helpers: map logical database objects (tables,
+//! index levels) onto disjoint ranges of page ids, the way a DBMS lays
+//! relations out in its tablespace.
+
+/// A contiguous range of page ids belonging to one database object.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Region {
+    /// First page id of the region.
+    pub base: u64,
+    /// Number of pages.
+    pub pages: u64,
+}
+
+impl Region {
+    /// Page id for index `idx` (wraps modulo the region, so callers can
+    /// treat append-heavy tables as circular).
+    pub fn page(&self, idx: u64) -> u64 {
+        debug_assert!(self.pages > 0);
+        self.base + idx % self.pages
+    }
+
+    /// Page holding `row` when `rows_per_page` rows fit a page.
+    pub fn page_of_row(&self, row: u64, rows_per_page: u64) -> u64 {
+        self.page(row / rows_per_page.max(1))
+    }
+
+    /// One past the last page id.
+    pub fn end(&self) -> u64 {
+        self.base + self.pages
+    }
+
+    /// True if `page` belongs to this region.
+    pub fn contains(&self, page: u64) -> bool {
+        (self.base..self.end()).contains(&page)
+    }
+}
+
+/// Sequential allocator of page-id regions.
+#[derive(Debug, Default)]
+pub struct PageSpace {
+    next: u64,
+}
+
+impl PageSpace {
+    /// Start allocating at page 0.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Claim `pages` pages (at least 1).
+    pub fn alloc(&mut self, pages: u64) -> Region {
+        let r = Region { base: self.next, pages: pages.max(1) };
+        self.next = r.end();
+        r
+    }
+
+    /// Total pages allocated so far.
+    pub fn total(&self) -> u64 {
+        self.next
+    }
+}
+
+/// A three-level B-tree index model: one hot root page, a small layer of
+/// internal pages, and leaves proportional to the key count. A lookup
+/// touches one page per level — the root being touched by *every*
+/// lookup is what makes index roots the canonical hot spot in a DBMS
+/// buffer pool.
+#[derive(Debug, Clone, Copy)]
+pub struct BtreeIndex {
+    root: Region,
+    inner: Region,
+    leaf: Region,
+}
+
+impl BtreeIndex {
+    /// Build an index over `keys` keys with `fanout` entries per page.
+    pub fn new(space: &mut PageSpace, keys: u64, fanout: u64) -> Self {
+        let fanout = fanout.max(2);
+        let leaves = (keys / fanout).max(1);
+        let inners = (leaves / fanout).max(1);
+        BtreeIndex {
+            root: space.alloc(1),
+            inner: space.alloc(inners),
+            leaf: space.alloc(leaves),
+        }
+    }
+
+    /// Pages touched when looking up the key at `frac` in `[0,1)` of the
+    /// key space, appended root-first (as a real descent would).
+    pub fn lookup(&self, frac: f64, out: &mut Vec<u64>) {
+        let frac = frac.clamp(0.0, 0.999_999_9);
+        out.push(self.root.base);
+        out.push(self.inner.page((frac * self.inner.pages as f64) as u64));
+        out.push(self.leaf.page((frac * self.leaf.pages as f64) as u64));
+    }
+
+    /// Pages touched by a short range scan starting at `frac` covering
+    /// `leaves` leaf pages.
+    pub fn range_scan(&self, frac: f64, leaves: u64, out: &mut Vec<u64>) {
+        self.lookup(frac, out);
+        let start = (frac.clamp(0.0, 1.0) * self.leaf.pages as f64) as u64;
+        for i in 1..leaves {
+            out.push(self.leaf.page(start + i));
+        }
+    }
+
+    /// Total pages across all levels.
+    pub fn total_pages(&self) -> u64 {
+        self.root.pages + self.inner.pages + self.leaf.pages
+    }
+
+    /// The (always hot) root page.
+    pub fn root_page(&self) -> u64 {
+        self.root.base
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn regions_are_disjoint_and_ordered() {
+        let mut s = PageSpace::new();
+        let a = s.alloc(10);
+        let b = s.alloc(5);
+        let c = s.alloc(1);
+        assert_eq!(a.base, 0);
+        assert_eq!(b.base, 10);
+        assert_eq!(c.base, 15);
+        assert_eq!(s.total(), 16);
+        assert!(a.contains(9));
+        assert!(!a.contains(10));
+        assert!(b.contains(10));
+    }
+
+    #[test]
+    fn region_wraps() {
+        let r = Region { base: 100, pages: 4 };
+        assert_eq!(r.page(0), 100);
+        assert_eq!(r.page(5), 101);
+        assert_eq!(r.page_of_row(7, 2), 103);
+        assert_eq!(r.page_of_row(8, 2), 100); // wrapped
+    }
+
+    #[test]
+    fn btree_lookup_descends_three_levels() {
+        let mut s = PageSpace::new();
+        let idx = BtreeIndex::new(&mut s, 100_000, 100);
+        let mut pages = Vec::new();
+        idx.lookup(0.5, &mut pages);
+        assert_eq!(pages.len(), 3);
+        assert_eq!(pages[0], idx.root_page());
+        assert_ne!(pages[1], pages[2]);
+        assert_eq!(s.total(), idx.total_pages());
+    }
+
+    #[test]
+    fn btree_lookups_hit_same_root() {
+        let mut s = PageSpace::new();
+        let idx = BtreeIndex::new(&mut s, 10_000, 50);
+        let mut a = Vec::new();
+        let mut b = Vec::new();
+        idx.lookup(0.1, &mut a);
+        idx.lookup(0.9, &mut b);
+        assert_eq!(a[0], b[0], "root page must be shared");
+        assert_ne!(a[2], b[2], "distant keys use different leaves");
+    }
+
+    #[test]
+    fn range_scan_touches_consecutive_leaves() {
+        let mut s = PageSpace::new();
+        let idx = BtreeIndex::new(&mut s, 100_000, 100);
+        let mut pages = Vec::new();
+        idx.range_scan(0.0, 5, &mut pages);
+        assert_eq!(pages.len(), 3 + 4);
+        // last 4 pages are consecutive leaves after the first
+        for w in pages[2..].windows(2) {
+            assert_eq!(w[1], w[0] + 1);
+        }
+    }
+}

@@ -1,0 +1,128 @@
+//! # bpw-workloads
+//!
+//! Page-reference workload generators for the BP-Wrapper reproduction:
+//! the paper's three benchmarks — DBT-1 (TPC-W-like), DBT-2 (TPC-C-like)
+//! and TableScan — plus synthetic distributions and trace capture.
+//!
+//! Real benchmark kits drive a real DBMS; the buffer manager, which is
+//! all this reproduction studies, only ever sees the resulting *page
+//! reference string*. These generators produce reference strings with
+//! the same structure (hot index roots, skewed row access, sequential
+//! scans, append-only tails) directly, at a configurable scale.
+
+pub mod layout;
+pub mod synthetic;
+pub mod tablescan;
+pub mod tpcc;
+pub mod tpcw;
+pub mod trace;
+pub mod zipf;
+
+pub use layout::{BtreeIndex, PageSpace, Region};
+pub use synthetic::{SequentialLoop, Uniform, ZipfWorkload};
+pub use tablescan::{TableScan, TableScanConfig};
+pub use tpcc::{Tpcc, TpccConfig};
+pub use tpcw::{Tpcw, TpcwConfig};
+pub use trace::{Trace, TraceReplay};
+pub use zipf::{nurand, splitmix64, Zipf};
+
+/// A workload: a page universe plus per-thread transaction streams.
+pub trait Workload: Send + Sync {
+    /// Human-readable name (used in experiment output).
+    fn name(&self) -> String;
+
+    /// Upper bound on the page ids the workload generates (pages are in
+    /// `0..page_universe()`).
+    fn page_universe(&self) -> u64;
+
+    /// An independent access stream for one worker thread. Streams with
+    /// the same `(thread_id, seed)` are identical; different thread ids
+    /// give decorrelated streams.
+    fn stream(&self, thread_id: usize, seed: u64) -> Box<dyn TransactionStream>;
+}
+
+/// A sequence of transactions, each a short burst of page accesses.
+pub trait TransactionStream: Send {
+    /// Append the next transaction's page accesses to `out` (does not
+    /// clear it). Every transaction contains at least one access.
+    fn next_transaction(&mut self, out: &mut Vec<u64>);
+}
+
+/// The paper's three evaluation workloads, for experiment sweeps.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum WorkloadKind {
+    /// DBT-1: TPC-W-like web bookstore.
+    Dbt1,
+    /// DBT-2: TPC-C-like OLTP.
+    Dbt2,
+    /// Concurrent full-table scans.
+    TableScan,
+}
+
+impl WorkloadKind {
+    /// All three, in the paper's presentation order.
+    pub const ALL: [WorkloadKind; 3] = [WorkloadKind::Dbt1, WorkloadKind::Dbt2, WorkloadKind::TableScan];
+
+    /// Paper's name for the workload.
+    pub fn name(&self) -> &'static str {
+        match self {
+            WorkloadKind::Dbt1 => "DBT-1",
+            WorkloadKind::Dbt2 => "DBT-2",
+            WorkloadKind::TableScan => "TableScan",
+        }
+    }
+
+    /// Build the workload at default (laptop) scale.
+    pub fn build(&self) -> Box<dyn Workload> {
+        match self {
+            WorkloadKind::Dbt1 => Box::new(Tpcw::new(TpcwConfig::default())),
+            WorkloadKind::Dbt2 => Box::new(Tpcc::new(TpccConfig::default())),
+            WorkloadKind::TableScan => Box::new(TableScan::new(TableScanConfig::default())),
+        }
+    }
+}
+
+impl std::fmt::Display for WorkloadKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl std::str::FromStr for WorkloadKind {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "dbt-1" | "dbt1" | "tpcw" | "tpc-w" => Ok(WorkloadKind::Dbt1),
+            "dbt-2" | "dbt2" | "tpcc" | "tpc-c" => Ok(WorkloadKind::Dbt2),
+            "tablescan" | "scan" => Ok(WorkloadKind::TableScan),
+            other => Err(format!("unknown workload {other:?}")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kinds_build_and_generate() {
+        for kind in WorkloadKind::ALL {
+            let w = kind.build();
+            assert!(w.page_universe() > 0, "{kind}");
+            let mut s = w.stream(0, 11);
+            let mut buf = Vec::new();
+            s.next_transaction(&mut buf);
+            assert!(!buf.is_empty(), "{kind}");
+            assert!(buf.iter().all(|&p| p < w.page_universe()), "{kind}");
+        }
+    }
+
+    #[test]
+    fn kind_parsing() {
+        assert_eq!("tpcc".parse::<WorkloadKind>().unwrap(), WorkloadKind::Dbt2);
+        assert_eq!("DBT-1".parse::<WorkloadKind>().unwrap(), WorkloadKind::Dbt1);
+        assert_eq!("scan".parse::<WorkloadKind>().unwrap(), WorkloadKind::TableScan);
+        assert!("x".parse::<WorkloadKind>().is_err());
+    }
+}

@@ -1,0 +1,213 @@
+//! Synthetic single-distribution workloads: uniform, Zipfian hot-spot,
+//! and sequential looping — the controlled inputs for microbenchmarks
+//! and policy studies.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::zipf::Zipf;
+use crate::{TransactionStream, Workload};
+
+/// Uniform random accesses over a fixed page universe; `txn_len` pages
+/// per transaction.
+#[derive(Debug, Clone)]
+pub struct Uniform {
+    pages: u64,
+    txn_len: usize,
+}
+
+impl Uniform {
+    /// Uniform workload over `pages` pages.
+    pub fn new(pages: u64, txn_len: usize) -> Self {
+        assert!(pages >= 1 && txn_len >= 1);
+        Uniform { pages, txn_len }
+    }
+}
+
+impl Workload for Uniform {
+    fn name(&self) -> String {
+        format!("Uniform({})", self.pages)
+    }
+
+    fn page_universe(&self) -> u64 {
+        self.pages
+    }
+
+    fn stream(&self, thread_id: usize, seed: u64) -> Box<dyn TransactionStream> {
+        let rng = StdRng::seed_from_u64(seed ^ (thread_id as u64).wrapping_mul(0x9E37));
+        Box::new(UniformStream { pages: self.pages, txn_len: self.txn_len, rng })
+    }
+}
+
+struct UniformStream {
+    pages: u64,
+    txn_len: usize,
+    rng: StdRng,
+}
+
+impl TransactionStream for UniformStream {
+    fn next_transaction(&mut self, out: &mut Vec<u64>) {
+        for _ in 0..self.txn_len {
+            out.push(self.rng.gen_range(0..self.pages));
+        }
+    }
+}
+
+/// Zipf-skewed accesses (scrambled so hot pages are spread over the id
+/// space), `txn_len` pages per transaction.
+#[derive(Debug, Clone)]
+pub struct ZipfWorkload {
+    pages: u64,
+    theta: f64,
+    txn_len: usize,
+}
+
+impl ZipfWorkload {
+    /// Zipfian workload over `pages` pages with skew `theta`.
+    pub fn new(pages: u64, theta: f64, txn_len: usize) -> Self {
+        assert!(pages >= 1 && txn_len >= 1);
+        ZipfWorkload { pages, theta, txn_len }
+    }
+}
+
+impl Workload for ZipfWorkload {
+    fn name(&self) -> String {
+        format!("Zipf({}, θ={})", self.pages, self.theta)
+    }
+
+    fn page_universe(&self) -> u64 {
+        self.pages
+    }
+
+    fn stream(&self, thread_id: usize, seed: u64) -> Box<dyn TransactionStream> {
+        let rng = StdRng::seed_from_u64(seed ^ (thread_id as u64).wrapping_mul(0x85EB));
+        Box::new(ZipfStream { zipf: Zipf::new(self.pages, self.theta), txn_len: self.txn_len, rng })
+    }
+}
+
+struct ZipfStream {
+    zipf: Zipf,
+    txn_len: usize,
+    rng: StdRng,
+}
+
+impl TransactionStream for ZipfStream {
+    fn next_transaction(&mut self, out: &mut Vec<u64>) {
+        for _ in 0..self.txn_len {
+            out.push(self.zipf.sample_scrambled(&mut self.rng));
+        }
+    }
+}
+
+/// Sequential looping over the page universe — the pattern that defeats
+/// LRU when the loop exceeds the cache (and that SEQ-style policies must
+/// see *in order*, per the paper's argument for private FIFO queues).
+#[derive(Debug, Clone)]
+pub struct SequentialLoop {
+    pages: u64,
+    txn_len: usize,
+}
+
+impl SequentialLoop {
+    /// Loop over `pages` pages, `txn_len` accesses per transaction.
+    pub fn new(pages: u64, txn_len: usize) -> Self {
+        assert!(pages >= 1 && txn_len >= 1);
+        SequentialLoop { pages, txn_len }
+    }
+}
+
+impl Workload for SequentialLoop {
+    fn name(&self) -> String {
+        format!("SeqLoop({})", self.pages)
+    }
+
+    fn page_universe(&self) -> u64 {
+        self.pages
+    }
+
+    fn stream(&self, thread_id: usize, _seed: u64) -> Box<dyn TransactionStream> {
+        // Stagger threads across the loop so they don't convoy.
+        let start = (thread_id as u64).wrapping_mul(self.pages / 4 + 1) % self.pages;
+        Box::new(SeqStream { pages: self.pages, txn_len: self.txn_len, cursor: start })
+    }
+}
+
+struct SeqStream {
+    pages: u64,
+    txn_len: usize,
+    cursor: u64,
+}
+
+impl TransactionStream for SeqStream {
+    fn next_transaction(&mut self, out: &mut Vec<u64>) {
+        for _ in 0..self.txn_len {
+            out.push(self.cursor);
+            self.cursor = (self.cursor + 1) % self.pages;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Workload;
+
+    #[test]
+    fn uniform_covers_universe() {
+        let w = Uniform::new(16, 8);
+        let mut s = w.stream(0, 42);
+        let mut seen = std::collections::HashSet::new();
+        let mut buf = Vec::new();
+        for _ in 0..200 {
+            buf.clear();
+            s.next_transaction(&mut buf);
+            assert_eq!(buf.len(), 8);
+            seen.extend(buf.iter().copied());
+            assert!(buf.iter().all(|&p| p < 16));
+        }
+        assert_eq!(seen.len(), 16);
+    }
+
+    #[test]
+    fn zipf_stream_is_skewed() {
+        let w = ZipfWorkload::new(1000, 0.99, 100);
+        let mut s = w.stream(0, 7);
+        let mut buf = Vec::new();
+        let mut counts = std::collections::HashMap::new();
+        for _ in 0..100 {
+            buf.clear();
+            s.next_transaction(&mut buf);
+            for &p in &buf {
+                *counts.entry(p).or_insert(0u32) += 1;
+            }
+        }
+        let max = counts.values().max().copied().unwrap_or(0);
+        assert!(max > 100, "hot page should dominate, max count {max}");
+    }
+
+    #[test]
+    fn sequential_is_in_order() {
+        let w = SequentialLoop::new(10, 25);
+        let mut s = w.stream(0, 0);
+        let mut buf = Vec::new();
+        s.next_transaction(&mut buf);
+        for w in buf.windows(2) {
+            assert_eq!(w[1], (w[0] + 1) % 10);
+        }
+    }
+
+    #[test]
+    fn streams_are_deterministic_per_seed() {
+        let w = ZipfWorkload::new(100, 0.8, 10);
+        let mut a = w.stream(3, 99);
+        let mut b = w.stream(3, 99);
+        let (mut va, mut vb) = (Vec::new(), Vec::new());
+        a.next_transaction(&mut va);
+        b.next_transaction(&mut vb);
+        assert_eq!(va, vb);
+        let mut c = w.stream(4, 99);
+        let mut vc = Vec::new();
+        c.next_transaction(&mut vc);
+        assert_ne!(va, vc, "different threads should draw different streams");
+    }
+}

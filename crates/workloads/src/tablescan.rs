@@ -1,0 +1,128 @@
+//! The paper's `TableScan` benchmark (§IV-C): concurrent queries, each
+//! scanning an entire table. "Each table consists of 10,000 rows, and
+//! each row is 100 bytes long" — with 8 KiB pages that is ~80 rows per
+//! page, ~125 pages per table. One transaction = one full scan.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::layout::{PageSpace, Region};
+use crate::{TransactionStream, Workload};
+
+/// Configuration for [`TableScan`].
+#[derive(Debug, Clone, Copy)]
+pub struct TableScanConfig {
+    /// Number of tables in the database.
+    pub tables: usize,
+    /// Rows per table (paper: 10,000).
+    pub rows_per_table: u64,
+    /// Row size in bytes (paper: 100).
+    pub row_bytes: u64,
+    /// Page size in bytes (PostgreSQL: 8192).
+    pub page_bytes: u64,
+}
+
+impl Default for TableScanConfig {
+    fn default() -> Self {
+        TableScanConfig { tables: 16, rows_per_table: 10_000, row_bytes: 100, page_bytes: 8192 }
+    }
+}
+
+/// Concurrent full-table-scan workload.
+#[derive(Debug, Clone)]
+pub struct TableScan {
+    tables: Vec<Region>,
+    total_pages: u64,
+}
+
+impl TableScan {
+    /// Build with the paper's table dimensions.
+    pub fn new(cfg: TableScanConfig) -> Self {
+        assert!(cfg.tables >= 1);
+        let rows_per_page = (cfg.page_bytes / cfg.row_bytes).max(1);
+        let pages_per_table = cfg.rows_per_table.div_ceil(rows_per_page).max(1);
+        let mut space = PageSpace::new();
+        let tables = (0..cfg.tables).map(|_| space.alloc(pages_per_table)).collect();
+        TableScan { tables, total_pages: space.total() }
+    }
+
+    /// Pages in one table.
+    pub fn pages_per_table(&self) -> u64 {
+        self.tables[0].pages
+    }
+}
+
+impl Workload for TableScan {
+    fn name(&self) -> String {
+        format!("TableScan({}x{})", self.tables.len(), self.tables[0].pages)
+    }
+
+    fn page_universe(&self) -> u64 {
+        self.total_pages
+    }
+
+    fn stream(&self, thread_id: usize, seed: u64) -> Box<dyn TransactionStream> {
+        Box::new(ScanStream {
+            tables: self.tables.clone(),
+            rng: StdRng::seed_from_u64(seed ^ (thread_id as u64).wrapping_mul(0xC2B2)),
+        })
+    }
+}
+
+struct ScanStream {
+    tables: Vec<Region>,
+    rng: StdRng,
+}
+
+impl TransactionStream for ScanStream {
+    fn next_transaction(&mut self, out: &mut Vec<u64>) {
+        // One query: scan a randomly chosen table front to back.
+        let t = self.rng.gen_range(0..self.tables.len());
+        let r = self.tables[t];
+        out.extend(r.base..r.end());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_dimensions() {
+        let ts = TableScan::new(TableScanConfig::default());
+        // 10,000 rows x 100 B at 8 KiB pages -> 81 rows/page -> 124 pages.
+        assert_eq!(ts.pages_per_table(), 124);
+        assert_eq!(ts.page_universe(), 16 * 124);
+    }
+
+    #[test]
+    fn scan_is_sequential_and_complete() {
+        let ts = TableScan::new(TableScanConfig {
+            tables: 3,
+            rows_per_table: 100,
+            row_bytes: 100,
+            page_bytes: 1000,
+        });
+        let mut s = ts.stream(0, 1);
+        let mut buf = Vec::new();
+        s.next_transaction(&mut buf);
+        assert_eq!(buf.len() as u64, ts.pages_per_table());
+        for w in buf.windows(2) {
+            assert_eq!(w[1], w[0] + 1, "scan must be sequential");
+        }
+    }
+
+    #[test]
+    fn different_transactions_pick_various_tables() {
+        let ts = TableScan::new(TableScanConfig::default());
+        let mut s = ts.stream(1, 9);
+        let mut firsts = std::collections::HashSet::new();
+        let mut buf = Vec::new();
+        for _ in 0..50 {
+            buf.clear();
+            s.next_transaction(&mut buf);
+            firsts.insert(buf[0]);
+        }
+        assert!(firsts.len() > 1, "scans should cover multiple tables");
+    }
+}

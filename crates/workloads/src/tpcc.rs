@@ -1,0 +1,315 @@
+//! A TPC-C-like page-access workload (the paper's DBT-2, from the OSDL
+//! database test suite, "provides an on-line transaction processing
+//! (OLTP) workload"; the paper sets 50 warehouses).
+//!
+//! What the buffer manager sees from TPC-C is a page reference string
+//! with a specific structure: very hot warehouse/district/index-root
+//! pages, NURand-skewed customer/item/stock accesses, and append-only
+//! tails (orders, order lines, history) that are written once and
+//! revisited briefly. This module reproduces that structure at the page
+//! level using the TPC-C 5.0 transaction mix and row counts, scaled by
+//! the warehouse count.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::layout::{BtreeIndex, PageSpace, Region};
+use crate::zipf::nurand;
+use crate::{TransactionStream, Workload};
+
+/// Configuration for [`Tpcc`].
+#[derive(Debug, Clone, Copy)]
+pub struct TpccConfig {
+    /// Warehouse count (paper: 50; default scaled for laptop runs).
+    pub warehouses: u64,
+}
+
+impl Default for TpccConfig {
+    fn default() -> Self {
+        TpccConfig { warehouses: 10 }
+    }
+}
+
+/// Static page layout shared by all streams.
+#[derive(Debug)]
+struct TpccLayout {
+    warehouses: u64,
+    warehouse: Region,
+    district: Region,
+    customer: Region,
+    customer_idx: BtreeIndex,
+    customer_name_idx: BtreeIndex,
+    stock: Region,
+    stock_idx: BtreeIndex,
+    item: Region,
+    item_idx: BtreeIndex,
+    orders: Region,
+    orders_idx: BtreeIndex,
+    order_line: Region,
+    new_order_idx: BtreeIndex,
+    history: Region,
+    /// Shared append cursors (rows), modelling the real hot tail pages.
+    orders_cursor: AtomicU64,
+    order_line_cursor: AtomicU64,
+    history_cursor: AtomicU64,
+    total_pages: u64,
+}
+
+const CUSTOMERS_PER_DISTRICT: u64 = 3_000;
+const DISTRICTS_PER_WAREHOUSE: u64 = 10;
+const STOCK_PER_WAREHOUSE: u64 = 100_000;
+const ITEMS: u64 = 100_000;
+
+/// TPC-C-like OLTP workload over a synthetic page layout.
+#[derive(Clone)]
+pub struct Tpcc {
+    layout: Arc<TpccLayout>,
+}
+
+impl Tpcc {
+    /// Build the layout for `cfg.warehouses` warehouses.
+    pub fn new(cfg: TpccConfig) -> Self {
+        let w = cfg.warehouses.max(1);
+        let mut s = PageSpace::new();
+        let customers = w * DISTRICTS_PER_WAREHOUSE * CUSTOMERS_PER_DISTRICT;
+        let layout = TpccLayout {
+            warehouses: w,
+            warehouse: s.alloc(w),                       // 1 page each
+            district: s.alloc(w),                        // 10 rows fit one page
+            customer: s.alloc(customers / 12),           // ~12 rows/page
+            customer_idx: BtreeIndex::new(&mut s, customers, 150),
+            customer_name_idx: BtreeIndex::new(&mut s, customers, 150),
+            stock: s.alloc(w * STOCK_PER_WAREHOUSE / 25), // ~25 rows/page
+            stock_idx: BtreeIndex::new(&mut s, w * STOCK_PER_WAREHOUSE, 150),
+            item: s.alloc(ITEMS / 80),                   // ~80 rows/page
+            item_idx: BtreeIndex::new(&mut s, ITEMS, 150),
+            orders: s.alloc((w * 3_000).max(64)),        // circular tail
+            orders_idx: BtreeIndex::new(&mut s, w * 30_000, 150),
+            order_line: s.alloc((w * 15_000).max(64)),   // circular tail
+            new_order_idx: BtreeIndex::new(&mut s, w * 9_000, 150),
+            history: s.alloc((w * 1_000).max(64)),       // circular tail
+            orders_cursor: AtomicU64::new(0),
+            order_line_cursor: AtomicU64::new(0),
+            history_cursor: AtomicU64::new(0),
+            total_pages: 0,
+        };
+        let total = s.total();
+        let mut layout = layout;
+        layout.total_pages = total;
+        Tpcc { layout: Arc::new(layout) }
+    }
+}
+
+impl Workload for Tpcc {
+    fn name(&self) -> String {
+        format!("TPC-C({}wh)", self.layout.warehouses)
+    }
+
+    fn page_universe(&self) -> u64 {
+        self.layout.total_pages
+    }
+
+    fn stream(&self, thread_id: usize, seed: u64) -> Box<dyn TransactionStream> {
+        let mut rng = StdRng::seed_from_u64(seed ^ (thread_id as u64).wrapping_mul(0xA24B));
+        // TPC-C terminals are bound to a home warehouse.
+        let home = rng.gen_range(0..self.layout.warehouses);
+        // The spec's per-run NURand constants.
+        let c_c = rng.gen_range(0..1024);
+        let c_i = rng.gen_range(0..8192);
+        Box::new(TpccStream { l: Arc::clone(&self.layout), rng, home, c_c, c_i })
+    }
+}
+
+struct TpccStream {
+    l: Arc<TpccLayout>,
+    rng: StdRng,
+    home: u64,
+    c_c: u64,
+    c_i: u64,
+}
+
+impl TpccStream {
+    fn customer_frac(&mut self) -> f64 {
+        let d = self.rng.gen_range(0..DISTRICTS_PER_WAREHOUSE);
+        let c = nurand(&mut self.rng, 1023, self.c_c, 1, CUSTOMERS_PER_DISTRICT) - 1;
+        let row = (self.home * DISTRICTS_PER_WAREHOUSE + d) * CUSTOMERS_PER_DISTRICT + c;
+        row as f64 / (self.l.warehouses * DISTRICTS_PER_WAREHOUSE * CUSTOMERS_PER_DISTRICT) as f64
+    }
+
+    fn customer_lookup(&mut self, by_name: bool, out: &mut Vec<u64>) {
+        let frac = self.customer_frac();
+        if by_name {
+            // Name lookups scan a few leaf entries to disambiguate.
+            self.l.customer_name_idx.range_scan(frac, 2, out);
+        } else {
+            self.l.customer_idx.lookup(frac, out);
+        }
+        out.push(self.l.customer.page_of_row(
+            (frac * self.l.customer.pages as f64 * 12.0) as u64,
+            12,
+        ));
+    }
+
+    fn item_access(&mut self, out: &mut Vec<u64>) -> f64 {
+        let i = nurand(&mut self.rng, 8191, self.c_i, 1, ITEMS) - 1;
+        let frac = i as f64 / ITEMS as f64;
+        self.l.item_idx.lookup(frac, out);
+        out.push(self.l.item.page_of_row(i, 80));
+        frac
+    }
+
+    fn stock_access(&mut self, item_frac: f64, out: &mut Vec<u64>) {
+        let rows = self.l.warehouses * STOCK_PER_WAREHOUSE;
+        let row = self.home * STOCK_PER_WAREHOUSE + (item_frac * STOCK_PER_WAREHOUSE as f64) as u64;
+        self.l.stock_idx.lookup(row as f64 / rows as f64, out);
+        out.push(self.l.stock.page_of_row(row, 25));
+    }
+
+    fn new_order(&mut self, out: &mut Vec<u64>) {
+        out.push(self.l.warehouse.page(self.home));
+        out.push(self.l.district.page(self.home));
+        self.customer_lookup(false, out);
+        let ol_cnt = self.rng.gen_range(5..=15);
+        for _ in 0..ol_cnt {
+            let frac = self.item_access(out);
+            self.stock_access(frac, out);
+            // Insert an order line at the shared tail.
+            let row = self.l.order_line_cursor.fetch_add(1, Ordering::Relaxed);
+            out.push(self.l.order_line.page_of_row(row, 60));
+        }
+        // Insert orders + new_order rows.
+        let orow = self.l.orders_cursor.fetch_add(1, Ordering::Relaxed);
+        out.push(self.l.orders.page_of_row(orow, 30));
+        self.l.orders_idx.lookup(self.rng.gen(), out);
+        self.l.new_order_idx.lookup(self.rng.gen(), out);
+    }
+
+    fn payment(&mut self, out: &mut Vec<u64>) {
+        out.push(self.l.warehouse.page(self.home));
+        out.push(self.l.district.page(self.home));
+        let by_name = self.rng.gen_bool(0.6);
+        self.customer_lookup(by_name, out);
+        let hrow = self.l.history_cursor.fetch_add(1, Ordering::Relaxed);
+        out.push(self.l.history.page_of_row(hrow, 40));
+    }
+
+    fn order_status(&mut self, out: &mut Vec<u64>) {
+        let by_name = self.rng.gen_bool(0.6);
+        self.customer_lookup(by_name, out);
+        self.l.orders_idx.lookup(self.rng.gen(), out);
+        let recent = self.l.orders_cursor.load(Ordering::Relaxed);
+        out.push(self.l.orders.page_of_row(recent.saturating_sub(self.rng.gen_range(0..30)), 30));
+        // The order's lines (5-15 rows, ~60/page: 1-2 pages).
+        let olrow = self.l.order_line_cursor.load(Ordering::Relaxed);
+        out.push(self.l.order_line.page_of_row(olrow.saturating_sub(self.rng.gen_range(0..300)), 60));
+    }
+
+    fn delivery(&mut self, out: &mut Vec<u64>) {
+        out.push(self.l.warehouse.page(self.home));
+        for _ in 0..DISTRICTS_PER_WAREHOUSE {
+            self.l.new_order_idx.lookup(self.rng.gen(), out);
+            let orow = self.l.orders_cursor.load(Ordering::Relaxed);
+            out.push(self.l.orders.page_of_row(orow.saturating_sub(self.rng.gen_range(0..100)), 30));
+            let olrow = self.l.order_line_cursor.load(Ordering::Relaxed);
+            out.push(self.l.order_line.page_of_row(olrow.saturating_sub(self.rng.gen_range(0..1500)), 60));
+            self.customer_lookup(false, out);
+        }
+    }
+
+    fn stock_level(&mut self, out: &mut Vec<u64>) {
+        out.push(self.l.district.page(self.home));
+        // Scan the district's 20 most recent orders' lines...
+        let olrow = self.l.order_line_cursor.load(Ordering::Relaxed);
+        for k in 0..4 {
+            out.push(self.l.order_line.page_of_row(olrow.saturating_sub(k * 60), 60));
+        }
+        // ...and check ~20 distinct stock rows.
+        for _ in 0..20 {
+            let frac = self.rng.gen::<f64>();
+            self.stock_access(frac, out);
+        }
+    }
+}
+
+impl TransactionStream for TpccStream {
+    fn next_transaction(&mut self, out: &mut Vec<u64>) {
+        // TPC-C 5.0 mix: 45/43/4/4/4.
+        let roll = self.rng.gen_range(0..100);
+        match roll {
+            0..=44 => self.new_order(out),
+            45..=87 => self.payment(out),
+            88..=91 => self.order_status(out),
+            92..=95 => self.delivery(out),
+            _ => self.stock_level(out),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn layout_pages_are_in_universe() {
+        let w = Tpcc::new(TpccConfig { warehouses: 2 });
+        let mut s = w.stream(0, 1);
+        let mut buf = Vec::new();
+        for _ in 0..500 {
+            buf.clear();
+            s.next_transaction(&mut buf);
+            assert!(!buf.is_empty());
+            for &p in &buf {
+                assert!(p < w.page_universe(), "page {p} outside universe");
+            }
+        }
+    }
+
+    #[test]
+    fn warehouse_pages_are_hot() {
+        // The home-warehouse page must be among the most accessed pages.
+        let w = Tpcc::new(TpccConfig { warehouses: 1 });
+        let mut s = w.stream(0, 2);
+        let mut counts = std::collections::HashMap::new();
+        let mut buf = Vec::new();
+        for _ in 0..1000 {
+            buf.clear();
+            s.next_transaction(&mut buf);
+            for &p in &buf {
+                *counts.entry(p).or_insert(0u32) += 1;
+            }
+        }
+        // New-order (45%) + payment (43%) + delivery (4%) all touch the
+        // home warehouse page: expect it referenced by ~90% of txns.
+        let wh_count = counts.get(&0).copied().unwrap_or(0); // warehouse page 0
+        assert!(
+            wh_count >= 700,
+            "warehouse page not hot: {wh_count} accesses over 1000 txns"
+        );
+    }
+
+    #[test]
+    fn mix_has_all_types() {
+        // With 2000 transactions we must see varied lengths (new-order is
+        // long, payment short).
+        let w = Tpcc::new(TpccConfig::default());
+        let mut s = w.stream(3, 5);
+        let mut lens = std::collections::HashSet::new();
+        let mut buf = Vec::new();
+        for _ in 0..2000 {
+            buf.clear();
+            s.next_transaction(&mut buf);
+            lens.insert(buf.len());
+        }
+        assert!(lens.len() > 5, "transaction mix too uniform: {lens:?}");
+    }
+
+    #[test]
+    fn universe_scales_with_warehouses() {
+        let a = Tpcc::new(TpccConfig { warehouses: 1 }).page_universe();
+        let b = Tpcc::new(TpccConfig { warehouses: 4 }).page_universe();
+        assert!(b > 2 * a);
+    }
+}

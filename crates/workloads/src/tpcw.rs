@@ -1,0 +1,302 @@
+//! A TPC-W-like page-access workload (the paper's DBT-1: "simulates the
+//! activities of web users who browse and order items from an on-line
+//! bookstore... the same characteristics as the TPC-W benchmark
+//! specification version 1.7"; the paper's database has 10,000 items and
+//! 2.9 million customers).
+//!
+//! The buffer-level signature of TPC-W: Zipf-skewed item popularity
+//! (best-sellers are read constantly), wide customer data with low
+//! re-reference, index-root hot spots, and short read-mostly web
+//! interactions with occasional order writes.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::layout::{BtreeIndex, PageSpace, Region};
+use crate::zipf::Zipf;
+use crate::{TransactionStream, Workload};
+
+/// Configuration for [`Tpcw`].
+#[derive(Debug, Clone, Copy)]
+pub struct TpcwConfig {
+    /// Item count (TPC-W scale: 10,000).
+    pub items: u64,
+    /// Customer count (paper: 2.9 M; default scaled for laptop runs).
+    pub customers: u64,
+    /// Zipf skew of item popularity.
+    pub item_theta: f64,
+}
+
+impl Default for TpcwConfig {
+    fn default() -> Self {
+        TpcwConfig { items: 10_000, customers: 100_000, item_theta: 0.8 }
+    }
+}
+
+#[derive(Debug)]
+struct TpcwLayout {
+    items: u64,
+    customers: u64,
+    item: Region,
+    item_idx: BtreeIndex,
+    item_subject_idx: BtreeIndex,
+    author: Region,
+    author_idx: BtreeIndex,
+    customer: Region,
+    customer_idx: BtreeIndex,
+    address: Region,
+    orders: Region,
+    orders_idx: BtreeIndex,
+    order_line: Region,
+    cc_xacts: Region,
+    cart: Region,
+    orders_cursor: AtomicU64,
+    order_line_cursor: AtomicU64,
+    cc_cursor: AtomicU64,
+    total_pages: u64,
+}
+
+/// TPC-W-like web-bookstore workload.
+#[derive(Clone)]
+pub struct Tpcw {
+    layout: Arc<TpcwLayout>,
+    item_theta: f64,
+}
+
+impl Tpcw {
+    /// Build the layout for the given scale.
+    pub fn new(cfg: TpcwConfig) -> Self {
+        let mut s = PageSpace::new();
+        let layout = TpcwLayout {
+            items: cfg.items,
+            customers: cfg.customers,
+            item: s.alloc(cfg.items / 20),        // wide rows: ~20/page
+            item_idx: BtreeIndex::new(&mut s, cfg.items, 150),
+            item_subject_idx: BtreeIndex::new(&mut s, cfg.items, 150),
+            author: s.alloc((cfg.items / 4 / 25).max(1)),
+            author_idx: BtreeIndex::new(&mut s, cfg.items / 4, 150),
+            customer: s.alloc(cfg.customers / 12),
+            customer_idx: BtreeIndex::new(&mut s, cfg.customers, 150),
+            address: s.alloc((cfg.customers * 2 / 30).max(1)),
+            orders: s.alloc((cfg.customers / 10).max(64)),
+            orders_idx: BtreeIndex::new(&mut s, cfg.customers, 150),
+            order_line: s.alloc((cfg.customers / 4).max(64)),
+            cc_xacts: s.alloc((cfg.customers / 10).max(64)),
+            cart: s.alloc((cfg.customers / 20).max(64)),
+            orders_cursor: AtomicU64::new(0),
+            order_line_cursor: AtomicU64::new(0),
+            cc_cursor: AtomicU64::new(0),
+            total_pages: 0,
+        };
+        let total = s.total();
+        let mut layout = layout;
+        layout.total_pages = total;
+        Tpcw { layout: Arc::new(layout), item_theta: cfg.item_theta }
+    }
+}
+
+impl Workload for Tpcw {
+    fn name(&self) -> String {
+        format!("TPC-W({} items)", self.layout.items)
+    }
+
+    fn page_universe(&self) -> u64 {
+        self.layout.total_pages
+    }
+
+    fn stream(&self, thread_id: usize, seed: u64) -> Box<dyn TransactionStream> {
+        Box::new(TpcwStream {
+            l: Arc::clone(&self.layout),
+            zipf: Zipf::new(self.layout.items, self.item_theta),
+            rng: StdRng::seed_from_u64(seed ^ (thread_id as u64).wrapping_mul(0xD1B5)),
+        })
+    }
+}
+
+struct TpcwStream {
+    l: Arc<TpcwLayout>,
+    zipf: Zipf,
+    rng: StdRng,
+}
+
+impl TpcwStream {
+    /// Look up a popularity-ranked item: index descent + item page (+
+    /// author 50% of the time, as the product page shows author info).
+    fn item_detail(&mut self, out: &mut Vec<u64>) {
+        let rank = self.zipf.sample(&mut self.rng);
+        // Popular items are spread over the table by hashing rank -> row.
+        let row = crate::zipf::splitmix64(rank) % self.l.items;
+        let frac = row as f64 / self.l.items as f64;
+        self.l.item_idx.lookup(frac, out);
+        out.push(self.l.item.page_of_row(row, 20));
+        if self.rng.gen_bool(0.5) {
+            let arow = row % (self.l.items / 4).max(1);
+            self.l.author_idx.lookup(arow as f64 / (self.l.items / 4).max(1) as f64, out);
+            out.push(self.l.author.page_of_row(arow, 25));
+        }
+    }
+
+    fn customer_session(&mut self, out: &mut Vec<u64>) {
+        let row = self.rng.gen_range(0..self.l.customers);
+        let frac = row as f64 / self.l.customers as f64;
+        self.l.customer_idx.lookup(frac, out);
+        out.push(self.l.customer.page_of_row(row, 12));
+    }
+
+    fn home(&mut self, out: &mut Vec<u64>) {
+        self.customer_session(out);
+        // Promotional items on the home page.
+        for _ in 0..5 {
+            self.item_detail(out);
+        }
+    }
+
+    fn new_products(&mut self, out: &mut Vec<u64>) {
+        // Range scan over the subject index + item pages.
+        self.l.item_subject_idx.range_scan(self.rng.gen(), 3, out);
+        for _ in 0..10 {
+            self.item_detail(out);
+        }
+    }
+
+    fn best_sellers(&mut self, out: &mut Vec<u64>) {
+        // Aggregate over recent order lines, then show the top items.
+        let tail = self.l.order_line_cursor.load(Ordering::Relaxed);
+        for k in 0..30 {
+            out.push(self.l.order_line.page_of_row(tail.saturating_sub(k * 50), 50));
+        }
+        for _ in 0..10 {
+            self.item_detail(out);
+        }
+    }
+
+    fn search(&mut self, out: &mut Vec<u64>) {
+        self.l.item_subject_idx.range_scan(self.rng.gen(), 5, out);
+        for _ in 0..8 {
+            self.item_detail(out);
+        }
+    }
+
+    fn shopping_cart(&mut self, out: &mut Vec<u64>) {
+        let cart_row = self.rng.gen_range(0..self.l.cart.pages * 20);
+        out.push(self.l.cart.page_of_row(cart_row, 20));
+        for _ in 0..self.rng.gen_range(1..=5) {
+            self.item_detail(out);
+        }
+    }
+
+    fn buy_confirm(&mut self, out: &mut Vec<u64>) {
+        self.customer_session(out);
+        out.push(self.l.address.page_of_row(self.rng.gen_range(0..self.l.address.pages * 30), 30));
+        let orow = self.l.orders_cursor.fetch_add(1, Ordering::Relaxed);
+        out.push(self.l.orders.page_of_row(orow, 25));
+        self.l.orders_idx.lookup(self.rng.gen(), out);
+        let lines = self.rng.gen_range(1..=5);
+        for _ in 0..lines {
+            let lrow = self.l.order_line_cursor.fetch_add(1, Ordering::Relaxed);
+            out.push(self.l.order_line.page_of_row(lrow, 50));
+        }
+        let crow = self.l.cc_cursor.fetch_add(1, Ordering::Relaxed);
+        out.push(self.l.cc_xacts.page_of_row(crow, 40));
+    }
+
+    fn order_inquiry(&mut self, out: &mut Vec<u64>) {
+        self.customer_session(out);
+        self.l.orders_idx.lookup(self.rng.gen(), out);
+        let orow = self.l.orders_cursor.load(Ordering::Relaxed);
+        out.push(self.l.orders.page_of_row(orow.saturating_sub(self.rng.gen_range(0..100)), 25));
+        out.push(self.l.order_line.page_of_row(
+            self.l.order_line_cursor.load(Ordering::Relaxed).saturating_sub(self.rng.gen_range(0..500)),
+            50,
+        ));
+    }
+}
+
+impl TransactionStream for TpcwStream {
+    fn next_transaction(&mut self, out: &mut Vec<u64>) {
+        // TPC-W shopping-mix-flavoured interaction weights (sums to 100):
+        // browse-heavy with a 5% order rate, as DBT-1 drives it.
+        let roll = self.rng.gen_range(0..100u32);
+        match roll {
+            0..=15 => self.home(out),            // 16%
+            16..=20 => self.new_products(out),   // 5%
+            21..=25 => self.best_sellers(out),   // 5%
+            26..=45 => self.item_detail(out),    // 20% product detail
+            46..=65 => self.search(out),         // 20%
+            66..=82 => self.shopping_cart(out),  // 17%
+            83..=87 => self.buy_confirm(out),    // 5%
+            _ => self.order_inquiry(out),        // 12%
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pages_stay_in_universe() {
+        let w = Tpcw::new(TpcwConfig::default());
+        let mut s = w.stream(0, 1);
+        let mut buf = Vec::new();
+        for _ in 0..500 {
+            buf.clear();
+            s.next_transaction(&mut buf);
+            assert!(!buf.is_empty());
+            for &p in &buf {
+                assert!(p < w.page_universe());
+            }
+        }
+    }
+
+    #[test]
+    fn item_index_root_is_hottest() {
+        let w = Tpcw::new(TpcwConfig::default());
+        let mut s = w.stream(0, 3);
+        let mut counts = std::collections::HashMap::new();
+        let mut buf = Vec::new();
+        for _ in 0..2000 {
+            buf.clear();
+            s.next_transaction(&mut buf);
+            for &p in &buf {
+                *counts.entry(p).or_insert(0u64) += 1;
+            }
+        }
+        let root = w.layout.item_idx.root_page();
+        let root_count = counts.get(&root).copied().unwrap_or(0);
+        let max = counts.values().max().copied().unwrap_or(0);
+        assert!(
+            root_count * 2 >= max,
+            "item index root should be among the hottest pages ({root_count} vs {max})"
+        );
+    }
+
+    #[test]
+    fn working_set_is_skewed() {
+        // A small fraction of pages should absorb most accesses.
+        let w = Tpcw::new(TpcwConfig::default());
+        let mut s = w.stream(1, 9);
+        let mut counts = std::collections::HashMap::new();
+        let mut buf = Vec::new();
+        let mut total = 0u64;
+        for _ in 0..3000 {
+            buf.clear();
+            s.next_transaction(&mut buf);
+            for &p in &buf {
+                *counts.entry(p).or_insert(0u64) += 1;
+                total += 1;
+            }
+        }
+        let mut v: Vec<u64> = counts.values().copied().collect();
+        v.sort_unstable_by(|a, b| b.cmp(a));
+        let top1pct: u64 = v.iter().take((v.len() / 100).max(1)).sum();
+        assert!(
+            top1pct as f64 / total as f64 > 0.10,
+            "expected skew; top 1% of pages only got {:.3}",
+            top1pct as f64 / total as f64
+        );
+    }
+}

@@ -1,0 +1,161 @@
+//! Zipfian random variates, the skew engine behind the OLTP/web
+//! workloads (TPC-C's NURand and TPC-W's item popularity are both
+//! skewed-discrete distributions).
+//!
+//! Implements the classic Gray et al. ("Quickly Generating
+//! Billion-Record Synthetic Databases", SIGMOD 1994) inversion
+//! approximation with a precomputed harmonic normalizer, as popularized
+//! by YCSB. An optional scrambling step (splitmix64) decorrelates rank
+//! from key so "hot" items are spread across the key space.
+
+use rand::Rng;
+
+/// Zipfian distribution over `0..n` with skew `theta` in `[0, 1)`.
+/// `theta = 0` is uniform; `theta = 0.99` is the YCSB default hot-spot
+/// skew.
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    n: u64,
+    theta: f64,
+    alpha: f64,
+    zetan: f64,
+    eta: f64,
+}
+
+impl Zipf {
+    /// Construct for a universe of `n` items with skew `theta`.
+    pub fn new(n: u64, theta: f64) -> Self {
+        assert!(n >= 1, "Zipf needs a non-empty universe");
+        assert!((0.0..1.0).contains(&theta), "theta must be in [0, 1)");
+        let zetan = Self::zeta(n, theta);
+        let zeta2 = Self::zeta(2.min(n), theta);
+        let alpha = 1.0 / (1.0 - theta);
+        let eta = if n >= 2 {
+            (1.0 - (2.0 / n as f64).powf(1.0 - theta)) / (1.0 - zeta2 / zetan)
+        } else {
+            0.0
+        };
+        Zipf { n, theta, alpha, zetan, eta }
+    }
+
+    /// Harmonic-like normalizer `sum_{i=1..n} 1/i^theta`.
+    fn zeta(n: u64, theta: f64) -> f64 {
+        // O(n); universes here are bounded (page counts), and the
+        // constructor runs once per workload.
+        (1..=n).map(|i| 1.0 / (i as f64).powf(theta)).sum()
+    }
+
+    /// Universe size.
+    pub fn n(&self) -> u64 {
+        self.n
+    }
+
+    /// Skew parameter.
+    pub fn theta(&self) -> f64 {
+        self.theta
+    }
+
+    /// Draw a rank in `0..n` (0 is the most popular).
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
+        if self.n == 1 {
+            return 0;
+        }
+        let u: f64 = rng.gen();
+        let uz = u * self.zetan;
+        if uz < 1.0 {
+            return 0;
+        }
+        if uz < 1.0 + 0.5f64.powf(self.theta) {
+            return 1;
+        }
+        let v = (self.n as f64 * (self.eta * u - self.eta + 1.0).powf(self.alpha)) as u64;
+        v.min(self.n - 1)
+    }
+
+    /// Draw a rank and scramble it over the key space so popularity is
+    /// not correlated with key order.
+    pub fn sample_scrambled<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
+        splitmix64(self.sample(rng)) % self.n
+    }
+}
+
+/// A fast, stateless 64-bit mixing function (splitmix64 finalizer).
+pub fn splitmix64(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// TPC-C's NURand(A, x, y): non-uniform random over `[x, y]`.
+/// `c` is the per-run constant the spec draws once.
+pub fn nurand<R: Rng + ?Sized>(rng: &mut R, a: u64, c: u64, x: u64, y: u64) -> u64 {
+    let r1 = rng.gen_range(0..=a);
+    let r2 = rng.gen_range(x..=y);
+    (((r1 | r2) + c) % (y - x + 1)) + x
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn samples_in_range() {
+        let z = Zipf::new(100, 0.99);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            assert!(z.sample(&mut rng) < 100);
+            assert!(z.sample_scrambled(&mut rng) < 100);
+        }
+    }
+
+    #[test]
+    fn skew_concentrates_on_low_ranks() {
+        let z = Zipf::new(1000, 0.99);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+        let n = 100_000;
+        let top10 = (0..n).filter(|_| z.sample(&mut rng) < 10).count();
+        // With theta=0.99 the top 10 of 1000 items draw a large share.
+        assert!(
+            top10 as f64 / n as f64 > 0.30,
+            "top-10 share too low: {}",
+            top10 as f64 / n as f64
+        );
+    }
+
+    #[test]
+    fn theta_zero_is_roughly_uniform() {
+        let z = Zipf::new(10, 0.0);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let mut counts = [0u32; 10];
+        for _ in 0..100_000 {
+            counts[z.sample(&mut rng) as usize] += 1;
+        }
+        for &c in &counts {
+            assert!((8_000..12_000).contains(&c), "not uniform: {counts:?}");
+        }
+    }
+
+    #[test]
+    fn singleton_universe() {
+        let z = Zipf::new(1, 0.5);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(4);
+        assert_eq!(z.sample(&mut rng), 0);
+    }
+
+    #[test]
+    fn nurand_in_bounds_and_skewed() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        for _ in 0..10_000 {
+            let v = nurand(&mut rng, 1023, 7, 1, 3000);
+            assert!((1..=3000).contains(&v));
+        }
+    }
+
+    #[test]
+    fn scramble_is_deterministic() {
+        assert_eq!(splitmix64(42), splitmix64(42));
+        assert_ne!(splitmix64(1), splitmix64(2));
+    }
+}

@@ -1,0 +1,71 @@
+//! Hit-ratio bake-off: all eight replacement policies across the three
+//! paper workloads and two synthetic stress patterns, at several cache
+//! sizes. This is the "advanced algorithms earn their complexity" half
+//! of the paper's argument — the half BP-Wrapper preserves.
+//!
+//! Run with: `cargo run --release --example compare_policies`
+
+use bpw_replacement::{CacheSim, PolicyKind};
+use bpw_workloads::{Trace, Workload, WorkloadKind, ZipfWorkload};
+
+fn trace_for(workload: &dyn Workload, txns: usize) -> Vec<u64> {
+    // Interleave four threads transaction-by-transaction.
+    let traces = Trace::capture_per_thread(workload, 4, txns, 0xCAFE);
+    let per_thread: Vec<Vec<&[u64]>> =
+        traces.iter().map(|t| t.transactions().collect()).collect();
+    let mut flat = Vec::new();
+    for round in 0..txns {
+        for th in &per_thread {
+            if let Some(t) = th.get(round) {
+                flat.extend_from_slice(t);
+            }
+        }
+    }
+    flat
+}
+
+fn main() {
+    let mut scenarios: Vec<(String, Vec<u64>, Vec<usize>)> = Vec::new();
+    for kind in WorkloadKind::ALL {
+        let w = kind.build();
+        let trace = trace_for(&*w, 600);
+        let distinct = {
+            let mut v = trace.clone();
+            v.sort_unstable();
+            v.dedup();
+            v.len()
+        };
+        let sizes = vec![distinct / 20, distinct / 5, distinct / 2];
+        scenarios.push((kind.name().to_owned(), trace, sizes));
+    }
+    // Loop slightly larger than cache: LRU pathology. One thread, pure
+    // cycle — interleaved staggered scans would dilute the effect.
+    let loop_trace: Vec<u64> = (0..1100u64).cycle().take(13_200).collect();
+    scenarios.push(("Loop-1100".to_owned(), loop_trace, vec![1000]));
+    // Heavy Zipf point accesses.
+    let zipf = ZipfWorkload::new(50_000, 0.9, 20);
+    scenarios.push(("Zipf-0.9".to_owned(), trace_for(&zipf, 2_000), vec![500, 2_500]));
+
+    for (name, trace, sizes) in &scenarios {
+        println!("=== {name} ({} accesses) ===", trace.len());
+        print!("{:>10}", "frames");
+        for kind in PolicyKind::ALL {
+            print!("{:>10}", kind.name());
+        }
+        println!();
+        for &frames in sizes {
+            let frames = frames.max(16);
+            print!("{frames:>10}");
+            for kind in PolicyKind::ALL {
+                let mut sim = CacheSim::new(kind.build(frames));
+                let stats = sim.run(trace.iter().copied());
+                print!("{:>9.1}%", stats.hit_ratio() * 100.0);
+            }
+            println!();
+        }
+        println!();
+    }
+    println!("Note the Loop row: CLOCK/LRU collapse on a loop 10% larger than the cache,");
+    println!("while LIRS keeps most of it resident — the kind of advantage the paper says");
+    println!("DBMSs were giving up by retreating to clock approximations.");
+}

@@ -1,0 +1,115 @@
+//! The paper's headline claims, asserted as executable tests against the
+//! scaling simulator and the real implementation:
+//!
+//! 1. "contention on the lock associated with replacement algorithms may
+//!    reduce database throughput by nearly two folds in a 16-processor
+//!    system" (§I) — equivalently, BP-Wrapper "can increase the
+//!    throughput up to two folds compared with the replacement
+//!    algorithms with lock contention" (abstract);
+//! 2. pgBatPre "demonstrates almost the same scalability as pgClock"
+//!    (§IV-D);
+//! 3. "improves scalability through reducing lock contention by a factor
+//!    from 97 to over 9000" (§IV-D);
+//! 4. contention is more intensive on the multi-core PowerEdge than on
+//!    the Altix (§IV-D).
+
+use bpw_core::SystemKind;
+use bpw_sim::{simulate, HardwareProfile, RunReport, SimParams, SystemSpec, WorkloadParams};
+use bpw_workloads::WorkloadKind;
+
+fn run(hw: HardwareProfile, cpus: usize, kind: SystemKind, wl: WorkloadKind) -> RunReport {
+    let mut p = SimParams::new(hw, cpus, SystemSpec::new(kind), WorkloadParams::for_kind(wl));
+    p.horizon_ms = 500;
+    simulate(p)
+}
+
+#[test]
+fn throughput_gap_is_about_two_fold_or_more() {
+    // Claim 1: at 16 processors, the locking system loses roughly half
+    // (or more) of the lock-free throughput; BP-Wrapper recovers it.
+    for wl in WorkloadKind::ALL {
+        let clock = run(HardwareProfile::altix350(), 16, SystemKind::Clock, wl);
+        let q = run(HardwareProfile::altix350(), 16, SystemKind::LockPerAccess, wl);
+        let batpre = run(HardwareProfile::altix350(), 16, SystemKind::BatchingPrefetching, wl);
+        assert!(
+            q.throughput_tps <= 0.6 * clock.throughput_tps,
+            "{wl}: pgQ should lose >= ~2x ({} vs {})",
+            q.throughput_tps,
+            clock.throughput_tps
+        );
+        assert!(
+            batpre.throughput_tps >= 1.8 * q.throughput_tps,
+            "{wl}: BP-Wrapper should recover >= ~2x over pgQ ({} vs {})",
+            batpre.throughput_tps,
+            q.throughput_tps
+        );
+    }
+}
+
+#[test]
+fn batpre_matches_clock_scalability() {
+    // Claim 2: pgBatPre's curves overlap pgClock's.
+    for wl in WorkloadKind::ALL {
+        for cpus in [2, 4, 8, 16] {
+            let clock = run(HardwareProfile::altix350(), cpus, SystemKind::Clock, wl);
+            let batpre =
+                run(HardwareProfile::altix350(), cpus, SystemKind::BatchingPrefetching, wl);
+            let ratio = batpre.throughput_tps / clock.throughput_tps;
+            assert!(
+                ratio > 0.9,
+                "{wl}@{cpus}: pgBatPre must track pgClock (ratio {ratio:.3})"
+            );
+        }
+    }
+}
+
+#[test]
+fn contention_reduced_by_orders_of_magnitude() {
+    // Claim 3: a factor of 97 to 9000+ fewer contentions.
+    for wl in WorkloadKind::ALL {
+        let q = run(HardwareProfile::altix350(), 16, SystemKind::LockPerAccess, wl);
+        let bat = run(HardwareProfile::altix350(), 16, SystemKind::Batching, wl);
+        let factor = q.contentions_per_million / bat.contentions_per_million.max(0.1);
+        assert!(
+            factor >= 97.0,
+            "{wl}: contention reduction factor {factor:.0} below the paper's floor of 97"
+        );
+    }
+}
+
+#[test]
+fn multicore_contends_harder_than_smp() {
+    // Claim 4: at 8 processors, pgQ contends more on the PowerEdge
+    // (hardware prefetcher accelerates non-critical code, raising the
+    // lock request rate) than on the Altix.
+    for wl in WorkloadKind::ALL {
+        let altix = run(HardwareProfile::altix350(), 8, SystemKind::LockPerAccess, wl);
+        let pedge = run(HardwareProfile::poweredge1900(), 8, SystemKind::LockPerAccess, wl);
+        assert!(
+            pedge.contentions_per_million > altix.contentions_per_million,
+            "{wl}: PowerEdge should contend harder ({} vs {})",
+            pedge.contentions_per_million,
+            altix.contentions_per_million
+        );
+    }
+}
+
+#[test]
+fn response_time_inflates_under_contention() {
+    // Fig. 6's middle row: pgQ's response times grow with processors
+    // while pgClock's stay nearly flat.
+    let wl = WorkloadKind::Dbt1;
+    let clock_1 = run(HardwareProfile::altix350(), 1, SystemKind::Clock, wl);
+    let clock_16 = run(HardwareProfile::altix350(), 16, SystemKind::Clock, wl);
+    let q_16 = run(HardwareProfile::altix350(), 16, SystemKind::LockPerAccess, wl);
+    assert!(
+        clock_16.avg_response_ms < 1.5 * clock_1.avg_response_ms,
+        "pgClock response time should stay nearly flat"
+    );
+    assert!(
+        q_16.avg_response_ms > 2.0 * clock_16.avg_response_ms,
+        "pgQ response time must inflate under contention ({} vs {})",
+        q_16.avg_response_ms,
+        clock_16.avg_response_ms
+    );
+}
