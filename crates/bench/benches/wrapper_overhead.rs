@@ -39,7 +39,10 @@ fn bench_hit_path(c: &mut Criterion) {
     for (name, cfg) in [
         ("pgQ_lock_per_access", WrapperConfig::lock_per_access()),
         ("pgBat_batch32", WrapperConfig::batching_only()),
-        ("pgBatPre_batch32_prefetch", WrapperConfig::batching_and_prefetching()),
+        (
+            "pgBatPre_batch32_prefetch",
+            WrapperConfig::batching_and_prefetching(),
+        ),
     ] {
         let wrapper = warmed(cfg);
         let mut handle = wrapper.handle();

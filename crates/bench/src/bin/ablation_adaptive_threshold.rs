@@ -78,12 +78,20 @@ fn main() {
     let wrapper = warmed();
     let mut adaptive = AdaptiveHandle::with_config(
         &wrapper,
-        AdaptiveConfig { initial_threshold: 32, ..Default::default() },
+        AdaptiveConfig {
+            initial_threshold: 32,
+            ..Default::default()
+        },
     );
 
     let mut t = Table::new(
         "Adaptive threshold across alternating load phases (S = 64, start T = 32)",
-        &["phase", "adaptive_T_after", "lock_acqs_in_phase", "trylock_failures"],
+        &[
+            "phase",
+            "adaptive_T_after",
+            "lock_acqs_in_phase",
+            "trylock_failures",
+        ],
     );
     for (name, contended) in [
         ("quiet #1", false),

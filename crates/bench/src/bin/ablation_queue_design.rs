@@ -229,8 +229,18 @@ fn main() {
         ],
     );
     let mut recs: Vec<(&str, Box<dyn Recorder>)> = vec![
-        ("private queues (BP-Wrapper)", Box::new(PrivateQueues::new())),
-        ("shared queue", Box::new(SharedQueue(SharedQueueWrapper::new(SeqLru::new(FRAMES), 64, 32)))),
+        (
+            "private queues (BP-Wrapper)",
+            Box::new(PrivateQueues::new()),
+        ),
+        (
+            "shared queue",
+            Box::new(SharedQueue(SharedQueueWrapper::new(
+                SeqLru::new(FRAMES),
+                64,
+                32,
+            ))),
+        ),
         ("lock per access", Box::new(LockPerAccess::new())),
     ];
     for (name, rec) in &mut recs {

@@ -17,7 +17,11 @@ use bpw_sim::{simulate, HardwareProfile, SimParams, SystemSpec, WorkloadParams};
 fn simulated() {
     let mut t = Table::new(
         "Fig. 2 (simulated, Altix 350, 16 processors, DBT-1, 2Q): lock time per access",
-        &["batch_size", "lock_time_us_per_access", "accesses_per_acquisition"],
+        &[
+            "batch_size",
+            "lock_time_us_per_access",
+            "accesses_per_acquisition",
+        ],
     );
     for exp in 0..=6 {
         let batch = 1u32 << exp; // 1..64
@@ -26,8 +30,12 @@ fn simulated() {
         } else {
             SystemSpec::with_batching(SystemKind::Batching, batch, (batch / 2).max(1))
         };
-        let mut p =
-            SimParams::new(HardwareProfile::altix350(), 16, spec, WorkloadParams::dbt1());
+        let mut p = SimParams::new(
+            HardwareProfile::altix350(),
+            16,
+            spec,
+            WorkloadParams::dbt1(),
+        );
         p.horizon_ms = 1_000;
         let r = simulate(p);
         t.row(vec![
@@ -43,7 +51,12 @@ fn simulated() {
 fn real_threads() {
     let mut t = Table::new(
         "Fig. 2 (real threads on this host, 2Q, Zipf hits): lock time per access",
-        &["batch_size", "lock_time_us_per_access", "acquisitions", "accesses"],
+        &[
+            "batch_size",
+            "lock_time_us_per_access",
+            "acquisitions",
+            "accesses",
+        ],
     );
     let frames = 4096usize;
     let threads = 4;

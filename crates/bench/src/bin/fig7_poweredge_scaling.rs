@@ -8,5 +8,9 @@ use bpw_bench::scaling::scaling_figure;
 use bpw_sim::HardwareProfile;
 
 fn main() {
-    scaling_figure(HardwareProfile::poweredge1900(), &[1, 2, 4, 8], "fig7_poweredge");
+    scaling_figure(
+        HardwareProfile::poweredge1900(),
+        &[1, 2, 4, 8],
+        "fig7_poweredge",
+    );
 }

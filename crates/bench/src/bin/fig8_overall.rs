@@ -27,7 +27,10 @@ fn capture_trace(kind: WorkloadKind, threads: usize, accesses: usize) -> Vec<u64
     let txns_per_thread = 1_500;
     let traces = Trace::capture_per_thread(&*w, threads, txns_per_thread, 0xF168);
     let mut flat = Vec::with_capacity(accesses);
-    let iters: Vec<_> = traces.iter().map(|t| t.transactions().collect::<Vec<_>>()).collect();
+    let iters: Vec<_> = traces
+        .iter()
+        .map(|t| t.transactions().collect::<Vec<_>>())
+        .collect();
     let mut round = 0;
     'outer: loop {
         let mut progressed = false;
@@ -145,7 +148,10 @@ fn main() {
             ]);
         }
         table.print();
-        table.write_csv(&format!("fig8_{}", kind.name().to_lowercase().replace('-', "")));
+        table.write_csv(&format!(
+            "fig8_{}",
+            kind.name().to_lowercase().replace('-', "")
+        ));
     }
     println!(
         "Paper's observations (Fig. 8): (1) pgQ/pgBatPre hit-ratio curves overlap —\n\

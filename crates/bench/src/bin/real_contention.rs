@@ -95,7 +95,9 @@ fn main() {
     let total = THREADS * PER_THREAD;
     println!(
         "host: {} hardware threads | {} worker threads x {} hit accesses on a 2Q of {} frames\n",
-        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1),
         THREADS,
         PER_THREAD,
         FRAMES

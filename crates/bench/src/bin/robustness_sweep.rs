@@ -19,7 +19,12 @@ fn ratio_at_16(hw: HardwareProfile, kind: SystemKind) -> f64 {
     let mut p = SimParams::new(hw, 16, SystemSpec::new(kind), WorkloadParams::dbt1());
     p.horizon_ms = 300;
     let sys = simulate(p).throughput_tps;
-    let mut p = SimParams::new(hw, 16, SystemSpec::new(SystemKind::Clock), WorkloadParams::dbt1());
+    let mut p = SimParams::new(
+        hw,
+        16,
+        SystemSpec::new(SystemKind::Clock),
+        WorkloadParams::dbt1(),
+    );
     p.horizon_ms = 300;
     let clock = simulate(p).throughput_tps;
     sys / clock

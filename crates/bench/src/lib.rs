@@ -60,7 +60,11 @@ impl Table {
                 .join("  ")
         };
         let _ = writeln!(out, "{}", line(&self.header, &widths));
-        let _ = writeln!(out, "{}", "-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+        let _ = writeln!(
+            out,
+            "{}",
+            "-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1))
+        );
         for row in &self.rows {
             let _ = writeln!(out, "{}", line(row, &widths));
         }

@@ -35,7 +35,11 @@ pub fn scaling_figure(hw: HardwareProfile, cpu_points: &[usize], tag: &str) -> b
             &[&["cpus"], &sys_names[..]].concat(),
         );
         let mut resp = Table::new(
-            &format!("{} ({}): average response time (ms)", wl_kind.name(), hw.name),
+            &format!(
+                "{} ({}): average response time (ms)",
+                wl_kind.name(),
+                hw.name
+            ),
             &[&["cpus"], &sys_names[..]].concat(),
         );
         let mut cont = Table::new(
@@ -92,7 +96,11 @@ pub fn scaling_figure(hw: HardwareProfile, cpu_points: &[usize], tag: &str) -> b
     }
     println!(
         "headline claims {} on {}",
-        if headline_ok { "REPRODUCED" } else { "NOT fully reproduced" },
+        if headline_ok {
+            "REPRODUCED"
+        } else {
+            "NOT fully reproduced"
+        },
         hw.name
     );
     headline_ok

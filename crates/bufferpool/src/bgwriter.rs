@@ -75,7 +75,10 @@ impl BgWriter {
             // Final sweep so shutdown leaves the pool clean.
             pool.flush_dirty_pages(usize::MAX);
         });
-        BgWriter { stop, handle: Some(handle) }
+        BgWriter {
+            stop,
+            handle: Some(handle),
+        }
     }
 
     /// Stop the writer and wait for its final sweep.
@@ -137,7 +140,11 @@ mod tests {
         // Evict both: no further write-backs needed.
         drop(s.fetch(3));
         drop(s.fetch(4));
-        assert_eq!(p.storage().writes(), writes_before, "eviction found clean pages");
+        assert_eq!(
+            p.storage().writes(),
+            writes_before,
+            "eviction found clean pages"
+        );
     }
 
     #[test]
@@ -148,7 +155,11 @@ mod tests {
         p.flush_dirty_pages(usize::MAX);
         // Dirty again; the flag must be back.
         s.fetch(1).write(|d| d[10] = 2);
-        assert_eq!(p.flush_dirty_pages(usize::MAX), 1, "re-dirtied page cleaned again");
+        assert_eq!(
+            p.flush_dirty_pages(usize::MAX),
+            1,
+            "re-dirtied page cleaned again"
+        );
         // Verify the latest version is what storage holds.
         let mut buf = vec![0u8; 64];
         p.storage().read_page(1, &mut buf);
@@ -169,7 +180,11 @@ mod tests {
             });
         });
         writer.shutdown(); // final sweep
-        assert_eq!(p.flush_dirty_pages(usize::MAX), 0, "shutdown sweep left dirt");
+        assert_eq!(
+            p.flush_dirty_pages(usize::MAX),
+            0,
+            "shutdown sweep left dirt"
+        );
         assert!(p.storage().writes() > 0);
     }
 }

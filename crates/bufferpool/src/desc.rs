@@ -6,8 +6,7 @@ use bpw_replacement::PageId;
 use parking_lot::Mutex;
 
 /// Mutable state of one buffer frame, protected by the descriptor latch.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-#[derive(Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct DescState {
     /// The page currently (or last) cached in this frame.
     pub tag: PageId,
@@ -25,7 +24,6 @@ pub struct DescState {
     /// back). Zero when clean or WAL-less.
     pub lsn: u64,
 }
-
 
 /// A buffer descriptor: latch + state.
 #[derive(Debug, Default)]

@@ -34,7 +34,9 @@ pub mod wal;
 
 pub use bgwriter::BgWriter;
 pub use desc::{BufferDesc, DescState};
-pub use managers::{ClockManager, CoarseManager, ManagerHandle, ReplacementManager, WrappedManager};
+pub use managers::{
+    ClockManager, CoarseManager, ManagerHandle, ReplacementManager, WrappedManager,
+};
 pub use page_table::PageTable;
 pub use pool::{BufferPool, PinnedPage, PoolSession, PoolStats};
 pub use storage::{SimDisk, Storage};

@@ -52,6 +52,26 @@ pub trait ReplacementManager: Send + Sync {
     fn lock_snapshot(&self) -> LockSnapshot;
 }
 
+// Boxed managers forward, so a pool's synchronization scheme can be
+// chosen at runtime: `BufferPool<Box<dyn ReplacementManager>>`.
+impl<M: ReplacementManager + ?Sized> ReplacementManager for Box<M> {
+    fn name(&self) -> String {
+        (**self).name()
+    }
+
+    fn handle(&self) -> Box<dyn ManagerHandle + '_> {
+        (**self).handle()
+    }
+
+    fn invalidate(&self, frame: FrameId) {
+        (**self).invalidate(frame)
+    }
+
+    fn lock_snapshot(&self) -> LockSnapshot {
+        (**self).lock_snapshot()
+    }
+}
+
 // --- Coarse: one lock, acquired per access -------------------------------
 
 /// Any policy behind a single lock taken on every hit and miss.
@@ -62,7 +82,9 @@ pub struct CoarseManager<P: ReplacementPolicy> {
 impl<P: ReplacementPolicy> CoarseManager<P> {
     /// Wrap `policy`.
     pub fn new(policy: P) -> Self {
-        CoarseManager { lock: InstrumentedLock::new(policy, Arc::new(LockStats::new())) }
+        CoarseManager {
+            lock: InstrumentedLock::new(policy, Arc::new(LockStats::new())),
+        }
     }
 }
 
@@ -213,7 +235,10 @@ impl<'m> ManagerHandle for ClockHandle<'m> {
                 let victim = g.page_of[f];
                 g.page_of[f] = page;
                 self.mgr.referenced[f].store(1, Ordering::Relaxed);
-                return MissOutcome::Evicted { frame: f as FrameId, victim };
+                return MissOutcome::Evicted {
+                    frame: f as FrameId,
+                    victim,
+                };
             }
         }
         MissOutcome::NoEvictableFrame
@@ -230,7 +255,9 @@ pub struct WrappedManager<P: ReplacementPolicy> {
 impl<P: ReplacementPolicy> WrappedManager<P> {
     /// Wrap `policy` with `config`.
     pub fn new(policy: P, config: WrapperConfig) -> Self {
-        WrappedManager { wrapper: BpWrapper::new(policy, config) }
+        WrappedManager {
+            wrapper: BpWrapper::new(policy, config),
+        }
     }
 
     /// The underlying wrapper (counters, config).
@@ -249,7 +276,9 @@ impl<P: ReplacementPolicy> ReplacementManager for WrappedManager<P> {
     }
 
     fn handle(&self) -> Box<dyn ManagerHandle + '_> {
-        Box::new(WrappedHandle { handle: self.wrapper.handle() })
+        Box::new(WrappedHandle {
+            handle: self.wrapper.handle(),
+        })
     }
 
     fn invalidate(&self, frame: FrameId) {
@@ -332,12 +361,24 @@ mod tests {
         // All ref bits set by admission; this miss clears them, evicts
         // frame 0 and leaves the hand at frame 1.
         let out = h.on_miss(10, None, &mut |_| true);
-        assert_eq!(out, MissOutcome::Evicted { frame: 0, victim: 1 });
+        assert_eq!(
+            out,
+            MissOutcome::Evicted {
+                frame: 0,
+                victim: 1
+            }
+        );
         // Protect frame 1 (page 2): the next sweep must skip it and take
         // frame 2 (page 3) instead.
         h.on_hit(2, 1);
         let out = h.on_miss(11, None, &mut |_| true);
-        assert_eq!(out, MissOutcome::Evicted { frame: 2, victim: 3 });
+        assert_eq!(
+            out,
+            MissOutcome::Evicted {
+                frame: 2,
+                victim: 3
+            }
+        );
     }
 
     #[test]

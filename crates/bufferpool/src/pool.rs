@@ -122,7 +122,10 @@ impl<M: ReplacementManager> BufferPool<M> {
     /// Create a per-thread session (carries the manager handle, i.e. the
     /// BP-Wrapper private queue for wrapped managers).
     pub fn session(&self) -> PoolSession<'_, M> {
-        PoolSession { pool: self, handle: self.manager.handle() }
+        PoolSession {
+            pool: self,
+            handle: self.manager.handle(),
+        }
     }
 
     /// Drop `page` from the buffer (e.g. relation truncation). The page
@@ -173,6 +176,12 @@ impl<M: ReplacementManager> BufferPool<M> {
     pub fn resident_count(&self) -> usize {
         self.descs.iter().filter(|d| d.snapshot().valid).count()
     }
+
+    /// Frames currently on the free list (never used or freed by
+    /// [`invalidate`](Self::invalidate)).
+    pub fn free_frames(&self) -> usize {
+        self.free.lock().len()
+    }
 }
 
 /// A thread's session against the pool.
@@ -191,7 +200,11 @@ impl<'p, M: ReplacementManager> PoolSession<'p, M> {
                 if self.pool.descs[frame as usize].try_pin(page) {
                     self.pool.stats.hits.fetch_add(1, Ordering::Relaxed);
                     self.handle.on_hit(page, frame);
-                    return PinnedPage { pool: self.pool, frame, page };
+                    return PinnedPage {
+                        pool: self.pool,
+                        frame,
+                        page,
+                    };
                 }
                 // Mapping present but unpinnable: I/O in progress or a
                 // stale mapping mid-eviction. Yield and retry.
@@ -255,7 +268,11 @@ impl<'p, M: ReplacementManager> PoolSession<'p, M> {
             s.io_in_progress = true;
             s.pins = 1; // pinned for the caller
             s.lsn = 0;
-            if was_dirty { (was_dirty, victim_lsn) } else { (was_dirty, 0) }
+            if was_dirty {
+                (was_dirty, victim_lsn)
+            } else {
+                (was_dirty, 0)
+            }
         };
         if let Some(v) = victim {
             pool.table.remove(v);
@@ -419,7 +436,10 @@ mod tests {
         for q in [2u64, 3, 4] {
             drop(s.fetch(q)); // force eviction of page 1
         }
-        assert!(pool.storage().writes() >= 1, "dirty page must be written back");
+        assert!(
+            pool.storage().writes() >= 1,
+            "dirty page must be written back"
+        );
         assert!(pool.stats().writebacks.load(Ordering::Relaxed) >= 1);
     }
 
@@ -477,7 +497,9 @@ mod tests {
             st.hits.load(Ordering::Relaxed) + st.misses.load(Ordering::Relaxed),
             threads * per_thread
         );
-        pool.manager().wrapper().with_locked(|p| p.check_invariants());
+        pool.manager()
+            .wrapper()
+            .with_locked(|p| p.check_invariants());
     }
 
     #[test]
@@ -519,7 +541,7 @@ mod tests {
         for q in 10..20u64 {
             drop(s.fetch(q));
         }
-        assert!(!pool.table.get(1).is_some() || pool.descs.len() == 2);
+        assert!(pool.table.get(1).is_none() || pool.descs.len() == 2);
         let p = s.fetch(1);
         p.read(|data| assert_eq!(data[20], 0xC4, "write lost through eviction"));
     }
@@ -580,7 +602,11 @@ mod tests {
             p.write(|data| data[18] = 0xCC);
             drop(p);
         } // crash: dirty pages lost
-        assert_eq!(storage.writes(), 0, "nothing reached storage before the crash");
+        assert_eq!(
+            storage.writes(),
+            0,
+            "nothing reached storage before the crash"
+        );
 
         // Recovery: redo the durable log into storage.
         BufferPool::<CoarseManager<TwoQ>>::replay_wal_into_storage(&wal, &*storage);
@@ -594,9 +620,12 @@ mod tests {
             Arc::clone(&storage) as Arc<dyn crate::storage::Storage>,
         );
         let mut s = pool.session();
-        s.fetch(5).read(|d| assert_eq!(d[16], 0xAA, "committed write lost"));
-        s.fetch(6).read(|d| assert_eq!(d[17], 0xBB, "committed write lost"));
-        s.fetch(7).read(|d| assert_ne!(d[18], 0xCC, "uncommitted write must not survive"));
+        s.fetch(5)
+            .read(|d| assert_eq!(d[16], 0xAA, "committed write lost"));
+        s.fetch(6)
+            .read(|d| assert_eq!(d[17], 0xBB, "committed write lost"));
+        s.fetch(7)
+            .read(|d| assert_ne!(d[18], 0xCC, "uncommitted write must not survive"));
     }
 
     #[test]

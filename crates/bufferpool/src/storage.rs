@@ -100,7 +100,9 @@ impl Storage for SimDisk {
 
     fn write_page(&self, page: PageId, buf: &[u8]) {
         Self::spin_for(self.write_latency);
-        self.written.lock().insert(page, buf.to_vec().into_boxed_slice());
+        self.written
+            .lock()
+            .insert(page, buf.to_vec().into_boxed_slice());
         self.writes.fetch_add(1, Ordering::Relaxed);
     }
 

@@ -78,7 +78,8 @@ impl Wal {
     /// Append a record; returns its LSN. Cheap: one latch, one copy.
     pub fn append(&self, payload: &[u8]) -> Lsn {
         let mut s = self.state.lock();
-        s.buffer.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        s.buffer
+            .extend_from_slice(&(payload.len() as u32).to_le_bytes());
         s.buffer.extend_from_slice(payload);
         s.append_lsn += 4 + payload.len() as Lsn;
         self.appends.incr();
@@ -236,7 +237,10 @@ mod tests {
         let commits = wal.commits.get();
         let flushes = wal.flushes.get();
         assert_eq!(commits, threads * per_thread);
-        assert!(flushes <= commits, "{flushes} flushes for {commits} commits");
+        assert!(
+            flushes <= commits,
+            "{flushes} flushes for {commits} commits"
+        );
         assert_eq!(wal.flushed_lsn(), wal.append_lsn());
     }
 

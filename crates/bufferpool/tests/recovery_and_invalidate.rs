@@ -1,0 +1,306 @@
+//! Regression tests for the pool's two delicate cross-thread paths:
+//! `invalidate` racing concurrently pinned fetches, and WAL/SimDisk
+//! durability under crashes and concurrent writers.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+use bpw_bufferpool::{BufferPool, CoarseManager, SimDisk, Storage, Wal, WrappedManager};
+use bpw_core::WrapperConfig;
+use bpw_replacement::{Lirs, TwoQ};
+
+/// `invalidate` racing a herd of fetching/pinning threads must never
+/// corrupt contents, lose frames, or invalidate a pinned page.
+///
+/// Guarantees exercised:
+/// * a fetch that overlaps an invalidation either sees the old valid
+///   copy or reloads from storage — both carry the page's bytes;
+/// * `invalidate` refuses pages currently pinned (returns `false`);
+/// * every frame freed by `invalidate` is reusable: at the end,
+///   `free_frames + resident_count == frames`.
+#[test]
+fn invalidate_races_concurrent_pins_without_corruption() {
+    let frames = 32;
+    let pool: BufferPool<WrappedManager<TwoQ>> = BufferPool::new(
+        frames,
+        64,
+        WrappedManager::new(TwoQ::new(frames), WrapperConfig::default()),
+        Arc::new(SimDisk::instant()),
+    );
+    let pages = 48u64; // more than frames: eviction + invalidation mix
+    let stop = AtomicBool::new(false);
+    let invalidations = AtomicU64::new(0);
+    let rejected_while_pinned = AtomicU64::new(0);
+
+    std::thread::scope(|sc| {
+        // Fetchers: pin, verify, hold briefly.
+        for t in 0..4u64 {
+            let pool = &pool;
+            let stop = &stop;
+            sc.spawn(move || {
+                let mut s = pool.session();
+                let mut x = 0x1234_5678u64.wrapping_add(t);
+                while !stop.load(Ordering::Relaxed) {
+                    x ^= x << 13;
+                    x ^= x >> 7;
+                    x ^= x << 17;
+                    let page = x % pages;
+                    let p = s.fetch(page);
+                    p.read(|data| {
+                        assert_eq!(
+                            u64::from_le_bytes(data[..8].try_into().unwrap()),
+                            page,
+                            "fetch raced invalidate into wrong content"
+                        );
+                    });
+                    // Invalidate the page we ourselves hold pinned: must
+                    // always be refused.
+                    if x % 7 == 0 {
+                        assert!(
+                            !pool.invalidate(page),
+                            "invalidate succeeded on a pinned page"
+                        );
+                    }
+                    drop(p);
+                }
+            });
+        }
+        // Invalidator: sweeps the page set continuously.
+        {
+            let pool = &pool;
+            let stop = &stop;
+            let invalidations = &invalidations;
+            let rejected = &rejected_while_pinned;
+            sc.spawn(move || {
+                for round in 0..400u64 {
+                    for page in 0..pages {
+                        if pool.invalidate(page) {
+                            invalidations.fetch_add(1, Ordering::Relaxed);
+                        } else {
+                            rejected.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                    if round % 32 == 0 {
+                        std::thread::yield_now();
+                    }
+                }
+                stop.store(true, Ordering::Relaxed);
+            });
+        }
+    });
+
+    assert!(
+        invalidations.load(Ordering::Relaxed) > 0,
+        "invalidator never won a race"
+    );
+    // No frame leaked: everything is either resident or on the free list.
+    assert_eq!(
+        pool.resident_count() + pool.free_frames(),
+        frames,
+        "frames leaked by racing invalidations"
+    );
+    // The pool still works after the storm.
+    let mut s = pool.session();
+    for page in 0..pages {
+        s.fetch(page).read(|d| {
+            assert_eq!(u64::from_le_bytes(d[..8].try_into().unwrap()), page);
+        });
+    }
+}
+
+/// Crash in the middle of a multi-page transaction: the committed
+/// transaction is fully recovered, the torn one leaves no trace, and
+/// replay is idempotent.
+#[test]
+fn wal_recovery_after_crash_mid_transaction() {
+    let wal = Arc::new(Wal::instant());
+    let storage: Arc<SimDisk> = Arc::new(SimDisk::instant());
+    {
+        // Big pool: nothing is evicted, so no write reaches storage
+        // except through recovery.
+        let pool = BufferPool::new(
+            64,
+            128,
+            CoarseManager::new(TwoQ::new(64)),
+            Arc::clone(&storage) as Arc<dyn Storage>,
+        )
+        .with_wal(Arc::clone(&wal));
+        let mut s = pool.session();
+
+        // Transaction 1: touches two pages, commits.
+        s.fetch(10).write(|d| d[32] = 0x11);
+        s.fetch(11).write(|d| d[32] = 0x22);
+        pool.commit_transaction();
+
+        // Transaction 2: first write lands in the log buffer, the
+        // "crash" happens before the second write's commit — mid-write
+        // from the transaction's point of view.
+        s.fetch(12).write(|d| d[32] = 0x33);
+        s.fetch(13).write(|d| d[32] = 0x44);
+        // no commit — crash here
+    }
+    assert_eq!(
+        storage.writes(),
+        0,
+        "no data page reached storage pre-crash"
+    );
+
+    BufferPool::<CoarseManager<TwoQ>>::replay_wal_into_storage(&wal, &*storage);
+    let writes_after_first_replay = storage.writes();
+
+    let verify = |storage: &Arc<SimDisk>| {
+        let pool = BufferPool::new(
+            64,
+            128,
+            CoarseManager::new(TwoQ::new(64)),
+            Arc::clone(storage) as Arc<dyn Storage>,
+        );
+        let mut s = pool.session();
+        s.fetch(10)
+            .read(|d| assert_eq!(d[32], 0x11, "committed write lost"));
+        s.fetch(11)
+            .read(|d| assert_eq!(d[32], 0x22, "committed write lost"));
+        s.fetch(12)
+            .read(|d| assert_ne!(d[32], 0x33, "torn transaction resurrected"));
+        s.fetch(13)
+            .read(|d| assert_ne!(d[32], 0x44, "torn transaction resurrected"));
+    };
+    verify(&storage);
+
+    // Recovery must be idempotent: replaying again changes nothing.
+    BufferPool::<CoarseManager<TwoQ>>::replay_wal_into_storage(&wal, &*storage);
+    assert_eq!(
+        storage.writes(),
+        2 * writes_after_first_replay,
+        "second replay applied a different record set"
+    );
+    verify(&storage);
+}
+
+/// Crash with a *partially durable* transaction: eviction write-back
+/// forces the WAL (WAL-before-data), which can make an uncommitted
+/// transaction's early records durable. Recovery then replays them —
+/// the classic redo-without-undo contract of a physical log — while
+/// records appended after the forced flush stay lost.
+#[test]
+fn wal_recovery_respects_forced_flush_boundary() {
+    let wal = Arc::new(Wal::instant());
+    let storage: Arc<SimDisk> = Arc::new(SimDisk::instant());
+    {
+        let pool = BufferPool::new(
+            2, // tiny: fetching a third page evicts a dirty one
+            128,
+            CoarseManager::new(TwoQ::new(2)),
+            Arc::clone(&storage) as Arc<dyn Storage>,
+        )
+        .with_wal(Arc::clone(&wal));
+        let mut s = pool.session();
+        s.fetch(1).write(|d| d[40] = 0xA1); // uncommitted...
+        drop(s.fetch(2));
+        drop(s.fetch(3)); // ...but this eviction forces the WAL for page 1
+        let flushed = wal.flushed_lsn();
+        assert!(flushed > 0, "write-back must have forced the log");
+        s.fetch(4).write(|d| d[40] = 0xB2); // appended after the flush
+        assert!(wal.append_lsn() > flushed);
+        // crash
+    }
+    BufferPool::<CoarseManager<TwoQ>>::replay_wal_into_storage(&wal, &*storage);
+    let pool = BufferPool::new(
+        8,
+        128,
+        CoarseManager::new(TwoQ::new(8)),
+        Arc::clone(&storage) as Arc<dyn Storage>,
+    );
+    let mut s = pool.session();
+    s.fetch(1)
+        .read(|d| assert_eq!(d[40], 0xA1, "force-flushed record must replay"));
+    s.fetch(4)
+        .read(|d| assert_ne!(d[40], 0xB2, "unflushed tail must not replay"));
+}
+
+/// SimDisk under concurrent writers: page contents are exactly the last
+/// version each owning thread wrote, regardless of interleaving — the
+/// property the server's PUT path and the pool's write-back both lean
+/// on.
+#[test]
+fn simdisk_concurrent_writeback_is_deterministic() {
+    let disk = Arc::new(SimDisk::instant());
+    let threads = 4u64;
+    let pages_per_thread = 16u64;
+    let versions = 50u64;
+    std::thread::scope(|sc| {
+        for t in 0..threads {
+            let disk = Arc::clone(&disk);
+            sc.spawn(move || {
+                let mut buf = vec![0u8; 64];
+                for v in 1..=versions {
+                    for i in 0..pages_per_thread {
+                        let page = t * pages_per_thread + i;
+                        buf[..8].copy_from_slice(&page.to_le_bytes());
+                        buf[8..16].copy_from_slice(&v.to_le_bytes());
+                        buf[16..].fill((v % 251) as u8);
+                        disk.write_page(page, &buf);
+                    }
+                }
+            });
+        }
+    });
+    assert_eq!(disk.written_pages(), (threads * pages_per_thread) as usize);
+    assert_eq!(disk.writes(), threads * pages_per_thread * versions);
+    let mut buf = vec![0u8; 64];
+    for page in 0..threads * pages_per_thread {
+        disk.read_page(page, &mut buf);
+        assert_eq!(u64::from_le_bytes(buf[..8].try_into().unwrap()), page);
+        assert_eq!(
+            u64::from_le_bytes(buf[8..16].try_into().unwrap()),
+            versions,
+            "page {page} does not hold its last-written version"
+        );
+        assert!(buf[16..].iter().all(|&b| b == (versions % 251) as u8));
+    }
+}
+
+/// The same determinism through the full pool stack: concurrent
+/// sessions writing disjoint pages, churned through a pool smaller than
+/// the working set, must read back exactly what they last wrote.
+#[test]
+fn pool_writeback_roundtrip_under_concurrent_writers() {
+    let frames = 16;
+    let pool: BufferPool<WrappedManager<Lirs>> = BufferPool::new(
+        frames,
+        64,
+        WrappedManager::new(Lirs::new(frames), WrapperConfig::default()),
+        Arc::new(SimDisk::instant()),
+    );
+    let threads = 4u64;
+    let pages_per_thread = 12u64; // 48 pages through 16 frames: heavy churn
+    std::thread::scope(|sc| {
+        for t in 0..threads {
+            let pool = &pool;
+            sc.spawn(move || {
+                let mut s = pool.session();
+                for round in 1..=40u8 {
+                    for i in 0..pages_per_thread {
+                        let page = t * pages_per_thread + i;
+                        let p = s.fetch(page);
+                        p.write(|d| {
+                            d[20] = round;
+                            d[21] = t as u8;
+                        });
+                    }
+                }
+            });
+        }
+    });
+    let mut s = pool.session();
+    for t in 0..threads {
+        for i in 0..pages_per_thread {
+            let page = t * pages_per_thread + i;
+            s.fetch(page).read(|d| {
+                assert_eq!(u64::from_le_bytes(d[..8].try_into().unwrap()), page);
+                assert_eq!(d[20], 40, "page {page} lost its final write");
+                assert_eq!(d[21], t as u8);
+            });
+        }
+    }
+}

@@ -132,7 +132,8 @@ impl<'w, P: ReplacementPolicy> AdaptiveHandle<'w, P> {
         free: Option<FrameId>,
         evictable: &mut dyn FnMut(FrameId) -> bool,
     ) -> MissOutcome {
-        self.wrapper.miss_commit(&mut self.queue, page, free, evictable)
+        self.wrapper
+            .miss_commit(&mut self.queue, page, free, evictable)
     }
 
     /// Commit whatever is queued.
@@ -207,7 +208,11 @@ mod tests {
     #[test]
     fn adaptation_never_leaves_bounds() {
         let w = warmed(32);
-        let cfg = AdaptiveConfig { min_threshold: 2, initial_threshold: 8, ..Default::default() };
+        let cfg = AdaptiveConfig {
+            min_threshold: 2,
+            initial_threshold: 8,
+            ..Default::default()
+        };
         let mut h = AdaptiveHandle::with_config(&w, cfg);
         for i in 0..20_000u64 {
             h.record_hit(i % 32, (i % 32) as u32);
@@ -236,6 +241,10 @@ mod tests {
         let mut h = AdaptiveHandle::new(&w);
         h.record_hit(0, 0);
         let out = h.record_miss(99, None, &mut |_| true);
-        assert_eq!(out.victim(), Some(1), "hit on 0 must commit before the miss");
+        assert_eq!(
+            out.victim(),
+            Some(1),
+            "hit on 0 must commit before the miss"
+        );
     }
 }

@@ -28,7 +28,9 @@ pub struct ClockHitPath {
 impl ClockHitPath {
     /// Reference bits for `frames` buffer frames.
     pub fn new(frames: usize) -> Self {
-        ClockHitPath { referenced: (0..frames).map(|_| AtomicU8::new(0)).collect() }
+        ClockHitPath {
+            referenced: (0..frames).map(|_| AtomicU8::new(0)).collect(),
+        }
     }
 
     /// Number of frames.
@@ -73,7 +75,12 @@ impl<P: ReplacementPolicy> PartitionedCache<P> {
         assert!(partitions >= 1, "need at least one partition");
         let stats = Arc::new(LockStats::new());
         let parts = (0..partitions)
-            .map(|_| InstrumentedLock::new(CacheSim::new(make(frames_per_partition)), Arc::clone(&stats)))
+            .map(|_| {
+                InstrumentedLock::new(
+                    CacheSim::new(make(frames_per_partition)),
+                    Arc::clone(&stats),
+                )
+            })
             .collect();
         PartitionedCache { parts, stats }
     }

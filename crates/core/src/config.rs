@@ -26,24 +26,42 @@ pub struct WrapperConfig {
 
 impl Default for WrapperConfig {
     fn default() -> Self {
-        WrapperConfig { queue_size: 64, batch_threshold: 32, batching: true, prefetching: true }
+        WrapperConfig {
+            queue_size: 64,
+            batch_threshold: 32,
+            batching: true,
+            prefetching: true,
+        }
     }
 }
 
 impl WrapperConfig {
     /// The paper's `pgQ` baseline: lock on every access, no prefetch.
     pub fn lock_per_access() -> Self {
-        WrapperConfig { queue_size: 1, batch_threshold: 1, batching: false, prefetching: false }
+        WrapperConfig {
+            queue_size: 1,
+            batch_threshold: 1,
+            batching: false,
+            prefetching: false,
+        }
     }
 
     /// The paper's `pgBat`: batching only.
     pub fn batching_only() -> Self {
-        WrapperConfig { prefetching: false, ..Self::default() }
+        WrapperConfig {
+            prefetching: false,
+            ..Self::default()
+        }
     }
 
     /// The paper's `pgPre`: prefetching only.
     pub fn prefetching_only() -> Self {
-        WrapperConfig { queue_size: 1, batch_threshold: 1, batching: false, prefetching: true }
+        WrapperConfig {
+            queue_size: 1,
+            batch_threshold: 1,
+            batching: false,
+            prefetching: true,
+        }
     }
 
     /// The paper's `pgBatPre`: both techniques (the default).
@@ -117,7 +135,7 @@ mod tests {
     #[test]
     fn builders_keep_consistency() {
         let c = WrapperConfig::default().with_queue_size(16);
-        assert_eq!(c.batch_threshold, 16.min(32));
+        assert_eq!(c.batch_threshold, 16);
         let c = c.with_batch_threshold(8);
         assert_eq!(c.batch_threshold, 8);
         c.validate();
@@ -126,6 +144,8 @@ mod tests {
     #[test]
     #[should_panic(expected = "threshold cannot exceed queue size")]
     fn threshold_above_size_panics() {
-        let _ = WrapperConfig::default().with_queue_size(4).with_batch_threshold(5);
+        let _ = WrapperConfig::default()
+            .with_queue_size(4)
+            .with_batch_threshold(5);
     }
 }

@@ -26,7 +26,10 @@ pub struct LockGuard<'a, T> {
 impl<T> InstrumentedLock<T> {
     /// Wrap `value`, reporting into `stats`.
     pub fn new(value: T, stats: Arc<LockStats>) -> Self {
-        InstrumentedLock { inner: Mutex::new(value), stats }
+        InstrumentedLock {
+            inner: Mutex::new(value),
+            stats,
+        }
     }
 
     /// The shared statistics sink.
@@ -39,7 +42,8 @@ impl<T> InstrumentedLock<T> {
     pub fn try_lock(&self) -> Option<LockGuard<'_, T>> {
         match self.inner.try_lock() {
             Some(guard) => {
-                self.stats.record_acquisition(false, std::time::Duration::ZERO);
+                self.stats
+                    .record_acquisition(false, std::time::Duration::ZERO);
                 Some(LockGuard {
                     guard: Some(guard),
                     stats: &self.stats,
@@ -59,7 +63,8 @@ impl<T> InstrumentedLock<T> {
     /// paper reports per million accesses.
     pub fn lock(&self) -> LockGuard<'_, T> {
         if let Some(guard) = self.inner.try_lock() {
-            self.stats.record_acquisition(false, std::time::Duration::ZERO);
+            self.stats
+                .record_acquisition(false, std::time::Duration::ZERO);
             return LockGuard {
                 guard: Some(guard),
                 stats: &self.stats,

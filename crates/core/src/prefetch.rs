@@ -63,12 +63,20 @@ impl Prefetcher {
     /// Build a prefetcher for a policy living at `policy_addr` with
     /// an optional per-frame [`NodeRegion`].
     pub fn new(policy_addr: usize, header_len: usize, region: Option<NodeRegion>) -> Self {
-        Prefetcher { policy_addr, header_len, region }
+        Prefetcher {
+            policy_addr,
+            header_len,
+            region,
+        }
     }
 
     /// A prefetcher that does nothing (prefetching disabled).
     pub fn disabled() -> Self {
-        Prefetcher { policy_addr: 0, header_len: 0, region: None }
+        Prefetcher {
+            policy_addr: 0,
+            header_len: 0,
+            region: None,
+        }
     }
 
     /// Warm the cache for a commit of `entries`: the lock/policy header
@@ -114,8 +122,14 @@ mod tests {
         let p = Prefetcher::new(header.as_ptr() as usize, 256, Some(region));
         let entries = [
             AccessEntry { page: 1, frame: 0 },
-            AccessEntry { page: 2, frame: 127 },
-            AccessEntry { page: 3, frame: 9999 }, // out of range: skipped
+            AccessEntry {
+                page: 2,
+                frame: 127,
+            },
+            AccessEntry {
+                page: 3,
+                frame: 9999,
+            }, // out of range: skipped
         ];
         p.prefetch_for_commit(&entries); // must not fault
     }

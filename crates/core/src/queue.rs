@@ -33,7 +33,10 @@ impl AccessQueue {
     /// Create a queue with capacity `S`.
     pub fn new(capacity: usize) -> Self {
         assert!(capacity >= 1, "queue capacity must be at least 1");
-        AccessQueue { entries: Vec::with_capacity(capacity), capacity }
+        AccessQueue {
+            entries: Vec::with_capacity(capacity),
+            capacity,
+        }
     }
 
     /// Queue capacity `S`.
@@ -60,7 +63,10 @@ impl AccessQueue {
     /// (the paper's pseudo-code guarantees this by committing whenever
     /// `Tail >= S`).
     pub fn push(&mut self, page: PageId, frame: FrameId) {
-        assert!(!self.is_full(), "access queue overflow: commit before pushing");
+        assert!(
+            !self.is_full(),
+            "access queue overflow: commit before pushing"
+        );
         self.entries.push(AccessEntry { page, frame });
     }
 

@@ -32,7 +32,11 @@ impl<P: ReplacementPolicy> WrappedCache<P> {
     /// Wrap `policy` with `config` and build a driver around it.
     pub fn new(policy: P, config: WrapperConfig) -> Self {
         let frames = policy.frames();
-        assert_eq!(policy.resident_count(), 0, "WrappedCache requires an empty policy");
+        assert_eq!(
+            policy.resident_count(),
+            0,
+            "WrappedCache requires an empty policy"
+        );
         let wrapper = Arc::new(BpWrapper::new(policy, config));
         WrappedCache {
             handle: wrapper.handle_arc(),
@@ -153,24 +157,28 @@ mod tests {
     #[test]
     fn batching_reduces_lock_acquisitions() {
         let trace: Vec<PageId> = (0..10_000u64).map(|i| i % 16).collect();
-        let mut wrapped =
-            WrappedCache::new(PolicyKind::Lirs.build(16), WrapperConfig::default());
+        let mut wrapped = WrappedCache::new(PolicyKind::Lirs.build(16), WrapperConfig::default());
         wrapped.run(trace.iter().copied());
         wrapped.flush();
         let acq = wrapped.wrapper().lock_stats().snapshot().acquisitions;
         // ~10k hit accesses in batches of >= 32: far fewer than 10k locks.
-        assert!(acq < 500, "expected batched commits, got {acq} acquisitions");
+        assert!(
+            acq < 500,
+            "expected batched commits, got {acq} acquisitions"
+        );
         let mut unbatched =
             WrappedCache::new(PolicyKind::Lirs.build(16), WrapperConfig::lock_per_access());
         unbatched.run(trace.iter().copied());
         let acq2 = unbatched.wrapper().lock_stats().snapshot().acquisitions;
-        assert!(acq2 >= 10_000, "lock-per-access must lock every hit, got {acq2}");
+        assert!(
+            acq2 >= 10_000,
+            "lock-per-access must lock every hit, got {acq2}"
+        );
     }
 
     #[test]
     fn no_accesses_lost() {
-        let mut wrapped =
-            WrappedCache::new(PolicyKind::Mq.build(8), WrapperConfig::default());
+        let mut wrapped = WrappedCache::new(PolicyKind::Mq.build(8), WrapperConfig::default());
         wrapped.run((0..1000u64).map(|i| i % 12));
         wrapped.flush();
         let c = wrapped.wrapper().counters();

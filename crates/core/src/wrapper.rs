@@ -63,7 +63,12 @@ impl<P: ReplacementPolicy> BpWrapper<P> {
         } else {
             Prefetcher::disabled()
         };
-        BpWrapper { lock, config, prefetcher, counters: WrapperCounters::default() }
+        BpWrapper {
+            lock,
+            config,
+            prefetcher,
+            counters: WrapperCounters::default(),
+        }
     }
 
     /// Wrap with the paper's default configuration (S=64, T=32, both
@@ -89,7 +94,10 @@ impl<P: ReplacementPolicy> BpWrapper<P> {
 
     /// Create a per-thread access handle with its own private FIFO queue.
     pub fn handle(&self) -> AccessHandle<'_, P> {
-        AccessHandle { wrapper: self, queue: AccessQueue::new(self.config.queue_size) }
+        AccessHandle {
+            wrapper: self,
+            queue: AccessQueue::new(self.config.queue_size),
+        }
     }
 
     /// Like [`handle`](Self::handle) but owning an `Arc` to the wrapper,
@@ -104,7 +112,9 @@ impl<P: ReplacementPolicy> BpWrapper<P> {
     /// The paper's contention metric: blocked lock acquisitions per
     /// million recorded page accesses.
     pub fn contentions_per_million(&self) -> f64 {
-        self.lock.stats().contentions_per_million(self.counters.accesses.get())
+        self.lock
+            .stats()
+            .contentions_per_million(self.counters.accesses.get())
     }
 
     /// Run `f` with the policy locked (for invalidation, inspection,
@@ -248,7 +258,8 @@ impl<'w, P: ReplacementPolicy> AccessHandle<'w, P> {
         free: Option<FrameId>,
         evictable: &mut dyn FnMut(FrameId) -> bool,
     ) -> MissOutcome {
-        self.wrapper.miss_with_queue(&mut self.queue, page, free, evictable)
+        self.wrapper
+            .miss_with_queue(&mut self.queue, page, free, evictable)
     }
 
     /// Force-commit any queued accesses (blocking). Call when a thread
@@ -295,7 +306,8 @@ impl<P: ReplacementPolicy> ArcAccessHandle<P> {
         free: Option<FrameId>,
         evictable: &mut dyn FnMut(FrameId) -> bool,
     ) -> MissOutcome {
-        self.wrapper.miss_with_queue(&mut self.queue, page, free, evictable)
+        self.wrapper
+            .miss_with_queue(&mut self.queue, page, free, evictable)
     }
 
     /// See [`AccessHandle::flush`].
@@ -338,14 +350,23 @@ mod tests {
 
     #[test]
     fn hits_are_deferred_until_threshold() {
-        let w = warmed(8, WrapperConfig::default().with_queue_size(8).with_batch_threshold(4));
+        let w = warmed(
+            8,
+            WrapperConfig::default()
+                .with_queue_size(8)
+                .with_batch_threshold(4),
+        );
         let mut h = w.handle();
         let base = w.lock_stats().snapshot().acquisitions; // warmup acq
         h.record_hit(0, 0);
         h.record_hit(1, 1);
         h.record_hit(2, 2);
         assert_eq!(h.queued(), 3);
-        assert_eq!(w.lock_stats().snapshot().acquisitions, base, "no lock before threshold");
+        assert_eq!(
+            w.lock_stats().snapshot().acquisitions,
+            base,
+            "no lock before threshold"
+        );
         h.record_hit(3, 3); // threshold: commit
         assert_eq!(h.queued(), 0);
         assert_eq!(w.lock_stats().snapshot().acquisitions, base + 1);
@@ -355,7 +376,12 @@ mod tests {
     #[test]
     fn commit_preserves_access_order() {
         // After commit, LRU order must reflect the recorded hit order.
-        let w = warmed(4, WrapperConfig::default().with_queue_size(4).with_batch_threshold(4));
+        let w = warmed(
+            4,
+            WrapperConfig::default()
+                .with_queue_size(4)
+                .with_batch_threshold(4),
+        );
         let mut h = w.handle();
         // Hit order: 2, 0, 3, 1 -> LRU eviction order 0-frames: 2 oldest hit... order of hits applied: 2,0,3,1 so LRU stack MRU..LRU = 1,3,0,2
         for (page, frame) in [(2u64, 2u32), (0, 0), (3, 3), (1, 1)] {
@@ -368,10 +394,15 @@ mod tests {
 
     #[test]
     fn miss_drains_queue_first() {
-        let w = warmed(4, WrapperConfig::default().with_queue_size(8).with_batch_threshold(8));
+        let w = warmed(
+            4,
+            WrapperConfig::default()
+                .with_queue_size(8)
+                .with_batch_threshold(8),
+        );
         let mut h = w.handle();
         h.record_hit(0, 0); // 0 becomes MRU once committed
-        // Miss must commit the hit *before* evicting, so victim is 1 not 0.
+                            // Miss must commit the hit *before* evicting, so victim is 1 not 0.
         let out = h.record_miss(99, None, &mut |_| true);
         assert_eq!(out.victim(), Some(1));
         assert_eq!(h.queued(), 0);
@@ -379,7 +410,12 @@ mod tests {
 
     #[test]
     fn stale_entries_skipped() {
-        let w = warmed(4, WrapperConfig::default().with_queue_size(8).with_batch_threshold(8));
+        let w = warmed(
+            4,
+            WrapperConfig::default()
+                .with_queue_size(8)
+                .with_batch_threshold(8),
+        );
         let mut h = w.handle();
         h.record_hit(0, 0);
         // Invalidate page 0 out from under the queued entry.
@@ -404,7 +440,12 @@ mod tests {
 
     #[test]
     fn handle_drop_flushes() {
-        let w = warmed(4, WrapperConfig::default().with_queue_size(16).with_batch_threshold(16));
+        let w = warmed(
+            4,
+            WrapperConfig::default()
+                .with_queue_size(16)
+                .with_batch_threshold(16),
+        );
         {
             let mut h = w.handle();
             h.record_hit(0, 0);
@@ -415,7 +456,12 @@ mod tests {
 
     #[test]
     fn trylock_failure_defers_commit() {
-        let w = warmed(4, WrapperConfig::default().with_queue_size(8).with_batch_threshold(2));
+        let w = warmed(
+            4,
+            WrapperConfig::default()
+                .with_queue_size(8)
+                .with_batch_threshold(2),
+        );
         let held = w.lock.lock(); // block the lock externally
         let mut h = w.handle();
         h.record_hit(0, 0);
@@ -429,7 +475,12 @@ mod tests {
 
     #[test]
     fn full_queue_forces_blocking_lock() {
-        let w = warmed(4, WrapperConfig::default().with_queue_size(3).with_batch_threshold(2));
+        let w = warmed(
+            4,
+            WrapperConfig::default()
+                .with_queue_size(3)
+                .with_batch_threshold(2),
+        );
         let held = w.lock.lock();
         let mut h = w.handle();
         let flusher = std::thread::scope(|s| {

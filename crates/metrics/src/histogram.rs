@@ -99,7 +99,8 @@ impl Histogram {
             a.fetch_add(b.load(Ordering::Relaxed), Ordering::Relaxed);
         }
         self.count.fetch_add(other.count(), Ordering::Relaxed);
-        self.sum.fetch_add(other.sum.load(Ordering::Relaxed), Ordering::Relaxed);
+        self.sum
+            .fetch_add(other.sum.load(Ordering::Relaxed), Ordering::Relaxed);
         self.max.fetch_max(other.max(), Ordering::Relaxed);
     }
 

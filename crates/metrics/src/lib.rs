@@ -7,8 +7,10 @@
 
 pub mod counters;
 pub mod histogram;
+pub mod json;
 pub mod lock_stats;
 
 pub use counters::{Counter, MaxGauge};
 pub use histogram::Histogram;
+pub use json::{JsonError, JsonObject, JsonValue};
 pub use lock_stats::{LockSnapshot, LockStats};

@@ -188,7 +188,11 @@ impl ReplacementPolicy for Arc {
 
     fn node_region(&self) -> Option<NodeRegion> {
         let (base, stride) = self.arena.raw_parts();
-        Some(NodeRegion { base, stride, count: self.frames() })
+        Some(NodeRegion {
+            base,
+            stride,
+            count: self.frames(),
+        })
     }
 
     fn check_invariants(&self) {
@@ -206,8 +210,7 @@ impl ReplacementPolicy for Arc {
         );
         assert!(t1 + self.b1.len() <= c, "|T1|+|B1| exceeds c");
         for f in 0..c as FrameId {
-            let linked =
-                self.t1.contains(&self.arena, f) || self.t2.contains(&self.arena, f);
+            let linked = self.t1.contains(&self.arena, f) || self.t2.contains(&self.arena, f);
             assert_eq!(linked, self.table.is_present(f));
             if let Some(p) = self.table.page_at(f) {
                 assert!(!self.is_ghost(p), "resident page {p} in ghost list");
@@ -273,8 +276,7 @@ mod tests {
         s.access(4); // continue; eventually 1 leaves T2 -> B2
         s.access(5);
         // Force p up first, then a B2 hit must bring it down.
-        let ghosted: Vec<PageId> =
-            (1..6).filter(|&p| s.policy().b2.contains(p)).collect();
+        let ghosted: Vec<PageId> = (1..6).filter(|&p| s.policy().b2.contains(p)).collect();
         if let Some(&g) = ghosted.first() {
             let before = s.policy().p();
             s.access(g);

@@ -25,7 +25,11 @@ struct Node {
 
 impl Default for Node {
     fn default() -> Self {
-        Node { prev: NIL, next: NIL, owner: NO_LIST }
+        Node {
+            prev: NIL,
+            next: NIL,
+            owner: NO_LIST,
+        }
     }
 }
 
@@ -41,7 +45,10 @@ impl Arena {
     /// Create an arena with `n` nodes, all initially unlinked.
     pub fn new(n: usize) -> Self {
         assert!(n < NIL as usize, "arena too large");
-        Arena { nodes: vec![Node::default(); n], next_list_id: 0 }
+        Arena {
+            nodes: vec![Node::default(); n],
+            next_list_id: 0,
+        }
     }
 
     /// Number of nodes in the arena.
@@ -59,7 +66,12 @@ impl Arena {
         let id = self.next_list_id;
         assert!(id != NO_LIST, "too many lists for one arena");
         self.next_list_id += 1;
-        List { head: NIL, tail: NIL, len: 0, id }
+        List {
+            head: NIL,
+            tail: NIL,
+            len: 0,
+            id,
+        }
     }
 
     /// Address of node 0 and the byte stride between nodes, for building
@@ -132,7 +144,11 @@ impl List {
 
     /// Link an unowned node at the front.
     pub fn push_front(&mut self, arena: &mut Arena, node: u32) {
-        assert!(arena.is_free(node), "node {node} already in list {}", arena.owner(node));
+        assert!(
+            arena.is_free(node),
+            "node {node} already in list {}",
+            arena.owner(node)
+        );
         let n = &mut arena.nodes[node as usize];
         n.owner = self.id;
         n.prev = NIL;
@@ -148,7 +164,11 @@ impl List {
 
     /// Link an unowned node at the back.
     pub fn push_back(&mut self, arena: &mut Arena, node: u32) {
-        assert!(arena.is_free(node), "node {node} already in list {}", arena.owner(node));
+        assert!(
+            arena.is_free(node),
+            "node {node} already in list {}",
+            arena.owner(node)
+        );
         let n = &mut arena.nodes[node as usize];
         n.owner = self.id;
         n.next = NIL;
@@ -164,8 +184,16 @@ impl List {
 
     /// Link an unowned node immediately before member node `pos`.
     pub fn insert_before(&mut self, arena: &mut Arena, pos: u32, node: u32) {
-        assert!(self.contains(arena, pos), "pos {pos} not in list {}", self.id);
-        assert!(arena.is_free(node), "node {node} already in list {}", arena.owner(node));
+        assert!(
+            self.contains(arena, pos),
+            "pos {pos} not in list {}",
+            self.id
+        );
+        assert!(
+            arena.is_free(node),
+            "node {node} already in list {}",
+            arena.owner(node)
+        );
         let prev = arena.nodes[pos as usize].prev;
         let n = &mut arena.nodes[node as usize];
         n.owner = self.id;
@@ -182,8 +210,16 @@ impl List {
 
     /// Link an unowned node immediately after member node `pos`.
     pub fn insert_after(&mut self, arena: &mut Arena, pos: u32, node: u32) {
-        assert!(self.contains(arena, pos), "pos {pos} not in list {}", self.id);
-        assert!(arena.is_free(node), "node {node} already in list {}", arena.owner(node));
+        assert!(
+            self.contains(arena, pos),
+            "pos {pos} not in list {}",
+            self.id
+        );
+        assert!(
+            arena.is_free(node),
+            "node {node} already in list {}",
+            arena.owner(node)
+        );
         let next = arena.nodes[pos as usize].next;
         let n = &mut arena.nodes[node as usize];
         n.owner = self.id;
@@ -343,7 +379,10 @@ impl GhostSlots {
     /// Return a slot. Must have come from this allocator.
     pub fn dealloc(&mut self, slot: u32) {
         debug_assert!(slot >= self.base && (slot - self.base) < self.count as u32);
-        debug_assert!(!self.free.contains(&slot), "double free of ghost slot {slot}");
+        debug_assert!(
+            !self.free.contains(&slot),
+            "double free of ghost slot {slot}"
+        );
         self.free.push(slot);
     }
 }

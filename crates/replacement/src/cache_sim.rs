@@ -44,7 +44,11 @@ impl<P: ReplacementPolicy> CacheSim<P> {
     /// Wrap `policy` in a fresh simulator with all frames free.
     pub fn new(policy: P) -> Self {
         let frames = policy.frames();
-        assert_eq!(policy.resident_count(), 0, "CacheSim requires an empty policy");
+        assert_eq!(
+            policy.resident_count(),
+            0,
+            "CacheSim requires an empty policy"
+        );
         CacheSim {
             policy,
             map: HashMap::with_capacity(frames),
@@ -73,7 +77,10 @@ impl<P: ReplacementPolicy> CacheSim<P> {
             }
             MissOutcome::NoEvictableFrame => {
                 // All-evictable filter means this is a policy bug.
-                panic!("policy {} failed to evict with a permissive filter", self.policy.name());
+                panic!(
+                    "policy {} failed to evict with a permissive filter",
+                    self.policy.name()
+                );
             }
         }
         false
@@ -155,7 +162,7 @@ mod tests {
     #[test]
     fn run_trace() {
         let mut sim = CacheSim::new(Lru::new(3));
-        let stats = sim.run([1, 2, 3, 1, 2, 3, 4, 4, 4].into_iter());
+        let stats = sim.run([1, 2, 3, 1, 2, 3, 4, 4, 4]);
         assert_eq!(stats.hits, 5);
         assert_eq!(stats.misses, 4);
     }

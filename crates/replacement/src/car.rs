@@ -220,7 +220,11 @@ impl ReplacementPolicy for Car {
 
     fn node_region(&self) -> Option<NodeRegion> {
         let (base, stride) = self.arena.raw_parts();
-        Some(NodeRegion { base, stride, count: self.frames() })
+        Some(NodeRegion {
+            base,
+            stride,
+            count: self.frames(),
+        })
     }
 
     fn check_invariants(&self) {
@@ -233,10 +237,12 @@ impl ReplacementPolicy for Car {
         assert!(t1 + t2 <= c);
         assert!(self.p <= c);
         assert!(t1 + self.b1.len() <= c, "|T1|+|B1| exceeds c");
-        assert!(t1 + t2 + self.b1.len() + self.b2.len() <= 2 * c, "directory exceeds 2c");
+        assert!(
+            t1 + t2 + self.b1.len() + self.b2.len() <= 2 * c,
+            "directory exceeds 2c"
+        );
         for f in 0..c as FrameId {
-            let linked =
-                self.t1.contains(&self.arena, f) || self.t2.contains(&self.arena, f);
+            let linked = self.t1.contains(&self.arena, f) || self.t2.contains(&self.arena, f);
             assert_eq!(linked, self.table.is_present(f));
             if !self.table.is_present(f) {
                 assert!(!self.referenced[f as usize]);

@@ -23,7 +23,11 @@ impl Clock {
     /// Create a CLOCK policy managing `frames` buffer frames.
     pub fn new(frames: usize) -> Self {
         assert!(frames > 0, "CLOCK needs at least one frame");
-        Clock { referenced: vec![false; frames], table: FrameTable::new(frames), hand: 0 }
+        Clock {
+            referenced: vec![false; frames],
+            table: FrameTable::new(frames),
+            hand: 0,
+        }
     }
 
     /// Current hand position (test aid).
@@ -156,7 +160,13 @@ mod tests {
         let mut c = Clock::new(3);
         fill(&mut c, &[10, 20, 30]);
         let out = c.record_miss(40, None, &mut |f| f == 2);
-        assert_eq!(out, MissOutcome::Evicted { frame: 2, victim: 30 });
+        assert_eq!(
+            out,
+            MissOutcome::Evicted {
+                frame: 2,
+                victim: 30
+            }
+        );
     }
 
     #[test]

@@ -124,7 +124,8 @@ impl ClockPro {
             self.hand_cold = node;
             self.hand_test = node;
         } else {
-            self.ring.insert_before(&mut self.arena, self.hand_hot, node);
+            self.ring
+                .insert_before(&mut self.arena, self.hand_hot, node);
         }
     }
 
@@ -152,7 +153,9 @@ impl ClockPro {
             Some(s) => s,
             None => {
                 self.run_hand_test();
-                self.ghost_slots.alloc().expect("hand_test must free a slot")
+                self.ghost_slots
+                    .alloc()
+                    .expect("hand_test must free a slot")
             }
         };
         self.ring.insert_before(&mut self.arena, frame, slot);
@@ -173,7 +176,11 @@ impl ClockPro {
             let node = self.hand_hot;
             if self.is_ghost_node(node) {
                 // hand_hot removes non-resident pages it passes.
-                let next = if self.ring.len() > 1 { self.next_wrap(node) } else { NIL };
+                let next = if self.ring.len() > 1 {
+                    self.next_wrap(node)
+                } else {
+                    NIL
+                };
                 self.drop_ghost(node);
                 if self.hand_hot == node {
                     self.hand_hot = next;
@@ -337,9 +344,7 @@ impl ReplacementPolicy for ClockPro {
         };
 
         // The ghost may have been pruned while making room; re-check.
-        let ghost_node = ghost_node.filter(|n| {
-            self.ghost_of.get(&page) == Some(n)
-        });
+        let ghost_node = ghost_node.filter(|n| self.ghost_of.get(&page) == Some(n));
 
         self.table.bind(frame, page);
         self.referenced[frame as usize] = false;
@@ -386,7 +391,11 @@ impl ReplacementPolicy for ClockPro {
 
     fn node_region(&self) -> Option<NodeRegion> {
         let (base, stride) = self.arena.raw_parts();
-        Some(NodeRegion { base, stride, count: self.frames() })
+        Some(NodeRegion {
+            base,
+            stride,
+            count: self.frames(),
+        })
     }
 
     fn check_invariants(&self) {
@@ -397,7 +406,10 @@ impl ReplacementPolicy for ClockPro {
             "ring must hold every tracked entry exactly once"
         );
         assert_eq!(self.hot_count + self.cold_resident, self.table.resident());
-        assert!(self.ghost_of.len() <= self.m(), "too many non-resident entries");
+        assert!(
+            self.ghost_of.len() <= self.m(),
+            "too many non-resident entries"
+        );
         assert!((1..self.m()).contains(&self.mc), "mc out of range");
         if !self.ring.is_empty() {
             for hand in [self.hand_hot, self.hand_cold, self.hand_test] {
@@ -488,7 +500,11 @@ mod tests {
         let mut rng = rand::rngs::StdRng::seed_from_u64(3);
         let mut s = CacheSim::new(ClockPro::new(16));
         for i in 0..5000 {
-            let p = if rng.gen_bool(0.7) { rng.gen_range(0..12u64) } else { rng.gen_range(0..200u64) };
+            let p = if rng.gen_bool(0.7) {
+                rng.gen_range(0..12u64)
+            } else {
+                rng.gen_range(0..200u64)
+            };
             s.access(p);
             if i % 500 == 0 {
                 s.check_consistency();
@@ -510,7 +526,10 @@ mod tests {
             s.access(p);
         }
         let survivors = (0..16u64).filter(|&p| s.is_resident(p)).count();
-        assert!(survivors >= 8, "scan displaced hot set: {survivors}/16 left");
+        assert!(
+            survivors >= 8,
+            "scan displaced hot set: {survivors}/16 left"
+        );
         s.check_consistency();
     }
 

@@ -20,7 +20,11 @@ impl Fifo {
         assert!(frames > 0, "FIFO needs at least one frame");
         let mut arena = Arena::new(frames);
         let queue = arena.new_list();
-        Fifo { arena, queue, table: FrameTable::new(frames) }
+        Fifo {
+            arena,
+            queue,
+            table: FrameTable::new(frames),
+        }
     }
 }
 
@@ -78,7 +82,11 @@ impl ReplacementPolicy for Fifo {
 
     fn node_region(&self) -> Option<NodeRegion> {
         let (base, stride) = self.arena.raw_parts();
-        Some(NodeRegion { base, stride, count: self.frames() })
+        Some(NodeRegion {
+            base,
+            stride,
+            count: self.frames(),
+        })
     }
 
     fn check_invariants(&self) {
@@ -132,6 +140,11 @@ mod tests {
         let mut lru = CacheSim::new(crate::lru::Lru::new(frames));
         let a = fifo.run(trace.iter().copied());
         let b = lru.run(trace.iter().copied());
-        assert!(a.hits <= b.hits, "FIFO ({}) should not beat LRU ({}) here", a.hits, b.hits);
+        assert!(
+            a.hits <= b.hits,
+            "FIFO ({}) should not beat LRU ({}) here",
+            a.hits,
+            b.hits
+        );
     }
 }

@@ -13,7 +13,11 @@ pub struct FrameTable {
 impl FrameTable {
     /// Table for `n` frames, all initially empty.
     pub fn new(n: usize) -> Self {
-        FrameTable { page_of: vec![0; n], present: vec![false; n], resident: 0 }
+        FrameTable {
+            page_of: vec![0; n],
+            present: vec![false; n],
+            resident: 0,
+        }
     }
 
     /// Number of frames.
@@ -38,7 +42,10 @@ impl FrameTable {
 
     /// Bind `page` to an empty `frame`.
     pub fn bind(&mut self, frame: FrameId, page: PageId) {
-        assert!(!self.present[frame as usize], "frame {frame} already occupied");
+        assert!(
+            !self.present[frame as usize],
+            "frame {frame} already occupied"
+        );
         self.present[frame as usize] = true;
         self.page_of[frame as usize] = page;
         self.resident += 1;

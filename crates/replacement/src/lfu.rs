@@ -165,7 +165,10 @@ impl ReplacementPolicy for Lfu {
     fn check_invariants(&self) {
         for f in 0..self.table.frames() {
             if self.table.is_present(f as FrameId) {
-                assert!(self.count[f] >= 1 || self.age_every > 0, "resident frame {f} uncounted");
+                assert!(
+                    self.count[f] >= 1 || self.age_every > 0,
+                    "resident frame {f} uncounted"
+                );
             } else {
                 assert_eq!(self.count[f], 0, "empty frame {f} has a count");
             }

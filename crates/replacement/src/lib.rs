@@ -237,7 +237,7 @@ mod tests {
     fn boxed_policy_works_in_cache_sim() {
         let boxed = PolicyKind::TwoQ.build(4);
         let mut sim = CacheSim::new(boxed);
-        let stats = sim.run([1u64, 2, 3, 1, 2, 3].into_iter());
+        let stats = sim.run([1u64, 2, 3, 1, 2, 3]);
         assert_eq!(stats.misses, 3);
         assert_eq!(stats.hits, 3);
         sim.check_consistency();

@@ -95,7 +95,11 @@ impl LinkedSet {
             None => {
                 let i = self.nodes.len() as u32;
                 assert!(i != NIL, "LinkedSet overflow");
-                self.nodes.push(Node { key, prev: NIL, next: NIL });
+                self.nodes.push(Node {
+                    key,
+                    prev: NIL,
+                    next: NIL,
+                });
                 i
             }
         };

@@ -41,7 +41,10 @@ pub struct LirsConfig {
 
 impl Default for LirsConfig {
     fn default() -> Self {
-        LirsConfig { hir_fraction: 0.01, ghost_multiple: 2.0 }
+        LirsConfig {
+            hir_fraction: 0.01,
+            ghost_multiple: 2.0,
+        }
     }
 }
 
@@ -56,9 +59,9 @@ pub struct Lirs {
     lir_count: usize,
     llirs: usize,
     ghost_slots: GhostSlots,
-    ghost_page: Vec<PageId>,          // indexed by slot - ghost_base
-    ghost_of: HashMap<PageId, u32>,   // page -> ghost node
-    ghost_order: LinkedSet,           // ghost pages, newest first
+    ghost_page: Vec<PageId>,        // indexed by slot - ghost_base
+    ghost_of: HashMap<PageId, u32>, // page -> ghost node
+    ghost_order: LinkedSet,         // ghost pages, newest first
     table: FrameTable,
 }
 
@@ -318,7 +321,10 @@ impl ReplacementPolicy for Lirs {
         }
 
         match victim {
-            Some(v) => MissOutcome::Evicted { frame: f, victim: v },
+            Some(v) => MissOutcome::Evicted {
+                frame: f,
+                victim: v,
+            },
             None => MissOutcome::AdmittedFree(f),
         }
     }
@@ -348,7 +354,11 @@ impl ReplacementPolicy for Lirs {
 
     fn node_region(&self) -> Option<NodeRegion> {
         let (base, stride) = self.arena.raw_parts();
-        Some(NodeRegion { base, stride, count: self.frames() })
+        Some(NodeRegion {
+            base,
+            stride,
+            count: self.frames(),
+        })
     }
 
     fn check_invariants(&self) {
@@ -371,13 +381,25 @@ impl ReplacementPolicy for Lirs {
             if self.is_lir[f as usize] {
                 assert!(present, "LIR frame {f} not resident");
                 lir_seen += 1;
-                assert!(self.s.contains(&self.arena, f), "LIR frame {f} not on stack");
-                assert!(!self.q.contains(&self.arena, self.qnode(f)), "LIR frame {f} in Q");
+                assert!(
+                    self.s.contains(&self.arena, f),
+                    "LIR frame {f} not on stack"
+                );
+                assert!(
+                    !self.q.contains(&self.arena, self.qnode(f)),
+                    "LIR frame {f} in Q"
+                );
             } else if present {
-                assert!(self.q.contains(&self.arena, self.qnode(f)), "HIR frame {f} not in Q");
+                assert!(
+                    self.q.contains(&self.arena, self.qnode(f)),
+                    "HIR frame {f} not in Q"
+                );
             } else {
                 assert!(!self.s.contains(&self.arena, f), "empty frame {f} on stack");
-                assert!(!self.q.contains(&self.arena, self.qnode(f)), "empty frame {f} in Q");
+                assert!(
+                    !self.q.contains(&self.arena, self.qnode(f)),
+                    "empty frame {f} in Q"
+                );
             }
         }
         assert_eq!(lir_seen, self.lir_count);
@@ -385,7 +407,10 @@ impl ReplacementPolicy for Lirs {
         for (&page, &node) in &self.ghost_of {
             assert!(self.s.contains(&self.arena, node), "ghost {page} off stack");
             assert!(self.ghost_order.contains(page));
-            assert_eq!(self.ghost_page[(node - self.ghost_slots.base()) as usize], page);
+            assert_eq!(
+                self.ghost_page[(node - self.ghost_slots.base()) as usize],
+                page
+            );
         }
         // ghost_order must track the stack's ghost *set*. (Exact order
         // normally matches too, but pinned-frame evictions — which skip
@@ -413,7 +438,10 @@ mod tests {
     fn sim(frames: usize, hir_fraction: f64) -> CacheSim<Lirs> {
         CacheSim::new(Lirs::with_config(
             frames,
-            LirsConfig { hir_fraction, ghost_multiple: 2.0 },
+            LirsConfig {
+                hir_fraction,
+                ghost_multiple: 2.0,
+            },
         ))
     }
 
@@ -443,7 +471,10 @@ mod tests {
         s.access(8);
         assert!(s.is_resident(8));
         let f = s.frame_of(8).unwrap();
-        assert!(s.policy().is_lir_frame(f), "ghost re-reference must yield LIR");
+        assert!(
+            s.policy().is_lir_frame(f),
+            "ghost re-reference must yield LIR"
+        );
         s.check_consistency();
     }
 

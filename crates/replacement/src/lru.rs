@@ -19,7 +19,11 @@ impl Lru {
         assert!(frames > 0, "LRU needs at least one frame");
         let mut arena = Arena::new(frames);
         let list = arena.new_list();
-        Lru { arena, list, table: FrameTable::new(frames) }
+        Lru {
+            arena,
+            list,
+            table: FrameTable::new(frames),
+        }
     }
 
     /// Frames in eviction order (LRU first). Test aid.
@@ -80,7 +84,11 @@ impl ReplacementPolicy for Lru {
 
     fn node_region(&self) -> Option<NodeRegion> {
         let (base, stride) = self.arena.raw_parts();
-        Some(NodeRegion { base, stride, count: self.frames() })
+        Some(NodeRegion {
+            base,
+            stride,
+            count: self.frames(),
+        })
     }
 
     fn check_invariants(&self) {

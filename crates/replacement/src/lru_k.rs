@@ -25,7 +25,9 @@ pub struct LruKConfig {
 
 impl Default for LruKConfig {
     fn default() -> Self {
-        LruKConfig { history_multiple: 2.0 }
+        LruKConfig {
+            history_multiple: 2.0,
+        }
     }
 }
 
@@ -185,10 +187,16 @@ impl ReplacementPolicy for LruK {
         self.history_order.check();
         for f in 0..self.table.frames() {
             if self.table.is_present(f as FrameId) {
-                assert!(self.last[f] > 0, "resident frame {f} without a reference time");
+                assert!(
+                    self.last[f] > 0,
+                    "resident frame {f} without a reference time"
+                );
                 assert!(self.prev[f] < self.last[f] || self.prev[f] == 0);
                 let page = self.table.page_at(f as FrameId).unwrap();
-                assert!(!self.history.contains_key(&page), "resident page {page} in history");
+                assert!(
+                    !self.history.contains_key(&page),
+                    "resident page {page} in history"
+                );
             }
         }
     }
@@ -234,7 +242,7 @@ mod tests {
         s.access(3); // evicts 1 (oldest one-shot); history retained
         assert!(s.policy().has_history(1));
         s.access(1); // back with prev = its old last: now a 2-ref page
-        // A subsequent miss must spare 1 and evict a one-shot page.
+                     // A subsequent miss must spare 1 and evict a one-shot page.
         s.access(9);
         assert!(s.is_resident(1), "page with restored history evicted");
         s.check_consistency();
@@ -272,7 +280,12 @@ mod tests {
 
     #[test]
     fn history_is_bounded() {
-        let mut s = CacheSim::new(LruK::with_config(4, LruKConfig { history_multiple: 1.0 }));
+        let mut s = CacheSim::new(LruK::with_config(
+            4,
+            LruKConfig {
+                history_multiple: 1.0,
+            },
+        ));
         for p in 0..200u64 {
             s.access(p);
         }

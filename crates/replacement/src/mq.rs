@@ -31,7 +31,11 @@ pub struct MqConfig {
 impl MqConfig {
     /// Paper defaults scaled to `frames`.
     pub fn for_frames(frames: usize) -> Self {
-        MqConfig { num_queues: 8, life_time: (frames as u64 * 2).max(1), qout_multiple: 4.0 }
+        MqConfig {
+            num_queues: 8,
+            life_time: (frames as u64 * 2).max(1),
+            qout_multiple: 4.0,
+        }
     }
 }
 
@@ -59,7 +63,10 @@ impl Mq {
     /// Create an MQ policy with explicit parameters.
     pub fn with_config(frames: usize, cfg: MqConfig) -> Self {
         assert!(frames > 0, "MQ needs at least one frame");
-        assert!((1..=64).contains(&cfg.num_queues), "queue count out of range");
+        assert!(
+            (1..=64).contains(&cfg.num_queues),
+            "queue count out of range"
+        );
         let mut arena = Arena::new(frames);
         let queues = (0..cfg.num_queues).map(|_| arena.new_list()).collect();
         let qout_cap = ((frames as f64 * cfg.qout_multiple) as usize).max(1);
@@ -86,7 +93,9 @@ impl Mq {
 
     /// Queue index currently holding `frame` (test aid).
     pub fn queue_of(&self, frame: FrameId) -> Option<u8> {
-        self.table.is_present(frame).then(|| self.queue_of[frame as usize])
+        self.table
+            .is_present(frame)
+            .then(|| self.queue_of[frame as usize])
     }
 
     /// True if `page` is remembered in Qout (test aid).
@@ -207,7 +216,11 @@ impl ReplacementPolicy for Mq {
 
     fn node_region(&self) -> Option<NodeRegion> {
         let (base, stride) = self.arena.raw_parts();
-        Some(NodeRegion { base, stride, count: self.frames() })
+        Some(NodeRegion {
+            base,
+            stride,
+            count: self.frames(),
+        })
     }
 
     fn check_invariants(&self) {
@@ -215,8 +228,14 @@ impl ReplacementPolicy for Mq {
         for (k, q) in self.queues.iter().enumerate() {
             linked += q.check(&self.arena);
             for node in q.iter(&self.arena) {
-                assert!(self.table.is_present(node as FrameId), "queued frame {node} empty");
-                assert_eq!(self.queue_of[node as usize] as usize, k, "queue index stale");
+                assert!(
+                    self.table.is_present(node as FrameId),
+                    "queued frame {node} empty"
+                );
+                assert_eq!(
+                    self.queue_of[node as usize] as usize, k,
+                    "queue index stale"
+                );
             }
         }
         assert_eq!(linked, self.table.resident(), "queues must cover residents");
@@ -265,7 +284,7 @@ mod tests {
         }
         s.access(2);
         s.access(3); // evicts 2 (Q0); 1 protected in Q2
-        // Evict 1 by filling with cold pages? 1 only demotes over time.
+                     // Evict 1 by filling with cold pages? 1 only demotes over time.
         assert!(s.policy().in_qout(2));
         s.access(2); // ghost return: freq restored to old+1 = 2 -> Q1
         let f = s.frame_of(2).unwrap();
@@ -275,7 +294,11 @@ mod tests {
 
     #[test]
     fn expired_pages_demote() {
-        let cfg = MqConfig { num_queues: 4, life_time: 3, qout_multiple: 2.0 };
+        let cfg = MqConfig {
+            num_queues: 4,
+            life_time: 3,
+            qout_multiple: 2.0,
+        };
         let mut s = CacheSim::new(Mq::with_config(4, cfg));
         for _ in 0..4 {
             s.access(1); // freq 4 -> Q2
@@ -292,7 +315,11 @@ mod tests {
 
     #[test]
     fn qout_bounded() {
-        let cfg = MqConfig { num_queues: 8, life_time: 8, qout_multiple: 1.0 };
+        let cfg = MqConfig {
+            num_queues: 8,
+            life_time: 8,
+            qout_multiple: 1.0,
+        };
         let mut s = CacheSim::new(Mq::with_config(4, cfg));
         for p in 0..200 {
             s.access(p);

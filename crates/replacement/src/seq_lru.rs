@@ -169,7 +169,10 @@ impl ReplacementPolicy for SeqLru {
                     .find(|&f| evictable(f))
                     .map(|f| (f, true))
                     .or_else(|| {
-                        self.main.iter_rev(&self.arena).find(|&f| evictable(f)).map(|f| (f, false))
+                        self.main
+                            .iter_rev(&self.arena)
+                            .find(|&f| evictable(f))
+                            .map(|f| (f, false))
                     });
                 let Some((f, from_seq)) = found else {
                     return MissOutcome::NoEvictableFrame;
@@ -206,17 +209,28 @@ impl ReplacementPolicy for SeqLru {
 
     fn node_region(&self) -> Option<NodeRegion> {
         let (base, stride) = self.arena.raw_parts();
-        Some(NodeRegion { base, stride, count: self.frames() })
+        Some(NodeRegion {
+            base,
+            stride,
+            count: self.frames(),
+        })
     }
 
     fn check_invariants(&self) {
         let main = self.main.check(&self.arena);
         let seq = self.seq.check(&self.arena);
-        assert_eq!(main + seq, self.table.resident(), "lists must cover residents");
+        assert_eq!(
+            main + seq,
+            self.table.resident(),
+            "lists must cover residents"
+        );
         for f in 0..self.table.frames() as FrameId {
-            let linked =
-                self.main.contains(&self.arena, f) || self.seq.contains(&self.arena, f);
-            assert_eq!(linked, self.table.is_present(f), "frame {f} residency mismatch");
+            let linked = self.main.contains(&self.arena, f) || self.seq.contains(&self.arena, f);
+            assert_eq!(
+                linked,
+                self.table.is_present(f),
+                "frame {f} residency mismatch"
+            );
         }
     }
 }

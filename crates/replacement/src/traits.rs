@@ -157,7 +157,10 @@ mod tests {
     fn miss_outcome_accessors() {
         assert_eq!(MissOutcome::AdmittedFree(3).frame(), Some(3));
         assert_eq!(MissOutcome::AdmittedFree(3).victim(), None);
-        let e = MissOutcome::Evicted { frame: 7, victim: 42 };
+        let e = MissOutcome::Evicted {
+            frame: 7,
+            victim: 42,
+        };
         assert_eq!(e.frame(), Some(7));
         assert_eq!(e.victim(), Some(42));
         assert_eq!(MissOutcome::NoEvictableFrame.frame(), None);

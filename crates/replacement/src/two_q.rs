@@ -19,7 +19,10 @@ pub struct TwoQConfig {
 
 impl Default for TwoQConfig {
     fn default() -> Self {
-        TwoQConfig { kin_fraction: 0.25, kout_fraction: 0.50 }
+        TwoQConfig {
+            kin_fraction: 0.25,
+            kout_fraction: 0.50,
+        }
     }
 }
 
@@ -81,7 +84,11 @@ impl TwoQ {
     fn reclaim(&mut self, evictable: &mut dyn FnMut(FrameId) -> bool) -> Option<(FrameId, PageId)> {
         // Prefer draining A1in once it exceeds its target share.
         let from_a1in_first = self.a1in.len() > self.kin || self.am.is_empty();
-        let orders: [bool; 2] = if from_a1in_first { [true, false] } else { [false, true] };
+        let orders: [bool; 2] = if from_a1in_first {
+            [true, false]
+        } else {
+            [false, true]
+        };
         for &use_a1in in &orders {
             let list = if use_a1in { &self.a1in } else { &self.am };
             let found = list.iter_rev(&self.arena).find(|&f| evictable(f));
@@ -179,19 +186,30 @@ impl ReplacementPolicy for TwoQ {
 
     fn node_region(&self) -> Option<NodeRegion> {
         let (base, stride) = self.arena.raw_parts();
-        Some(NodeRegion { base, stride, count: self.frames() })
+        Some(NodeRegion {
+            base,
+            stride,
+            count: self.frames(),
+        })
     }
 
     fn check_invariants(&self) {
         let am = self.am.check(&self.arena);
         let a1in = self.a1in.check(&self.arena);
-        assert_eq!(am + a1in, self.table.resident(), "Am + A1in must cover residents");
+        assert_eq!(
+            am + a1in,
+            self.table.resident(),
+            "Am + A1in must cover residents"
+        );
         assert!(self.a1out.len() <= self.kout, "A1out over capacity");
         self.a1out.check();
         for f in 0..self.table.frames() as FrameId {
-            let linked =
-                self.am.contains(&self.arena, f) || self.a1in.contains(&self.arena, f);
-            assert_eq!(linked, self.table.is_present(f), "frame {f} residency mismatch");
+            let linked = self.am.contains(&self.arena, f) || self.a1in.contains(&self.arena, f);
+            assert_eq!(
+                linked,
+                self.table.is_present(f),
+                "frame {f} residency mismatch"
+            );
             if let Some(p) = self.table.page_at(f) {
                 assert!(!self.a1out.contains(p), "resident page {p} also in A1out");
             }
@@ -248,7 +266,13 @@ mod tests {
 
     #[test]
     fn am_eviction_not_remembered() {
-        let mut q = TwoQ::with_config(4, TwoQConfig { kin_fraction: 1.0, kout_fraction: 0.5 });
+        let mut q = TwoQ::with_config(
+            4,
+            TwoQConfig {
+                kin_fraction: 1.0,
+                kout_fraction: 0.5,
+            },
+        );
         // kin = 4: A1in never exceeds target, so eviction falls to Am...
         // but Am is empty, so A1in is drained anyway (orders fallback).
         for (i, p) in (0..4).zip([1, 2, 3, 4]) {
@@ -264,7 +288,7 @@ mod tests {
     fn scan_resistance_protects_am() {
         // Pages promoted to Am survive a long one-shot scan.
         let q = TwoQ::new(8); // kin = 2, kout = 4
-        // Build up hot pages 1 and 2 in Am via ghost re-reference.
+                              // Build up hot pages 1 and 2 in Am via ghost re-reference.
         let mut sim = crate::cache_sim::CacheSim::new(q);
         for &p in &[1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 1, 2] {
             sim.access(p);
@@ -302,6 +326,9 @@ mod tests {
         let g = ghost[0];
         let out = sim.policy_mut().record_miss(g, None, &mut |_| false);
         assert_eq!(out, MissOutcome::NoEvictableFrame);
-        assert!(sim.policy().in_a1out(g), "ghost entry must survive failed admission");
+        assert!(
+            sim.policy().in_a1out(g),
+            "ghost entry must survive failed admission"
+        );
     }
 }

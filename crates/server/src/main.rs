@@ -1,0 +1,250 @@
+//! `bpw-server` binary: run the page service, drive one with load, or
+//! run the built-in coarse-vs-BP-Wrapper comparison.
+//!
+//! ```text
+//! bpw-server serve   [--addr H:P] [--workers N] [--queue N] [--policy P]
+//!                    [--frames N] [--page-size B] [--pages N] [--manager SPEC]
+//! bpw-server loadgen --addr H:P [--connections N] [--requests N]
+//!                    [--write-fraction F] [--rate RPS | --think MS]
+//!                    [--workload zipf|dbt1|dbt2|scan] [--zipf-pages N]
+//!                    [--theta F] [--seed S]
+//! bpw-server bench   [--out FILE] [--requests N] [--connections LIST]
+//! ```
+
+use std::collections::HashMap;
+use std::net::SocketAddr;
+use std::time::Duration;
+
+use bpw_metrics::JsonObject;
+use bpw_server::{loadgen, LoadConfig, LoadMode, Server, ServerConfig};
+use bpw_workloads::{Workload, WorkloadKind, ZipfWorkload};
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let cmd = args.next().unwrap_or_default();
+    let flags = parse_flags(args.collect());
+    let result = match cmd.as_str() {
+        "serve" => cmd_serve(&flags),
+        "loadgen" => cmd_loadgen(&flags),
+        "bench" => cmd_bench(&flags),
+        _ => {
+            eprintln!(
+                "usage: bpw-server <serve|loadgen|bench> [flags]  (see --help in src/main.rs)"
+            );
+            std::process::exit(2);
+        }
+    };
+    if let Err(e) = result {
+        eprintln!("bpw-server {cmd}: {e}");
+        std::process::exit(1);
+    }
+}
+
+/// `--key value` pairs; repeated keys keep the last value.
+fn parse_flags(argv: Vec<String>) -> HashMap<String, String> {
+    let mut flags = HashMap::new();
+    let mut it = argv.into_iter();
+    while let Some(a) = it.next() {
+        let Some(key) = a.strip_prefix("--") else {
+            eprintln!("ignoring stray argument {a:?}");
+            continue;
+        };
+        match it.next() {
+            Some(v) => {
+                flags.insert(key.to_string(), v);
+            }
+            None => {
+                eprintln!("flag --{key} needs a value");
+                std::process::exit(2);
+            }
+        }
+    }
+    flags
+}
+
+fn get<T: std::str::FromStr>(
+    flags: &HashMap<String, String>,
+    key: &str,
+    default: T,
+) -> Result<T, String>
+where
+    T::Err: std::fmt::Display,
+{
+    match flags.get(key) {
+        Some(v) => v.parse().map_err(|e| format!("--{key} {v:?}: {e}")),
+        None => Ok(default),
+    }
+}
+
+fn server_config(flags: &HashMap<String, String>) -> Result<ServerConfig, String> {
+    let d = ServerConfig::default();
+    Ok(ServerConfig {
+        addr: flags.get("addr").cloned().unwrap_or(d.addr),
+        workers: get(flags, "workers", d.workers)?,
+        queue_capacity: get(flags, "queue", d.queue_capacity)?,
+        policy: get(flags, "policy", d.policy)?,
+        frames: get(flags, "frames", d.frames)?,
+        page_size: get(flags, "page-size", d.page_size)?,
+        pages: get(flags, "pages", d.pages)?,
+        manager: flags.get("manager").cloned().unwrap_or(d.manager),
+    })
+}
+
+fn cmd_serve(flags: &HashMap<String, String>) -> Result<(), String> {
+    let config = server_config(flags)?;
+    let server = Server::start(config.clone()).map_err(|e| e.to_string())?;
+    println!(
+        "bpw-server listening on {} — manager {}, {} workers, policy {}, queue {}",
+        server.addr(),
+        server.pool().manager().name(),
+        config.workers,
+        config.policy,
+        config.queue_capacity
+    );
+    server.wait_stop_requested();
+    println!("shutdown requested; final stats:\n{}", server.stats_json());
+    server.join();
+    Ok(())
+}
+
+fn build_workload(flags: &HashMap<String, String>) -> Result<Box<dyn Workload>, String> {
+    let name = flags.get("workload").map(String::as_str).unwrap_or("zipf");
+    if name == "zipf" {
+        let pages: u64 = get(flags, "zipf-pages", 16_384)?;
+        let theta: f64 = get(flags, "theta", 0.86)?;
+        return Ok(Box::new(ZipfWorkload::new(pages, theta, 8)));
+    }
+    let kind: WorkloadKind = name.parse()?;
+    Ok(kind.build())
+}
+
+fn load_config(flags: &HashMap<String, String>) -> Result<LoadConfig, String> {
+    let d = LoadConfig::default();
+    let mode = match (flags.get("rate"), flags.get("think")) {
+        (Some(_), Some(_)) => return Err("--rate and --think are mutually exclusive".into()),
+        (Some(r), None) => LoadMode::Open {
+            rate_per_sec: r.parse().map_err(|e| format!("--rate {r:?}: {e}"))?,
+        },
+        (None, Some(t)) => LoadMode::Closed {
+            think: Duration::from_millis(t.parse().map_err(|e| format!("--think {t:?}: {e}"))?),
+        },
+        (None, None) => d.mode,
+    };
+    Ok(LoadConfig {
+        connections: get(flags, "connections", d.connections)?,
+        requests_per_conn: get(flags, "requests", d.requests_per_conn)?,
+        write_fraction: get(flags, "write-fraction", d.write_fraction)?,
+        mode,
+        seed: get(flags, "seed", d.seed)?,
+        put_len: get(flags, "put-len", d.put_len)?,
+    })
+}
+
+fn cmd_loadgen(flags: &HashMap<String, String>) -> Result<(), String> {
+    let addr: SocketAddr = flags
+        .get("addr")
+        .ok_or("loadgen needs --addr")?
+        .parse()
+        .map_err(|e| format!("--addr: {e}"))?;
+    let workload = build_workload(flags)?;
+    let cfg = load_config(flags)?;
+    let report = loadgen::run(addr, workload.as_ref(), &cfg);
+    println!("{}", report.summary());
+    println!("{}", report.to_json());
+    Ok(())
+}
+
+/// The headline end-to-end comparison: the same load through the same
+/// server, differing only in the replacement manager's synchronization
+/// scheme. Writes a JSON-lines artifact and prints a table.
+fn cmd_bench(flags: &HashMap<String, String>) -> Result<(), String> {
+    let out = flags
+        .get("out")
+        .cloned()
+        .unwrap_or_else(|| "results/server_bench.jsonl".into());
+    let requests: u64 = get(flags, "requests", 20_000)?;
+    let conn_list = flags
+        .get("connections")
+        .cloned()
+        .unwrap_or_else(|| "1,2,4,8".into());
+    let workers: usize = get(flags, "workers", 4)?;
+    let connections: Vec<usize> = conn_list
+        .split(',')
+        .map(|s| {
+            s.trim()
+                .parse()
+                .map_err(|e| format!("--connections {s:?}: {e}"))
+        })
+        .collect::<Result<_, String>>()?;
+
+    let workload = ZipfWorkload::new(16_384, 0.86, 8);
+    let mut lines = Vec::new();
+    println!(
+        "{:<12} {:>5} {:>10} {:>10} {:>10} {:>12} {:>10}",
+        "manager", "conns", "req/s", "p99_us", "p999_us", "contention/M", "lock/M"
+    );
+    for manager in ["coarse-2q", "wrapped-2q"] {
+        for &conns in &connections {
+            let server = Server::start(ServerConfig {
+                workers,
+                frames: 4096,
+                page_size: 256,
+                pages: 16_384,
+                manager: manager.into(),
+                ..ServerConfig::default()
+            })
+            .map_err(|e| e.to_string())?;
+            let report = loadgen::run(
+                server.addr(),
+                &workload,
+                &LoadConfig {
+                    connections: conns,
+                    requests_per_conn: requests / conns.max(1) as u64,
+                    write_fraction: 0.1,
+                    ..LoadConfig::default()
+                },
+            );
+            let stats = server.pool().stats();
+            let accesses = stats.hits.load(std::sync::atomic::Ordering::Relaxed)
+                + stats.misses.load(std::sync::atomic::Ordering::Relaxed);
+            let lock = server.pool().manager().lock_snapshot();
+            let cpm = lock.contentions_per_million(accesses);
+            // On a 1-core host contention events are rare for every
+            // scheme; acquisitions per access expose the amortization.
+            let apm = if accesses == 0 {
+                0.0
+            } else {
+                lock.acquisitions as f64 * 1e6 / accesses as f64
+            };
+            println!(
+                "{:<12} {:>5} {:>10.0} {:>10} {:>10} {:>12.1} {:>10.0}",
+                manager,
+                conns,
+                report.throughput(),
+                report.latency_ns.quantile(0.99) / 1_000,
+                report.latency_ns.quantile(0.999) / 1_000,
+                cpm,
+                apm
+            );
+            let mut o = JsonObject::new();
+            o.field_str("manager", manager)
+                .field_u64("connections", conns as u64)
+                .field_u64("workers", workers as u64)
+                .field_f64("contentions_per_million", cpm)
+                .field_u64("lock_acquisitions", lock.acquisitions)
+                .field_f64("lock_acquisitions_per_million", apm)
+                .field_u64("pool_accesses", accesses)
+                .field_raw("load", &report.to_json());
+            lines.push(o.finish());
+            server.join();
+        }
+    }
+    if let Some(dir) = std::path::Path::new(&out).parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir).map_err(|e| format!("mkdir {}: {e}", dir.display()))?;
+        }
+    }
+    std::fs::write(&out, lines.join("\n") + "\n").map_err(|e| format!("write {out}: {e}"))?;
+    println!("wrote {} rows to {out}", lines.len());
+    Ok(())
+}

@@ -1,0 +1,173 @@
+//! End-to-end latency observability for the page service.
+//!
+//! One [`ServerMetrics`] is shared by every connection thread and
+//! worker. Latency is measured from *admission* (the connection thread
+//! read the full request) to *reply written*, so queueing delay — the
+//! thing backpressure policies trade against loss — shows up in the
+//! histograms rather than being hidden inside the worker.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use bpw_metrics::{Counter, Histogram, JsonObject, LockSnapshot};
+
+/// Which histogram a request's latency lands in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OpKind {
+    /// GET (page read).
+    Get,
+    /// PUT (page write).
+    Put,
+    /// SCAN (range read).
+    Scan,
+}
+
+/// Shared server-side counters and latency histograms.
+///
+/// All fields are lock-free atomics; cloning the [`Arc`] wrapper is the
+/// intended sharing pattern.
+#[derive(Debug, Default)]
+pub struct ServerMetrics {
+    /// End-to-end GET latency, nanoseconds.
+    pub get_ns: Histogram,
+    /// End-to-end PUT latency, nanoseconds.
+    pub put_ns: Histogram,
+    /// End-to-end SCAN latency, nanoseconds.
+    pub scan_ns: Histogram,
+    /// Time spent queued before a worker picked the request up, ns.
+    pub queue_wait_ns: Histogram,
+    /// Requests answered `OK`.
+    pub ok: Counter,
+    /// Requests refused with `BUSY` (shed at admission).
+    pub busy: Counter,
+    /// Requests answered `DROPPED` (deadline passed in queue).
+    pub dropped: Counter,
+    /// Requests answered `ERR`.
+    pub errors: Counter,
+}
+
+impl ServerMetrics {
+    /// New, zeroed metrics behind an [`Arc`].
+    pub fn shared() -> Arc<Self> {
+        Arc::new(Self::default())
+    }
+
+    /// Record a completed request of `kind` that was admitted at
+    /// `start`.
+    pub fn record_ok(&self, kind: OpKind, start: Instant) {
+        let ns = start.elapsed().as_nanos() as u64;
+        match kind {
+            OpKind::Get => self.get_ns.record(ns),
+            OpKind::Put => self.put_ns.record(ns),
+            OpKind::Scan => self.scan_ns.record(ns),
+        }
+        self.ok.incr();
+    }
+
+    /// Total requests that received any reply.
+    pub fn total(&self) -> u64 {
+        self.ok.get() + self.busy.get() + self.dropped.get() + self.errors.get()
+    }
+
+    /// Render everything as one JSON object. `pool` carries the buffer
+    /// pool's counters, `lock` the replacement manager's lock
+    /// behaviour, and `peak_queue_depth` the admission queue's
+    /// high-water mark.
+    pub fn to_json(
+        &self,
+        pool: &PoolCounters,
+        lock: &LockSnapshot,
+        peak_queue_depth: u64,
+    ) -> String {
+        let mut o = JsonObject::new();
+        o.field_u64("ok", self.ok.get())
+            .field_u64("busy", self.busy.get())
+            .field_u64("dropped", self.dropped.get())
+            .field_u64("errors", self.errors.get())
+            .field_u64("peak_queue_depth", peak_queue_depth)
+            .field_raw("get_ns", &self.get_ns.to_json())
+            .field_raw("put_ns", &self.put_ns.to_json())
+            .field_raw("scan_ns", &self.scan_ns.to_json())
+            .field_raw("queue_wait_ns", &self.queue_wait_ns.to_json())
+            .field_u64("pool_hits", pool.hits)
+            .field_u64("pool_misses", pool.misses)
+            .field_u64("pool_writebacks", pool.writebacks)
+            .field_f64("pool_hit_ratio", pool.hit_ratio())
+            .field_raw("replacement_lock", &lock.to_json());
+        o.finish()
+    }
+}
+
+/// A point-in-time copy of the buffer pool's counters (the live struct
+/// holds atomics; STATS wants a consistent-enough snapshot by value).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PoolCounters {
+    /// Page requests served from the pool.
+    pub hits: u64,
+    /// Page requests that went to storage.
+    pub misses: u64,
+    /// Dirty pages written back during eviction.
+    pub writebacks: u64,
+}
+
+impl PoolCounters {
+    /// Hits over total accesses (0 when idle).
+    pub fn hit_ratio(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bpw_metrics::JsonValue;
+
+    #[test]
+    fn stats_json_round_trips_through_the_parser() {
+        let m = ServerMetrics::shared();
+        m.record_ok(OpKind::Get, Instant::now());
+        m.record_ok(OpKind::Put, Instant::now());
+        m.busy.incr();
+        let pool = PoolCounters {
+            hits: 90,
+            misses: 10,
+            writebacks: 3,
+        };
+        let lock = LockSnapshot::default();
+        let json = m.to_json(&pool, &lock, 17);
+
+        let v = JsonValue::parse(&json).expect("STATS must be valid JSON");
+        assert_eq!(v.get("ok").and_then(JsonValue::as_u64), Some(2));
+        assert_eq!(v.get("busy").and_then(JsonValue::as_u64), Some(1));
+        assert_eq!(
+            v.get("peak_queue_depth").and_then(JsonValue::as_u64),
+            Some(17)
+        );
+        assert_eq!(
+            v.get("get_ns")
+                .and_then(|g| g.get("count"))
+                .and_then(JsonValue::as_u64),
+            Some(1)
+        );
+        let ratio = v.get("pool_hit_ratio").and_then(JsonValue::as_f64).unwrap();
+        assert!((ratio - 0.9).abs() < 1e-12);
+        assert!(v
+            .get("replacement_lock")
+            .and_then(|l| l.get("acquisitions"))
+            .is_some());
+    }
+
+    #[test]
+    fn totals_add_up() {
+        let m = ServerMetrics::default();
+        m.ok.add(5);
+        m.dropped.add(2);
+        m.errors.incr();
+        assert_eq!(m.total(), 8);
+    }
+}

@@ -1,0 +1,358 @@
+//! The wire protocol: length-prefixed binary frames over TCP.
+//!
+//! Every message is one frame: a 4-byte little-endian body length
+//! followed by the body. Request bodies start with an opcode byte,
+//! response bodies with a status byte. All integers are little-endian.
+//!
+//! ```text
+//! request  := u32 len | op:u8 payload
+//!   GET      (0x01)  page:u64
+//!   PUT      (0x02)  page:u64 data:bytes            (data fills the page
+//!                                                    from offset 0)
+//!   SCAN     (0x03)  start:u64 len:u32
+//!   STATS    (0x04)
+//!   SHUTDOWN (0x05)
+//!
+//! response := u32 len | status:u8 payload
+//!   OK       (0x00)  GET: page bytes; PUT/SHUTDOWN: empty;
+//!                    SCAN: count:u32 checksum:u64 (FNV-1a over contents);
+//!                    STATS: UTF-8 JSON
+//!   BUSY     (0x01)  shed by admission control (queue full)
+//!   DROPPED  (0x02)  deadline exceeded while queued
+//!   ERR      (0x03)  UTF-8 message
+//! ```
+
+use std::io::{self, Read, Write};
+
+/// Largest accepted frame body. Bounds server-side allocation per
+/// connection; a page plus headers fits comfortably.
+pub const MAX_FRAME: usize = 1 << 20;
+
+/// Longest SCAN a single request may ask for.
+pub const MAX_SCAN_LEN: u32 = 1 << 16;
+
+/// A client request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Request {
+    /// Read one page.
+    Get {
+        /// Page id.
+        page: u64,
+    },
+    /// Overwrite the head of one page.
+    Put {
+        /// Page id.
+        page: u64,
+        /// Bytes written from offset 0 (at most the page size).
+        data: Vec<u8>,
+    },
+    /// Touch `len` consecutive pages, returning a checksum.
+    Scan {
+        /// First page id.
+        start: u64,
+        /// Number of pages.
+        len: u32,
+    },
+    /// Fetch the server's metrics as JSON.
+    Stats,
+    /// Ask the server to stop accepting and drain.
+    Shutdown,
+}
+
+/// A server reply.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Response {
+    /// Success; payload depends on the request.
+    Ok(Vec<u8>),
+    /// Shed by admission control before queueing.
+    Busy,
+    /// Dropped after queueing: its deadline passed before a worker
+    /// picked it up.
+    Dropped,
+    /// Malformed request or execution failure.
+    Err(String),
+}
+
+/// Decode failure (maps to an `ERR` reply and connection close).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProtocolError(pub String);
+
+impl std::fmt::Display for ProtocolError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "protocol error: {}", self.0)
+    }
+}
+
+impl std::error::Error for ProtocolError {}
+
+const OP_GET: u8 = 0x01;
+const OP_PUT: u8 = 0x02;
+const OP_SCAN: u8 = 0x03;
+const OP_STATS: u8 = 0x04;
+const OP_SHUTDOWN: u8 = 0x05;
+
+const ST_OK: u8 = 0x00;
+const ST_BUSY: u8 = 0x01;
+const ST_DROPPED: u8 = 0x02;
+const ST_ERR: u8 = 0x03;
+
+impl Request {
+    /// Serialize the body (no frame header).
+    pub fn encode(&self) -> Vec<u8> {
+        match self {
+            Request::Get { page } => {
+                let mut b = Vec::with_capacity(9);
+                b.push(OP_GET);
+                b.extend_from_slice(&page.to_le_bytes());
+                b
+            }
+            Request::Put { page, data } => {
+                let mut b = Vec::with_capacity(9 + data.len());
+                b.push(OP_PUT);
+                b.extend_from_slice(&page.to_le_bytes());
+                b.extend_from_slice(data);
+                b
+            }
+            Request::Scan { start, len } => {
+                let mut b = Vec::with_capacity(13);
+                b.push(OP_SCAN);
+                b.extend_from_slice(&start.to_le_bytes());
+                b.extend_from_slice(&len.to_le_bytes());
+                b
+            }
+            Request::Stats => vec![OP_STATS],
+            Request::Shutdown => vec![OP_SHUTDOWN],
+        }
+    }
+
+    /// Parse a body produced by [`encode`](Self::encode).
+    pub fn decode(body: &[u8]) -> Result<Request, ProtocolError> {
+        let (&op, rest) = body
+            .split_first()
+            .ok_or_else(|| ProtocolError("empty request".into()))?;
+        match op {
+            OP_GET => Ok(Request::Get {
+                page: read_u64(rest, "GET page")?,
+            }),
+            OP_PUT => {
+                if rest.len() < 8 {
+                    return Err(ProtocolError("PUT needs a page id".into()));
+                }
+                let page = u64::from_le_bytes(rest[..8].try_into().unwrap());
+                Ok(Request::Put {
+                    page,
+                    data: rest[8..].to_vec(),
+                })
+            }
+            OP_SCAN => {
+                if rest.len() != 12 {
+                    return Err(ProtocolError("SCAN needs start+len".into()));
+                }
+                let start = u64::from_le_bytes(rest[..8].try_into().unwrap());
+                let len = u32::from_le_bytes(rest[8..].try_into().unwrap());
+                if len == 0 || len > MAX_SCAN_LEN {
+                    return Err(ProtocolError(format!(
+                        "SCAN len {len} outside 1..={MAX_SCAN_LEN}"
+                    )));
+                }
+                Ok(Request::Scan { start, len })
+            }
+            OP_STATS if rest.is_empty() => Ok(Request::Stats),
+            OP_SHUTDOWN if rest.is_empty() => Ok(Request::Shutdown),
+            OP_STATS | OP_SHUTDOWN => Err(ProtocolError("unexpected payload".into())),
+            other => Err(ProtocolError(format!("unknown opcode 0x{other:02x}"))),
+        }
+    }
+}
+
+impl Response {
+    /// Serialize the body (no frame header).
+    pub fn encode(&self) -> Vec<u8> {
+        match self {
+            Response::Ok(payload) => {
+                let mut b = Vec::with_capacity(1 + payload.len());
+                b.push(ST_OK);
+                b.extend_from_slice(payload);
+                b
+            }
+            Response::Busy => vec![ST_BUSY],
+            Response::Dropped => vec![ST_DROPPED],
+            Response::Err(msg) => {
+                let mut b = Vec::with_capacity(1 + msg.len());
+                b.push(ST_ERR);
+                b.extend_from_slice(msg.as_bytes());
+                b
+            }
+        }
+    }
+
+    /// Parse a body produced by [`encode`](Self::encode).
+    pub fn decode(body: &[u8]) -> Result<Response, ProtocolError> {
+        let (&st, rest) = body
+            .split_first()
+            .ok_or_else(|| ProtocolError("empty response".into()))?;
+        match st {
+            ST_OK => Ok(Response::Ok(rest.to_vec())),
+            ST_BUSY => Ok(Response::Busy),
+            ST_DROPPED => Ok(Response::Dropped),
+            ST_ERR => Ok(Response::Err(String::from_utf8_lossy(rest).into_owned())),
+            other => Err(ProtocolError(format!("unknown status 0x{other:02x}"))),
+        }
+    }
+}
+
+fn read_u64(b: &[u8], what: &str) -> Result<u64, ProtocolError> {
+    if b.len() != 8 {
+        return Err(ProtocolError(format!(
+            "{what}: expected 8 bytes, got {}",
+            b.len()
+        )));
+    }
+    Ok(u64::from_le_bytes(b.try_into().unwrap()))
+}
+
+/// Write one frame (header + body).
+pub fn write_frame(w: &mut impl Write, body: &[u8]) -> io::Result<()> {
+    debug_assert!(body.len() <= MAX_FRAME);
+    w.write_all(&(body.len() as u32).to_le_bytes())?;
+    w.write_all(body)?;
+    w.flush()
+}
+
+/// Read one frame body into `buf`. Returns `Ok(false)` on clean EOF at
+/// a frame boundary (peer closed), `Err` on truncation or oversize.
+pub fn read_frame(r: &mut impl Read, buf: &mut Vec<u8>) -> io::Result<bool> {
+    let mut header = [0u8; 4];
+    let mut filled = 0;
+    while filled < 4 {
+        match r.read(&mut header[filled..])? {
+            0 if filled == 0 => return Ok(false),
+            0 => {
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "connection closed mid-header",
+                ))
+            }
+            n => filled += n,
+        }
+    }
+    let len = u32::from_le_bytes(header) as usize;
+    if len > MAX_FRAME {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("frame of {len} bytes exceeds the {MAX_FRAME} limit"),
+        ));
+    }
+    buf.resize(len, 0);
+    r.read_exact(buf)?;
+    Ok(true)
+}
+
+/// FNV-1a over a byte slice; SCAN replies carry this checksum so clients
+/// can verify content without shipping every page back.
+pub fn fnv1a(init: u64, bytes: &[u8]) -> u64 {
+    let mut h = if init == 0 {
+        0xcbf2_9ce4_8422_2325
+    } else {
+        init
+    };
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn requests_round_trip() {
+        let cases = [
+            Request::Get { page: 7 },
+            Request::Put {
+                page: u64::MAX,
+                data: vec![1, 2, 3],
+            },
+            Request::Put {
+                page: 0,
+                data: Vec::new(),
+            },
+            Request::Scan { start: 10, len: 4 },
+            Request::Stats,
+            Request::Shutdown,
+        ];
+        for req in cases {
+            assert_eq!(Request::decode(&req.encode()).unwrap(), req);
+        }
+    }
+
+    #[test]
+    fn responses_round_trip() {
+        let cases = [
+            Response::Ok(vec![9, 8, 7]),
+            Response::Ok(Vec::new()),
+            Response::Busy,
+            Response::Dropped,
+            Response::Err("no such page".into()),
+        ];
+        for resp in cases {
+            assert_eq!(Response::decode(&resp.encode()).unwrap(), resp);
+        }
+    }
+
+    #[test]
+    fn malformed_bodies_rejected() {
+        assert!(Request::decode(&[]).is_err());
+        assert!(Request::decode(&[0xFF]).is_err());
+        assert!(Request::decode(&[OP_GET, 1, 2]).is_err());
+        assert!(Request::decode(&[OP_SCAN, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0]).is_err());
+        assert!(Request::decode(&[OP_STATS, 1]).is_err());
+        assert!(Response::decode(&[0xEE]).is_err());
+        // SCAN len over the cap.
+        let mut b = vec![OP_SCAN];
+        b.extend_from_slice(&0u64.to_le_bytes());
+        b.extend_from_slice(&(MAX_SCAN_LEN + 1).to_le_bytes());
+        assert!(Request::decode(&b).is_err());
+    }
+
+    #[test]
+    fn frames_round_trip_over_a_buffer() {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, &Request::Get { page: 3 }.encode()).unwrap();
+        write_frame(&mut wire, &Request::Stats.encode()).unwrap();
+        let mut r = &wire[..];
+        let mut buf = Vec::new();
+        assert!(read_frame(&mut r, &mut buf).unwrap());
+        assert_eq!(Request::decode(&buf).unwrap(), Request::Get { page: 3 });
+        assert!(read_frame(&mut r, &mut buf).unwrap());
+        assert_eq!(Request::decode(&buf).unwrap(), Request::Stats);
+        assert!(!read_frame(&mut r, &mut buf).unwrap(), "clean EOF");
+    }
+
+    #[test]
+    fn truncated_and_oversize_frames_error() {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, &[1, 2, 3, 4]).unwrap();
+        let mut r = &wire[..wire.len() - 1];
+        let mut buf = Vec::new();
+        assert!(read_frame(&mut r, &mut buf).is_err());
+
+        let mut r = &wire[..2];
+        assert!(read_frame(&mut r, &mut buf).is_err());
+
+        let huge = ((MAX_FRAME + 1) as u32).to_le_bytes().to_vec();
+        let mut r = &huge[..];
+        assert!(read_frame(&mut r, &mut buf).is_err());
+    }
+
+    #[test]
+    fn fnv_is_stable_and_chains() {
+        let a = fnv1a(0, b"hello");
+        assert_eq!(a, fnv1a(0, b"hello"));
+        assert_ne!(a, fnv1a(0, b"hellp"));
+        let chained = fnv1a(fnv1a(0, b"he"), b"llo");
+        assert_eq!(chained, a);
+    }
+}

@@ -1,0 +1,474 @@
+//! The page service: acceptor, connection threads, and a fixed worker
+//! pool over one shared [`BufferPool`].
+//!
+//! Connection threads do protocol work only (read, decode, enqueue,
+//! await reply, write); every page access happens on a worker that owns
+//! a long-lived [`PoolSession`] — the per-thread state BP-Wrapper's
+//! batching needs to amortize the replacement lock. Between the two
+//! sits the admission queue (see [`crate::backpressure`]), which is
+//! where overload policy is applied.
+//!
+//! `STATS` and `SHUTDOWN` are served on the connection thread itself,
+//! bypassing the queue: observability and control must keep working
+//! when the data path is saturated.
+
+use std::io::{self, BufReader, BufWriter, Write as _};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::{self, JoinHandle};
+use std::time::{Duration, Instant};
+
+use bpw_bufferpool::{
+    BufferPool, ClockManager, CoarseManager, PoolSession, ReplacementManager, SimDisk,
+    WrappedManager,
+};
+use bpw_core::WrapperConfig;
+use bpw_replacement::PolicyKind;
+use crossbeam::channel::{self, Sender};
+
+use crate::backpressure::{
+    admission_queue, AdmissionPolicy, AdmissionQueue, Admitted, Popped, WorkQueue,
+};
+use crate::metrics::{OpKind, PoolCounters, ServerMetrics};
+use crate::protocol::{self, fnv1a, Request, Response};
+
+/// A buffer pool whose synchronization scheme was chosen at runtime.
+pub type DynPool = BufferPool<Box<dyn ReplacementManager>>;
+
+/// Everything needed to start a [`Server`].
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address; use port 0 for an ephemeral port.
+    pub addr: String,
+    /// Worker threads executing page requests.
+    pub workers: usize,
+    /// Admission queue capacity (requests).
+    pub queue_capacity: usize,
+    /// Overload policy.
+    pub policy: AdmissionPolicy,
+    /// Buffer pool frames.
+    pub frames: usize,
+    /// Page size in bytes.
+    pub page_size: usize,
+    /// Page-id universe; requests beyond `0..pages` get `ERR`.
+    pub pages: u64,
+    /// Manager spec, e.g. `"wrapped-2q"` (see [`build_manager`]).
+    pub manager: String,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:0".into(),
+            workers: 4,
+            queue_capacity: 256,
+            policy: AdmissionPolicy::Block,
+            frames: 1024,
+            page_size: 4096,
+            pages: 1 << 20,
+            manager: "wrapped-2q".into(),
+        }
+    }
+}
+
+/// Build a replacement manager from a spec string:
+///
+/// * `clock` — PostgreSQL-style CLOCK with lock-free hits
+/// * `coarse-<policy>` — `<policy>` behind one lock per access
+/// * `wrapped-<policy>` — `<policy>` behind BP-Wrapper
+///
+/// where `<policy>` is anything [`PolicyKind`] parses (`2q`, `lirs`,
+/// `lru`, `arc`, ...).
+pub fn build_manager(spec: &str, frames: usize) -> Result<Box<dyn ReplacementManager>, String> {
+    let spec = spec.trim().to_ascii_lowercase();
+    if spec == "clock" {
+        return Ok(Box::new(ClockManager::new(frames)));
+    }
+    if let Some(policy) = spec.strip_prefix("coarse-") {
+        let kind: PolicyKind = policy.parse()?;
+        return Ok(Box::new(CoarseManager::new(kind.build(frames))));
+    }
+    if let Some(policy) = spec.strip_prefix("wrapped-") {
+        let kind: PolicyKind = policy.parse()?;
+        return Ok(Box::new(WrappedManager::new(
+            kind.build(frames),
+            WrapperConfig::default(),
+        )));
+    }
+    Err(format!(
+        "unknown manager spec {spec:?} (want clock, coarse-<policy>, or wrapped-<policy>)"
+    ))
+}
+
+/// One queued request: the decoded message, when it was admitted, and
+/// where the connection thread is waiting for the reply.
+struct Job {
+    req: Request,
+    admitted: Instant,
+    reply: Sender<Response>,
+}
+
+/// Shared state every thread of the server sees. Deliberately does NOT
+/// hold the admission queue's sender side: workers carry this struct,
+/// and a worker owning a sender to its own queue would keep the channel
+/// connected forever and deadlock shutdown.
+struct Shared {
+    pool: Arc<DynPool>,
+    metrics: Arc<ServerMetrics>,
+    stop: Arc<AtomicBool>,
+    pages: u64,
+    /// Queue-depth high-water mark (mirrors the admission queue's gauge).
+    depth: Arc<bpw_metrics::MaxGauge>,
+}
+
+/// A running page service. Dropping without [`join`](Self::join) leaks
+/// the threads; tests and binaries should always join.
+pub struct Server {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    /// The server's own sender handle; dropped during [`join`](Self::join)
+    /// so the workers see the channel disconnect once every connection
+    /// thread's clone is gone too.
+    admission: Option<AdmissionQueue<Job>>,
+    acceptor: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+    conns: Arc<Mutex<Vec<JoinHandle<()>>>>,
+}
+
+impl Server {
+    /// Bind, spawn the worker pool and acceptor, and return.
+    pub fn start(config: ServerConfig) -> io::Result<Server> {
+        let manager = build_manager(&config.manager, config.frames)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidInput, e))?;
+        let pool = Arc::new(BufferPool::new(
+            config.frames,
+            config.page_size,
+            manager,
+            Arc::new(SimDisk::instant()),
+        ));
+        let (admission, work) = admission_queue(config.queue_capacity, config.policy);
+        let shared = Arc::new(Shared {
+            pool,
+            metrics: ServerMetrics::shared(),
+            stop: Arc::new(AtomicBool::new(false)),
+            pages: config.pages,
+            depth: admission.depth_gauge(),
+        });
+
+        let workers = (0..config.workers.max(1))
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                let work = work.clone();
+                thread::Builder::new()
+                    .name(format!("bpw-worker-{i}"))
+                    .spawn(move || worker_loop(&shared, &work))
+                    .expect("spawn worker")
+            })
+            .collect();
+        drop(work);
+
+        let listener = TcpListener::bind(&config.addr)?;
+        let addr = listener.local_addr()?;
+        let conns: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
+        let acceptor = {
+            let shared = Arc::clone(&shared);
+            let conns = Arc::clone(&conns);
+            let admission = admission.clone();
+            thread::Builder::new()
+                .name("bpw-acceptor".into())
+                .spawn(move || accept_loop(&listener, &shared, &admission, &conns))
+                .expect("spawn acceptor")
+        };
+
+        Ok(Server {
+            addr,
+            shared,
+            admission: Some(admission),
+            acceptor: Some(acceptor),
+            workers,
+            conns,
+        })
+    }
+
+    /// The bound address (resolves port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The server's metrics (shared with all threads).
+    pub fn metrics(&self) -> &Arc<ServerMetrics> {
+        &self.shared.metrics
+    }
+
+    /// The underlying buffer pool.
+    pub fn pool(&self) -> &Arc<DynPool> {
+        &self.shared.pool
+    }
+
+    /// Render the same JSON a `STATS` request returns.
+    pub fn stats_json(&self) -> String {
+        stats_json(&self.shared)
+    }
+
+    /// Has a stop been requested (via [`stop`](Self::stop) or a client
+    /// `SHUTDOWN`)?
+    pub fn stop_requested(&self) -> bool {
+        self.shared.stop.load(Ordering::SeqCst)
+    }
+
+    /// Block until a stop is requested.
+    pub fn wait_stop_requested(&self) {
+        while !self.stop_requested() {
+            thread::sleep(Duration::from_millis(25));
+        }
+    }
+
+    /// Ask the server to stop accepting new connections.
+    pub fn stop(&self) {
+        request_stop(&self.shared.stop, self.addr);
+    }
+
+    /// Stop accepting, wait for live connections to finish, drain the
+    /// queue, and join every thread.
+    pub fn join(mut self) {
+        self.stop();
+        if let Some(a) = self.acceptor.take() {
+            let _ = a.join();
+        }
+        // Connection threads exit when their client closes; each drops
+        // its admission-queue clone on the way out.
+        let conns = std::mem::take(&mut *self.conns.lock().expect("conns lock"));
+        for c in conns {
+            let _ = c.join();
+        }
+        // Dropping the last sender disconnects the channel; workers
+        // drain whatever is queued and exit.
+        drop(self.admission.take());
+        for w in std::mem::take(&mut self.workers) {
+            let _ = w.join();
+        }
+    }
+}
+
+/// Flag a stop and poke the acceptor awake with a throwaway connection.
+fn request_stop(stop: &AtomicBool, addr: SocketAddr) {
+    stop.store(true, Ordering::SeqCst);
+    if let Ok(s) = TcpStream::connect_timeout(&addr, Duration::from_millis(200)) {
+        drop(s);
+    }
+}
+
+fn accept_loop(
+    listener: &TcpListener,
+    shared: &Arc<Shared>,
+    admission: &AdmissionQueue<Job>,
+    conns: &Arc<Mutex<Vec<JoinHandle<()>>>>,
+) {
+    for stream in listener.incoming() {
+        if shared.stop.load(Ordering::SeqCst) {
+            break;
+        }
+        let Ok(stream) = stream else { continue };
+        let shared = Arc::clone(shared);
+        let admission = admission.clone();
+        let addr = listener.local_addr().expect("listener addr");
+        let handle = thread::Builder::new()
+            .name("bpw-conn".into())
+            .spawn(move || {
+                let _ = serve_connection(stream, &shared, &admission, addr);
+            })
+            .expect("spawn connection thread");
+        conns.lock().expect("conns lock").push(handle);
+    }
+}
+
+/// One client connection: strict request/reply in order.
+fn serve_connection(
+    stream: TcpStream,
+    shared: &Shared,
+    admission: &AdmissionQueue<Job>,
+    addr: SocketAddr,
+) -> io::Result<()> {
+    stream.set_nodelay(true).ok();
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut writer = BufWriter::new(stream);
+    let mut buf = Vec::new();
+    while protocol::read_frame(&mut reader, &mut buf)? {
+        let admitted = Instant::now();
+        let req = match Request::decode(&buf) {
+            Ok(req) => req,
+            Err(e) => {
+                shared.metrics.errors.incr();
+                protocol::write_frame(&mut writer, &Response::Err(e.to_string()).encode())?;
+                break; // framing is suspect; drop the connection
+            }
+        };
+        match req {
+            Request::Stats => {
+                let resp = Response::Ok(stats_json(shared).into_bytes());
+                protocol::write_frame(&mut writer, &resp.encode())?;
+                continue;
+            }
+            Request::Shutdown => {
+                protocol::write_frame(&mut writer, &Response::Ok(Vec::new()).encode())?;
+                writer.flush()?;
+                request_stop(&shared.stop, addr);
+                continue;
+            }
+            _ => {}
+        }
+        let kind = match &req {
+            Request::Get { .. } => OpKind::Get,
+            Request::Put { .. } => OpKind::Put,
+            Request::Scan { .. } => OpKind::Scan,
+            _ => unreachable!("handled above"),
+        };
+        let (reply_tx, reply_rx) = channel::bounded(1);
+        let resp = match admission.submit(Job {
+            req,
+            admitted,
+            reply: reply_tx,
+        }) {
+            Admitted::Queued => reply_rx
+                .recv()
+                .unwrap_or_else(|_| Response::Err("server shut down before replying".into())),
+            Admitted::Shed => Response::Busy,
+            Admitted::Closed => Response::Err("server is shutting down".into()),
+        };
+        protocol::write_frame(&mut writer, &resp.encode())?;
+        match resp {
+            Response::Ok(_) => shared.metrics.record_ok(kind, admitted),
+            Response::Busy => shared.metrics.busy.incr(),
+            Response::Dropped => shared.metrics.dropped.incr(),
+            Response::Err(_) => shared.metrics.errors.incr(),
+        }
+    }
+    Ok(())
+}
+
+fn worker_loop(shared: &Shared, work: &WorkQueue<Job>) {
+    let mut session = shared.pool.session();
+    loop {
+        match work.pop(Duration::from_millis(50)) {
+            Popped::Item(job) => {
+                shared
+                    .metrics
+                    .queue_wait_ns
+                    .record(job.admitted.elapsed().as_nanos() as u64);
+                let resp = execute(&mut session, shared, &job.req);
+                let _ = job.reply.send(resp);
+            }
+            Popped::Expired(job) => {
+                let _ = job.reply.send(Response::Dropped);
+            }
+            Popped::Timeout => {
+                // Idle: commit any deferred BP-Wrapper bookkeeping so the
+                // replacement algorithm doesn't go stale between bursts.
+                session.flush();
+            }
+            Popped::Disconnected => break,
+        }
+    }
+}
+
+/// Run one data request against the pool.
+fn execute(
+    session: &mut PoolSession<'_, Box<dyn ReplacementManager>>,
+    shared: &Shared,
+    req: &Request,
+) -> Response {
+    let page_size = shared.pool.page_size();
+    match req {
+        Request::Get { page } => {
+            if *page >= shared.pages {
+                return Response::Err(format!("page {page} outside 0..{}", shared.pages));
+            }
+            let pinned = session.fetch(*page);
+            Response::Ok(pinned.read(|data| data.to_vec()))
+        }
+        Request::Put { page, data } => {
+            if *page >= shared.pages {
+                return Response::Err(format!("page {page} outside 0..{}", shared.pages));
+            }
+            if data.len() > page_size {
+                return Response::Err(format!(
+                    "PUT of {} bytes exceeds the {page_size}-byte page",
+                    data.len()
+                ));
+            }
+            let pinned = session.fetch(*page);
+            pinned.write(|dst| dst[..data.len()].copy_from_slice(data));
+            Response::Ok(Vec::new())
+        }
+        Request::Scan { start, len } => {
+            let end = match start.checked_add(*len as u64) {
+                Some(end) if end <= shared.pages => end,
+                _ => {
+                    return Response::Err(format!("SCAN {start}+{len} outside 0..{}", shared.pages))
+                }
+            };
+            let mut checksum = 0u64;
+            for page in *start..end {
+                let pinned = session.fetch(page);
+                checksum = pinned.read(|data| fnv1a(checksum, data));
+            }
+            let mut payload = Vec::with_capacity(12);
+            payload.extend_from_slice(&len.to_le_bytes());
+            payload.extend_from_slice(&checksum.to_le_bytes());
+            Response::Ok(payload)
+        }
+        Request::Stats | Request::Shutdown => {
+            Response::Err("control requests are not executed by workers".into())
+        }
+    }
+}
+
+fn stats_json(shared: &Shared) -> String {
+    let stats = shared.pool.stats();
+    let pool = PoolCounters {
+        hits: stats.hits.load(Ordering::Relaxed),
+        misses: stats.misses.load(Ordering::Relaxed),
+        writebacks: stats.writebacks.load(Ordering::Relaxed),
+    };
+    let lock = shared.pool.manager().lock_snapshot();
+    shared.metrics.to_json(&pool, &lock, shared.depth.get())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn manager_specs_parse() {
+        for spec in [
+            "clock",
+            "coarse-2q",
+            "coarse-lirs",
+            "wrapped-2q",
+            "wrapped-lru",
+            "WRAPPED-ARC",
+        ] {
+            let m = build_manager(spec, 64).unwrap_or_else(|e| panic!("{spec}: {e}"));
+            assert!(!m.name().is_empty());
+        }
+        assert!(build_manager("fine-2q", 64).is_err());
+        assert!(build_manager("wrapped-nosuch", 64).is_err());
+    }
+
+    #[test]
+    fn server_starts_and_joins() {
+        let server = Server::start(ServerConfig {
+            workers: 2,
+            frames: 16,
+            page_size: 64,
+            pages: 128,
+            ..ServerConfig::default()
+        })
+        .expect("start");
+        assert_ne!(server.addr().port(), 0);
+        let json = server.stats_json();
+        assert!(json.starts_with('{'), "stats must be JSON: {json}");
+        server.join();
+    }
+}

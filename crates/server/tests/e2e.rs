@@ -1,0 +1,331 @@
+//! End-to-end tests: a real server on an ephemeral port, real TCP
+//! clients, and the acceptance checks from the issue — zero loss under
+//! the block policy, last-write-wins content correctness, and STATS
+//! that parse with non-zero tail latencies.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+use bpw_metrics::JsonValue;
+use bpw_server::{
+    loadgen, AdmissionPolicy, Client, LoadConfig, LoadMode, Request, Response, Server, ServerConfig,
+};
+use bpw_workloads::{zipf::splitmix64, PageStream, Workload, ZipfWorkload};
+
+const CLIENTS: usize = 8;
+const REQUESTS_PER_CLIENT: u64 = 12_500; // x8 clients = 100k total
+const PAGES: u64 = 1024;
+const PAGE_SIZE: usize = 64;
+
+fn test_server(policy: AdmissionPolicy, manager: &str, queue: usize) -> Server {
+    Server::start(ServerConfig {
+        workers: 4,
+        queue_capacity: queue,
+        policy,
+        frames: 256,
+        page_size: PAGE_SIZE,
+        pages: PAGES,
+        manager: manager.into(),
+        ..ServerConfig::default()
+    })
+    .expect("server start")
+}
+
+/// The issue's headline test: 8 client threads, 100k Zipf-distributed
+/// GET/PUT requests through the block policy. Every request must be
+/// answered OK (zero loss), every GET must return exactly the bytes of
+/// the last PUT to that page (threads own disjoint page sets, so
+/// last-write-wins is deterministic), and the final STATS must parse
+/// with a non-zero p99.
+#[test]
+fn block_policy_100k_zipf_requests_zero_loss_and_correct_contents() {
+    let server = test_server(AdmissionPolicy::Block, "wrapped-2q", 128);
+    let addr = server.addr();
+    let workload = ZipfWorkload::new(PAGES, 0.86, 8);
+    let ok_replies = AtomicU64::new(0);
+
+    std::thread::scope(|sc| {
+        for t in 0..CLIENTS {
+            let workload = &workload;
+            let ok_replies = &ok_replies;
+            sc.spawn(move || {
+                let mut client = Client::connect(addr).expect("connect");
+                let mut stream = PageStream::for_thread(workload, t, 0xE2E);
+                // Thread t owns exactly the pages ≡ t (mod CLIENTS): no
+                // cross-thread writes, so expected content is exact.
+                let mut written: HashMap<u64, u8> = HashMap::new();
+                let mut coin = 0xC01D_u64 ^ t as u64;
+                for i in 0..REQUESTS_PER_CLIENT {
+                    let raw = stream.next_page();
+                    let page = (raw - raw % CLIENTS as u64 + t as u64) % PAGES;
+                    coin = splitmix64(coin);
+                    if coin % 4 == 0 {
+                        // PUT: self-identifying header + a fill byte that
+                        // changes every write.
+                        let fill = (i % 251) as u8;
+                        let mut body = vec![fill; 24];
+                        body[..8].copy_from_slice(&page.to_le_bytes());
+                        match client.put(page, body).expect("put io") {
+                            Response::Ok(_) => {
+                                ok_replies.fetch_add(1, Ordering::Relaxed);
+                                written.insert(page, fill);
+                            }
+                            other => panic!("PUT answered {other:?} under block policy"),
+                        }
+                    } else {
+                        match client.get(page).expect("get io") {
+                            Response::Ok(bytes) => {
+                                ok_replies.fetch_add(1, Ordering::Relaxed);
+                                assert_eq!(bytes.len(), PAGE_SIZE);
+                                let id = u64::from_le_bytes(bytes[..8].try_into().unwrap());
+                                assert_eq!(id, page, "page header corrupted");
+                                if let Some(&fill) = written.get(&page) {
+                                    assert!(
+                                        bytes[8..24].iter().all(|&b| b == fill),
+                                        "GET of page {page} did not see the last PUT \
+                                         (want fill {fill:#x}, got {:?})",
+                                        &bytes[8..24]
+                                    );
+                                }
+                            }
+                            other => panic!("GET answered {other:?} under block policy"),
+                        }
+                    }
+                }
+            });
+        }
+    });
+
+    // Zero loss: all 100k requests were answered OK.
+    assert_eq!(
+        ok_replies.load(Ordering::Relaxed),
+        CLIENTS as u64 * REQUESTS_PER_CLIENT
+    );
+
+    // STATS parses and shows the traffic with non-zero tail latency.
+    let mut client = Client::connect(addr).expect("connect for stats");
+    let stats = client.stats().expect("stats");
+    let v = JsonValue::parse(&stats).expect("STATS reply must be valid JSON");
+    assert_eq!(
+        v.get("ok").and_then(JsonValue::as_u64),
+        Some(CLIENTS as u64 * REQUESTS_PER_CLIENT),
+        "server-side OK count: {stats}"
+    );
+    assert_eq!(v.get("busy").and_then(JsonValue::as_u64), Some(0));
+    assert_eq!(v.get("dropped").and_then(JsonValue::as_u64), Some(0));
+    let get_p99 = v
+        .get("get_ns")
+        .and_then(|h| h.get("p99"))
+        .and_then(JsonValue::as_u64)
+        .expect("get_ns.p99 present");
+    assert!(get_p99 > 0, "p99 must be non-zero: {stats}");
+    let put_count = v
+        .get("put_ns")
+        .and_then(|h| h.get("count"))
+        .and_then(JsonValue::as_u64)
+        .unwrap();
+    let get_count = v
+        .get("get_ns")
+        .and_then(|h| h.get("count"))
+        .and_then(JsonValue::as_u64)
+        .unwrap();
+    assert_eq!(get_count + put_count, CLIENTS as u64 * REQUESTS_PER_CLIENT);
+
+    drop(client);
+    server.join();
+}
+
+/// A zero-millisecond deadline drops every data request at dequeue —
+/// and the reply is DROPPED, not a hang or a connection error.
+#[test]
+fn zero_deadline_drops_every_request() {
+    let server = test_server(
+        AdmissionPolicy::DeadlineDrop(Duration::ZERO),
+        "coarse-lru",
+        64,
+    );
+    let mut client = Client::connect(server.addr()).expect("connect");
+    let mut dropped = 0;
+    for page in 0..50u64 {
+        match client.get(page).expect("get io") {
+            Response::Dropped => dropped += 1,
+            Response::Ok(_) => {} // a worker can win the race at 0ns elapsed
+            other => panic!("unexpected reply {other:?}"),
+        }
+    }
+    assert!(dropped > 0, "a zero deadline must drop requests");
+    let stats = client.stats().expect("stats");
+    let v = JsonValue::parse(&stats).unwrap();
+    assert_eq!(v.get("dropped").and_then(JsonValue::as_u64), Some(dropped));
+    drop(client);
+    server.join();
+}
+
+/// Under shed, every request is answered either OK or BUSY — nothing is
+/// lost silently, and BUSY replies arrive promptly instead of blocking.
+#[test]
+fn shed_policy_answers_ok_or_busy() {
+    let server = test_server(AdmissionPolicy::Shed, "wrapped-lirs", 2);
+    let addr = server.addr();
+    let ok = AtomicU64::new(0);
+    let busy = AtomicU64::new(0);
+    let per_client = 500u64;
+    std::thread::scope(|sc| {
+        for t in 0..6u64 {
+            let (ok, busy) = (&ok, &busy);
+            sc.spawn(move || {
+                let mut client = Client::connect(addr).expect("connect");
+                for i in 0..per_client {
+                    match client.get((t * per_client + i) % PAGES).expect("get io") {
+                        Response::Ok(_) => ok.fetch_add(1, Ordering::Relaxed),
+                        Response::Busy => busy.fetch_add(1, Ordering::Relaxed),
+                        other => panic!("unexpected reply {other:?}"),
+                    };
+                }
+            });
+        }
+    });
+    assert_eq!(
+        ok.load(Ordering::Relaxed) + busy.load(Ordering::Relaxed),
+        6 * per_client
+    );
+    server.join();
+}
+
+/// SCAN's checksum equals the FNV-1a chain over the same pages fetched
+/// one GET at a time.
+#[test]
+fn scan_checksum_matches_individual_gets() {
+    let server = test_server(AdmissionPolicy::Block, "clock", 64);
+    let mut client = Client::connect(server.addr()).expect("connect");
+    // Dirty a page in the range so the checksum covers written data too.
+    let mut body = vec![0xA5u8; 32];
+    body[..8].copy_from_slice(&7u64.to_le_bytes());
+    assert!(matches!(client.put(7, body).unwrap(), Response::Ok(_)));
+
+    let mut expected = 0u64;
+    for page in 4..20u64 {
+        match client.get(page).unwrap() {
+            Response::Ok(bytes) => expected = bpw_server::protocol::fnv1a(expected, &bytes),
+            other => panic!("GET answered {other:?}"),
+        }
+    }
+    match client.scan(4, 16).unwrap() {
+        Response::Ok(payload) => {
+            assert_eq!(payload.len(), 12);
+            let count = u32::from_le_bytes(payload[..4].try_into().unwrap());
+            let checksum = u64::from_le_bytes(payload[4..].try_into().unwrap());
+            assert_eq!(count, 16);
+            assert_eq!(checksum, expected, "SCAN checksum disagrees with GETs");
+        }
+        other => panic!("SCAN answered {other:?}"),
+    }
+    drop(client);
+    server.join();
+}
+
+/// Requests outside the configured page universe get ERR, and the
+/// connection stays usable afterwards.
+#[test]
+fn out_of_range_requests_error_cleanly() {
+    let server = test_server(AdmissionPolicy::Block, "wrapped-2q", 64);
+    let mut client = Client::connect(server.addr()).expect("connect");
+    assert!(matches!(client.get(PAGES).unwrap(), Response::Err(_)));
+    assert!(matches!(
+        client
+            .call(&Request::Scan {
+                start: PAGES - 4,
+                len: 8
+            })
+            .unwrap(),
+        Response::Err(_)
+    ));
+    assert!(
+        matches!(client.get(0).unwrap(), Response::Ok(_)),
+        "connection must survive an ERR"
+    );
+    drop(client);
+    server.join();
+}
+
+/// The load generator against a live server: closed-loop requests are
+/// all answered under block, and the report's accounting adds up.
+#[test]
+fn loadgen_closed_loop_round_trips() {
+    let server = test_server(AdmissionPolicy::Block, "wrapped-2q", 128);
+    let workload = ZipfWorkload::new(PAGES, 0.86, 8);
+    let cfg = LoadConfig {
+        connections: 4,
+        requests_per_conn: 1000,
+        write_fraction: 0.25,
+        mode: LoadMode::Closed {
+            think: Duration::ZERO,
+        },
+        ..LoadConfig::default()
+    };
+    let report = loadgen::run(server.addr(), &workload, &cfg);
+    assert_eq!(report.sent, 4000);
+    assert_eq!(
+        report.ok,
+        4000,
+        "block policy loses nothing: {}",
+        report.summary()
+    );
+    assert_eq!(report.latency_ns.count(), 4000);
+    assert!(report.throughput() > 0.0);
+    assert!(report.latency_ns.quantile(0.99) > 0);
+    server.join();
+}
+
+/// Open-loop pacing sends the full schedule even when the rate is
+/// higher than the server can absorb, and measures from intended
+/// arrival (latency >= actual service time).
+#[test]
+fn loadgen_open_loop_sends_full_schedule() {
+    let server = test_server(AdmissionPolicy::Block, "coarse-2q", 64);
+    let workload = ZipfWorkload::new(PAGES, 0.86, 8);
+    let cfg = LoadConfig {
+        connections: 2,
+        requests_per_conn: 300,
+        write_fraction: 0.0,
+        mode: LoadMode::Open {
+            rate_per_sec: 5000.0,
+        },
+        ..LoadConfig::default()
+    };
+    let report = loadgen::run(server.addr(), &workload, &cfg);
+    assert_eq!(report.sent, 600);
+    assert_eq!(report.ok, 600);
+    server.join();
+}
+
+/// A client SHUTDOWN request stops the acceptor: the running server
+/// answers OK, then refuses (or never accepts) new connections.
+#[test]
+fn client_shutdown_request_stops_accepting() {
+    let server = test_server(AdmissionPolicy::Block, "wrapped-2q", 64);
+    let addr = server.addr();
+    let mut client = Client::connect(addr).expect("connect");
+    assert!(matches!(client.shutdown().unwrap(), Response::Ok(_)));
+    assert!(server.stop_requested());
+    drop(client);
+    server.join();
+    // The listener is gone: a fresh connect must fail.
+    assert!(
+        std::net::TcpStream::connect_timeout(&addr, Duration::from_millis(200)).is_err(),
+        "listener should be closed after join"
+    );
+}
+
+/// Dimension check promised by the workload contract: every generated
+/// page id stays inside the universe the server was configured with.
+#[test]
+fn workload_pages_fit_the_server_universe() {
+    let workload = ZipfWorkload::new(PAGES, 0.86, 8);
+    assert!(workload.page_universe() <= PAGES);
+    let mut stream = PageStream::for_thread(&workload, 0, 1);
+    for _ in 0..10_000 {
+        assert!(stream.next_page() < PAGES);
+    }
+}

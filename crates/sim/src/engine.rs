@@ -34,17 +34,28 @@ pub struct SystemSpec {
 impl SystemSpec {
     /// Paper defaults: S = 64, T = 32.
     pub fn new(kind: SystemKind) -> Self {
-        SystemSpec { kind, queue_size: 64, batch_threshold: 32 }
+        SystemSpec {
+            kind,
+            queue_size: 64,
+            batch_threshold: 32,
+        }
     }
 
     /// Override the batching parameters (§IV-E sweeps).
     pub fn with_batching(kind: SystemKind, queue_size: u32, batch_threshold: u32) -> Self {
         assert!(queue_size >= 1 && (1..=queue_size).contains(&batch_threshold));
-        SystemSpec { kind, queue_size, batch_threshold }
+        SystemSpec {
+            kind,
+            queue_size,
+            batch_threshold,
+        }
     }
 
     fn prefetching(&self) -> bool {
-        matches!(self.kind, SystemKind::Prefetching | SystemKind::BatchingPrefetching)
+        matches!(
+            self.kind,
+            SystemKind::Prefetching | SystemKind::BatchingPrefetching
+        )
     }
 }
 
@@ -187,7 +198,12 @@ struct Lock {
 
 impl Lock {
     fn new() -> Self {
-        Lock { held: false, hold_start: 0, waiters: VecDeque::new(), tally: LockTally::default() }
+        Lock {
+            held: false,
+            hold_start: 0,
+            waiters: VecDeque::new(),
+            tally: LockTally::default(),
+        }
     }
 }
 
@@ -242,7 +258,10 @@ fn decode(w: WakeRepr) -> Wake {
 impl Sim {
     /// Build a simulator for `params`.
     pub fn new(params: SimParams) -> Self {
-        assert!(params.threads >= params.cpus, "must not leave processors idle");
+        assert!(
+            params.threads >= params.cpus,
+            "must not leave processors idle"
+        );
         assert!(!params.workload.txn_lengths.is_empty());
         let threads = (0..params.threads)
             .map(|i| Thread {
@@ -319,7 +338,14 @@ impl Sim {
 
     fn push_event(&mut self, at: Time, th: usize, wake: Wake) {
         self.seq += 1;
-        self.events.push(Reverse((EventKey { time: at, seq: self.seq }, th, encode(wake))));
+        self.events.push(Reverse((
+            EventKey {
+                time: at,
+                seq: self.seq,
+            },
+            th,
+            encode(wake),
+        )));
     }
 
     /// Give `th` a CPU (or queue it) to run a segment of `dur` ns.
@@ -490,8 +516,8 @@ impl Sim {
     fn access_work_done(&mut self, th: usize) {
         self.total_accesses += 1;
         let hw = self.p.hardware;
-        let is_miss = self.p.workload.miss_ratio > 0.0
-            && self.rand_f64(th) < self.p.workload.miss_ratio;
+        let is_miss =
+            self.p.workload.miss_ratio > 0.0 && self.rand_f64(th) < self.p.workload.miss_ratio;
 
         if is_miss {
             // Miss path: always a blocking lock; commits the queue too.
@@ -650,7 +676,11 @@ impl Sim {
         let t = &self.repl.tally;
         RunReport {
             throughput_tps: txns as f64 / horizon_s,
-            avg_response_ms: if txns == 0 { 0.0 } else { resp as f64 / txns as f64 / 1e6 },
+            avg_response_ms: if txns == 0 {
+                0.0
+            } else {
+                resp as f64 / txns as f64 / 1e6
+            },
             p95_response_ms: self.response_hist.quantile(0.95) as f64 / 1e6,
             max_response_ms: self.response_hist.max() as f64 / 1e6,
             contentions_per_million: if self.total_accesses == 0 {
@@ -697,7 +727,10 @@ mod tests {
         let t8 = quick(SystemKind::Clock, 8, WorkloadParams::dbt1()).throughput_tps;
         let t16 = quick(SystemKind::Clock, 16, WorkloadParams::dbt1()).throughput_tps;
         assert!(t8 > 6.0 * t1, "8 cpus should give near-8x: {t1} -> {t8}");
-        assert!(t16 > 11.0 * t1, "16 cpus should stay near-linear: {t1} -> {t16}");
+        assert!(
+            t16 > 11.0 * t1,
+            "16 cpus should stay near-linear: {t1} -> {t16}"
+        );
     }
 
     #[test]
@@ -838,7 +871,13 @@ mod tests {
         let r = quick(SystemKind::Batching, 4, WorkloadParams::tablescan());
         assert!(r.accesses > 0);
         assert!(r.txns > 0);
-        assert!(r.accesses >= r.txns * 100, "tablescan txns are ~124 accesses");
-        assert!(r.accesses_per_acquisition >= 30.0, "batch commits should average >= T");
+        assert!(
+            r.accesses >= r.txns * 100,
+            "tablescan txns are ~124 accesses"
+        );
+        assert!(
+            r.accesses_per_acquisition >= 30.0,
+            "batch commits should average >= T"
+        );
     }
 }

@@ -154,7 +154,10 @@ impl WorkloadParams {
             work_per_access_ns: 8_500,
             txn_overhead_ns: 25_000,
             // WAL writes serialized across backends: the second hot lock.
-            wal_cs_ns: 30_000,
+            // Sized so the WAL cap squeezes pgClock's scaling (sub-linear,
+            // as the paper reports for DBT-2) without flattening the gap
+            // BP-Wrapper recovers from pgQ.
+            wal_cs_ns: 26_000,
             miss_ratio: 0.0,
             io_ns: 2_000_000,
             io_channels: 8,
@@ -225,8 +228,14 @@ mod tests {
         let p = HardwareProfile::poweredge1900();
         assert_eq!(a.cpus, 16);
         assert_eq!(p.cpus, 8);
-        assert!(p.work_speedup > a.work_speedup, "PowerEdge accelerates non-critical work");
-        assert!(a.prefetch_efficiency > p.prefetch_efficiency, "prefetch helps Itanium more");
+        assert!(
+            p.work_speedup > a.work_speedup,
+            "PowerEdge accelerates non-critical work"
+        );
+        assert!(
+            a.prefetch_efficiency > p.prefetch_efficiency,
+            "prefetch helps Itanium more"
+        );
     }
 
     #[test]
@@ -235,7 +244,10 @@ mod tests {
         let d2 = WorkloadParams::dbt2();
         let ts = WorkloadParams::tablescan();
         assert!(d2.wal_cs_ns > d1.wal_cs_ns, "DBT-2 has the WAL bottleneck");
-        assert!(ts.work_per_access_ns < d1.work_per_access_ns, "scans access pages fastest");
+        assert!(
+            ts.work_per_access_ns < d1.work_per_access_ns,
+            "scans access pages fastest"
+        );
         assert!(d1.mean_txn_len() > 1.0);
         assert!(d2.mean_txn_len() > 1.0);
         assert_eq!(ts.txn_lengths, vec![124]);

@@ -24,7 +24,10 @@ impl Series {
 
     /// Throughput of the last (largest-CPU) point.
     pub fn final_throughput(&self) -> f64 {
-        self.points.last().map(|(_, r)| r.throughput_tps).unwrap_or(0.0)
+        self.points
+            .last()
+            .map(|(_, r)| r.throughput_tps)
+            .unwrap_or(0.0)
     }
 
     /// Parallel speedup from the first to the last point.
@@ -52,7 +55,10 @@ pub struct SweepResult {
 impl SweepResult {
     /// Series for one system.
     pub fn system(&self, kind: SystemKind) -> &Series {
-        self.series.iter().find(|s| s.system == kind).expect("all systems swept")
+        self.series
+            .iter()
+            .find(|s| s.system == kind)
+            .expect("all systems swept")
     }
 }
 
@@ -70,15 +76,18 @@ pub fn sweep_systems(
             points: cpu_points
                 .iter()
                 .map(|&cpus| {
-                    let mut p =
-                        SimParams::new(hw, cpus, SystemSpec::new(kind), workload.clone());
+                    let mut p = SimParams::new(hw, cpus, SystemSpec::new(kind), workload.clone());
                     p.horizon_ms = horizon_ms;
                     (cpus, simulate(p))
                 })
                 .collect(),
         })
         .collect();
-    SweepResult { series, workload: workload.name.clone(), machine: hw.name }
+    SweepResult {
+        series,
+        workload: workload.name.clone(),
+        machine: hw.name,
+    }
 }
 
 #[cfg(test)]
@@ -112,7 +121,10 @@ mod tests {
         );
         let clock = r.system(SystemKind::Clock).speedup();
         let q = r.system(SystemKind::LockPerAccess).speedup();
-        assert!(clock > q, "lock-free must out-scale lock-per-access ({clock} vs {q})");
+        assert!(
+            clock > q,
+            "lock-free must out-scale lock-per-access ({clock} vs {q})"
+        );
         assert!(clock > 6.0, "clock should scale near-linearly to 8 cpus");
     }
 }

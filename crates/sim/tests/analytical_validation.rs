@@ -58,7 +58,11 @@ fn saturated_lock_throughput_matches_service_rate() {
     let txn_len = 50u32;
     let work = 4_000u64;
     let cpus = 16;
-    let r = run(cpus, SystemKind::LockPerAccess, flat_workload(txn_len, work));
+    let r = run(
+        cpus,
+        SystemKind::LockPerAccess,
+        flat_workload(txn_len, work),
+    );
     // Serialized time per access: scaled acquisition + warm-up + body.
     let acquire = hw.lock_acquire_ns as f64 * (1.0 + hw.coherence_per_cpu * cpus as f64);
     let hold = acquire + (hw.cs_warmup_ns + hw.cs_per_access_ns) as f64;
@@ -97,8 +101,7 @@ fn batched_throughput_matches_amortized_bound() {
     let per_access = (acquire + hw.cs_warmup_ns as f64) / b + hw.cs_per_access_ns as f64;
     let bound_tps = 1e9 / per_access / txn_len as f64;
     // Parallel capacity bound.
-    let cap_tps = cpus as f64 * 1e9
-        / ((work + hw.queue_push_ns) as f64 * txn_len as f64);
+    let cap_tps = cpus as f64 * 1e9 / ((work + hw.queue_push_ns) as f64 * txn_len as f64);
     let predicted = bound_tps.min(cap_tps);
     let ratio = r.throughput_tps / predicted;
     assert!(

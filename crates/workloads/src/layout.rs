@@ -49,7 +49,10 @@ impl PageSpace {
 
     /// Claim `pages` pages (at least 1).
     pub fn alloc(&mut self, pages: u64) -> Region {
-        let r = Region { base: self.next, pages: pages.max(1) };
+        let r = Region {
+            base: self.next,
+            pages: pages.max(1),
+        };
         self.next = r.end();
         r
     }
@@ -136,7 +139,10 @@ mod tests {
 
     #[test]
     fn region_wraps() {
-        let r = Region { base: 100, pages: 4 };
+        let r = Region {
+            base: 100,
+            pages: 4,
+        };
         assert_eq!(r.page(0), 100);
         assert_eq!(r.page(5), 101);
         assert_eq!(r.page_of_row(7, 2), 103);

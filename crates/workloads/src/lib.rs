@@ -11,6 +11,7 @@
 //! scans, append-only tails) directly, at a configurable scale.
 
 pub mod layout;
+pub mod stream;
 pub mod synthetic;
 pub mod tablescan;
 pub mod tpcc;
@@ -19,6 +20,7 @@ pub mod trace;
 pub mod zipf;
 
 pub use layout::{BtreeIndex, PageSpace, Region};
+pub use stream::PageStream;
 pub use synthetic::{SequentialLoop, Uniform, ZipfWorkload};
 pub use tablescan::{TableScan, TableScanConfig};
 pub use tpcc::{Tpcc, TpccConfig};
@@ -61,7 +63,11 @@ pub enum WorkloadKind {
 
 impl WorkloadKind {
     /// All three, in the paper's presentation order.
-    pub const ALL: [WorkloadKind; 3] = [WorkloadKind::Dbt1, WorkloadKind::Dbt2, WorkloadKind::TableScan];
+    pub const ALL: [WorkloadKind; 3] = [
+        WorkloadKind::Dbt1,
+        WorkloadKind::Dbt2,
+        WorkloadKind::TableScan,
+    ];
 
     /// Paper's name for the workload.
     pub fn name(&self) -> &'static str {
@@ -122,7 +128,10 @@ mod tests {
     fn kind_parsing() {
         assert_eq!("tpcc".parse::<WorkloadKind>().unwrap(), WorkloadKind::Dbt2);
         assert_eq!("DBT-1".parse::<WorkloadKind>().unwrap(), WorkloadKind::Dbt1);
-        assert_eq!("scan".parse::<WorkloadKind>().unwrap(), WorkloadKind::TableScan);
+        assert_eq!(
+            "scan".parse::<WorkloadKind>().unwrap(),
+            WorkloadKind::TableScan
+        );
         assert!("x".parse::<WorkloadKind>().is_err());
     }
 }

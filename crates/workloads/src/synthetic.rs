@@ -35,7 +35,11 @@ impl Workload for Uniform {
 
     fn stream(&self, thread_id: usize, seed: u64) -> Box<dyn TransactionStream> {
         let rng = StdRng::seed_from_u64(seed ^ (thread_id as u64).wrapping_mul(0x9E37));
-        Box::new(UniformStream { pages: self.pages, txn_len: self.txn_len, rng })
+        Box::new(UniformStream {
+            pages: self.pages,
+            txn_len: self.txn_len,
+            rng,
+        })
     }
 }
 
@@ -66,7 +70,11 @@ impl ZipfWorkload {
     /// Zipfian workload over `pages` pages with skew `theta`.
     pub fn new(pages: u64, theta: f64, txn_len: usize) -> Self {
         assert!(pages >= 1 && txn_len >= 1);
-        ZipfWorkload { pages, theta, txn_len }
+        ZipfWorkload {
+            pages,
+            theta,
+            txn_len,
+        }
     }
 }
 
@@ -81,7 +89,11 @@ impl Workload for ZipfWorkload {
 
     fn stream(&self, thread_id: usize, seed: u64) -> Box<dyn TransactionStream> {
         let rng = StdRng::seed_from_u64(seed ^ (thread_id as u64).wrapping_mul(0x85EB));
-        Box::new(ZipfStream { zipf: Zipf::new(self.pages, self.theta), txn_len: self.txn_len, rng })
+        Box::new(ZipfStream {
+            zipf: Zipf::new(self.pages, self.theta),
+            txn_len: self.txn_len,
+            rng,
+        })
     }
 }
 
@@ -128,7 +140,11 @@ impl Workload for SequentialLoop {
     fn stream(&self, thread_id: usize, _seed: u64) -> Box<dyn TransactionStream> {
         // Stagger threads across the loop so they don't convoy.
         let start = (thread_id as u64).wrapping_mul(self.pages / 4 + 1) % self.pages;
-        Box::new(SeqStream { pages: self.pages, txn_len: self.txn_len, cursor: start })
+        Box::new(SeqStream {
+            pages: self.pages,
+            txn_len: self.txn_len,
+            cursor: start,
+        })
     }
 }
 

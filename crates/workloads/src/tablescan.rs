@@ -24,7 +24,12 @@ pub struct TableScanConfig {
 
 impl Default for TableScanConfig {
     fn default() -> Self {
-        TableScanConfig { tables: 16, rows_per_table: 10_000, row_bytes: 100, page_bytes: 8192 }
+        TableScanConfig {
+            tables: 16,
+            rows_per_table: 10_000,
+            row_bytes: 100,
+            page_bytes: 8192,
+        }
     }
 }
 
@@ -42,8 +47,13 @@ impl TableScan {
         let rows_per_page = (cfg.page_bytes / cfg.row_bytes).max(1);
         let pages_per_table = cfg.rows_per_table.div_ceil(rows_per_page).max(1);
         let mut space = PageSpace::new();
-        let tables = (0..cfg.tables).map(|_| space.alloc(pages_per_table)).collect();
-        TableScan { tables, total_pages: space.total() }
+        let tables = (0..cfg.tables)
+            .map(|_| space.alloc(pages_per_table))
+            .collect();
+        TableScan {
+            tables,
+            total_pages: space.total(),
+        }
     }
 
     /// Pages in one table.

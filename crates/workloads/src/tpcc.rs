@@ -77,20 +77,20 @@ impl Tpcc {
         let customers = w * DISTRICTS_PER_WAREHOUSE * CUSTOMERS_PER_DISTRICT;
         let layout = TpccLayout {
             warehouses: w,
-            warehouse: s.alloc(w),                       // 1 page each
-            district: s.alloc(w),                        // 10 rows fit one page
-            customer: s.alloc(customers / 12),           // ~12 rows/page
+            warehouse: s.alloc(w),             // 1 page each
+            district: s.alloc(w),              // 10 rows fit one page
+            customer: s.alloc(customers / 12), // ~12 rows/page
             customer_idx: BtreeIndex::new(&mut s, customers, 150),
             customer_name_idx: BtreeIndex::new(&mut s, customers, 150),
             stock: s.alloc(w * STOCK_PER_WAREHOUSE / 25), // ~25 rows/page
             stock_idx: BtreeIndex::new(&mut s, w * STOCK_PER_WAREHOUSE, 150),
-            item: s.alloc(ITEMS / 80),                   // ~80 rows/page
+            item: s.alloc(ITEMS / 80), // ~80 rows/page
             item_idx: BtreeIndex::new(&mut s, ITEMS, 150),
-            orders: s.alloc((w * 3_000).max(64)),        // circular tail
+            orders: s.alloc((w * 3_000).max(64)), // circular tail
             orders_idx: BtreeIndex::new(&mut s, w * 30_000, 150),
-            order_line: s.alloc((w * 15_000).max(64)),   // circular tail
+            order_line: s.alloc((w * 15_000).max(64)), // circular tail
             new_order_idx: BtreeIndex::new(&mut s, w * 9_000, 150),
-            history: s.alloc((w * 1_000).max(64)),       // circular tail
+            history: s.alloc((w * 1_000).max(64)), // circular tail
             orders_cursor: AtomicU64::new(0),
             order_line_cursor: AtomicU64::new(0),
             history_cursor: AtomicU64::new(0),
@@ -99,7 +99,9 @@ impl Tpcc {
         let total = s.total();
         let mut layout = layout;
         layout.total_pages = total;
-        Tpcc { layout: Arc::new(layout) }
+        Tpcc {
+            layout: Arc::new(layout),
+        }
     }
 }
 
@@ -119,7 +121,13 @@ impl Workload for Tpcc {
         // The spec's per-run NURand constants.
         let c_c = rng.gen_range(0..1024);
         let c_i = rng.gen_range(0..8192);
-        Box::new(TpccStream { l: Arc::clone(&self.layout), rng, home, c_c, c_i })
+        Box::new(TpccStream {
+            l: Arc::clone(&self.layout),
+            rng,
+            home,
+            c_c,
+            c_i,
+        })
     }
 }
 
@@ -147,10 +155,11 @@ impl TpccStream {
         } else {
             self.l.customer_idx.lookup(frac, out);
         }
-        out.push(self.l.customer.page_of_row(
-            (frac * self.l.customer.pages as f64 * 12.0) as u64,
-            12,
-        ));
+        out.push(
+            self.l
+                .customer
+                .page_of_row((frac * self.l.customer.pages as f64 * 12.0) as u64, 12),
+        );
     }
 
     fn item_access(&mut self, out: &mut Vec<u64>) -> f64 {
@@ -201,10 +210,18 @@ impl TpccStream {
         self.customer_lookup(by_name, out);
         self.l.orders_idx.lookup(self.rng.gen(), out);
         let recent = self.l.orders_cursor.load(Ordering::Relaxed);
-        out.push(self.l.orders.page_of_row(recent.saturating_sub(self.rng.gen_range(0..30)), 30));
+        out.push(
+            self.l
+                .orders
+                .page_of_row(recent.saturating_sub(self.rng.gen_range(0..30)), 30),
+        );
         // The order's lines (5-15 rows, ~60/page: 1-2 pages).
         let olrow = self.l.order_line_cursor.load(Ordering::Relaxed);
-        out.push(self.l.order_line.page_of_row(olrow.saturating_sub(self.rng.gen_range(0..300)), 60));
+        out.push(
+            self.l
+                .order_line
+                .page_of_row(olrow.saturating_sub(self.rng.gen_range(0..300)), 60),
+        );
     }
 
     fn delivery(&mut self, out: &mut Vec<u64>) {
@@ -212,9 +229,17 @@ impl TpccStream {
         for _ in 0..DISTRICTS_PER_WAREHOUSE {
             self.l.new_order_idx.lookup(self.rng.gen(), out);
             let orow = self.l.orders_cursor.load(Ordering::Relaxed);
-            out.push(self.l.orders.page_of_row(orow.saturating_sub(self.rng.gen_range(0..100)), 30));
+            out.push(
+                self.l
+                    .orders
+                    .page_of_row(orow.saturating_sub(self.rng.gen_range(0..100)), 30),
+            );
             let olrow = self.l.order_line_cursor.load(Ordering::Relaxed);
-            out.push(self.l.order_line.page_of_row(olrow.saturating_sub(self.rng.gen_range(0..1500)), 60));
+            out.push(
+                self.l
+                    .order_line
+                    .page_of_row(olrow.saturating_sub(self.rng.gen_range(0..1500)), 60),
+            );
             self.customer_lookup(false, out);
         }
     }
@@ -224,7 +249,11 @@ impl TpccStream {
         // Scan the district's 20 most recent orders' lines...
         let olrow = self.l.order_line_cursor.load(Ordering::Relaxed);
         for k in 0..4 {
-            out.push(self.l.order_line.page_of_row(olrow.saturating_sub(k * 60), 60));
+            out.push(
+                self.l
+                    .order_line
+                    .page_of_row(olrow.saturating_sub(k * 60), 60),
+            );
         }
         // ...and check ~20 distinct stock rows.
         for _ in 0..20 {

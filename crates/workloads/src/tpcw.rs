@@ -32,7 +32,11 @@ pub struct TpcwConfig {
 
 impl Default for TpcwConfig {
     fn default() -> Self {
-        TpcwConfig { items: 10_000, customers: 100_000, item_theta: 0.8 }
+        TpcwConfig {
+            items: 10_000,
+            customers: 100_000,
+            item_theta: 0.8,
+        }
     }
 }
 
@@ -73,7 +77,7 @@ impl Tpcw {
         let layout = TpcwLayout {
             items: cfg.items,
             customers: cfg.customers,
-            item: s.alloc(cfg.items / 20),        // wide rows: ~20/page
+            item: s.alloc(cfg.items / 20), // wide rows: ~20/page
             item_idx: BtreeIndex::new(&mut s, cfg.items, 150),
             item_subject_idx: BtreeIndex::new(&mut s, cfg.items, 150),
             author: s.alloc((cfg.items / 4 / 25).max(1)),
@@ -94,7 +98,10 @@ impl Tpcw {
         let total = s.total();
         let mut layout = layout;
         layout.total_pages = total;
-        Tpcw { layout: Arc::new(layout), item_theta: cfg.item_theta }
+        Tpcw {
+            layout: Arc::new(layout),
+            item_theta: cfg.item_theta,
+        }
     }
 }
 
@@ -134,7 +141,9 @@ impl TpcwStream {
         out.push(self.l.item.page_of_row(row, 20));
         if self.rng.gen_bool(0.5) {
             let arow = row % (self.l.items / 4).max(1);
-            self.l.author_idx.lookup(arow as f64 / (self.l.items / 4).max(1) as f64, out);
+            self.l
+                .author_idx
+                .lookup(arow as f64 / (self.l.items / 4).max(1) as f64, out);
             out.push(self.l.author.page_of_row(arow, 25));
         }
     }
@@ -166,7 +175,11 @@ impl TpcwStream {
         // Aggregate over recent order lines, then show the top items.
         let tail = self.l.order_line_cursor.load(Ordering::Relaxed);
         for k in 0..30 {
-            out.push(self.l.order_line.page_of_row(tail.saturating_sub(k * 50), 50));
+            out.push(
+                self.l
+                    .order_line
+                    .page_of_row(tail.saturating_sub(k * 50), 50),
+            );
         }
         for _ in 0..10 {
             self.item_detail(out);
@@ -190,7 +203,11 @@ impl TpcwStream {
 
     fn buy_confirm(&mut self, out: &mut Vec<u64>) {
         self.customer_session(out);
-        out.push(self.l.address.page_of_row(self.rng.gen_range(0..self.l.address.pages * 30), 30));
+        out.push(
+            self.l
+                .address
+                .page_of_row(self.rng.gen_range(0..self.l.address.pages * 30), 30),
+        );
         let orow = self.l.orders_cursor.fetch_add(1, Ordering::Relaxed);
         out.push(self.l.orders.page_of_row(orow, 25));
         self.l.orders_idx.lookup(self.rng.gen(), out);
@@ -207,11 +224,20 @@ impl TpcwStream {
         self.customer_session(out);
         self.l.orders_idx.lookup(self.rng.gen(), out);
         let orow = self.l.orders_cursor.load(Ordering::Relaxed);
-        out.push(self.l.orders.page_of_row(orow.saturating_sub(self.rng.gen_range(0..100)), 25));
-        out.push(self.l.order_line.page_of_row(
-            self.l.order_line_cursor.load(Ordering::Relaxed).saturating_sub(self.rng.gen_range(0..500)),
-            50,
-        ));
+        out.push(
+            self.l
+                .orders
+                .page_of_row(orow.saturating_sub(self.rng.gen_range(0..100)), 25),
+        );
+        out.push(
+            self.l.order_line.page_of_row(
+                self.l
+                    .order_line_cursor
+                    .load(Ordering::Relaxed)
+                    .saturating_sub(self.rng.gen_range(0..500)),
+                50,
+            ),
+        );
     }
 }
 
@@ -221,14 +247,14 @@ impl TransactionStream for TpcwStream {
         // browse-heavy with a 5% order rate, as DBT-1 drives it.
         let roll = self.rng.gen_range(0..100u32);
         match roll {
-            0..=15 => self.home(out),            // 16%
-            16..=20 => self.new_products(out),   // 5%
-            21..=25 => self.best_sellers(out),   // 5%
-            26..=45 => self.item_detail(out),    // 20% product detail
-            46..=65 => self.search(out),         // 20%
-            66..=82 => self.shopping_cart(out),  // 17%
-            83..=87 => self.buy_confirm(out),    // 5%
-            _ => self.order_inquiry(out),        // 12%
+            0..=15 => self.home(out),           // 16%
+            16..=20 => self.new_products(out),  // 5%
+            21..=25 => self.best_sellers(out),  // 5%
+            26..=45 => self.item_detail(out),   // 20% product detail
+            46..=65 => self.search(out),        // 20%
+            66..=82 => self.shopping_cart(out), // 17%
+            83..=87 => self.buy_confirm(out),   // 5%
+            _ => self.order_inquiry(out),       // 12%
         }
     }
 }

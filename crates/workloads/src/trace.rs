@@ -29,7 +29,12 @@ impl Trace {
     }
 
     /// Capture one trace per thread from a workload.
-    pub fn capture_per_thread(workload: &dyn Workload, threads: usize, txns: usize, seed: u64) -> Vec<Trace> {
+    pub fn capture_per_thread(
+        workload: &dyn Workload,
+        threads: usize,
+        txns: usize,
+        seed: u64,
+    ) -> Vec<Trace> {
         (0..threads)
             .map(|t| {
                 let mut s = workload.stream(t, seed);
@@ -92,7 +97,10 @@ impl Trace {
         let mut magic = [0u8; 4];
         f.read_exact(&mut magic)?;
         if &magic != Self::MAGIC {
-            return Err(io::Error::new(io::ErrorKind::InvalidData, "not a BPWT trace file"));
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "not a BPWT trace file",
+            ));
         }
         f.read_exact(&mut u32buf)?;
         let version = u32::from_le_bytes(u32buf);
@@ -120,7 +128,10 @@ impl Trace {
         let mut prev = 0usize;
         for &e in &txn_ends {
             if e < prev || e > pages.len() {
-                return Err(io::Error::new(io::ErrorKind::InvalidData, "corrupt txn boundaries"));
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    "corrupt txn boundaries",
+                ));
             }
             prev = e;
         }
@@ -149,7 +160,11 @@ impl TraceReplay {
 
 impl TransactionStream for TraceReplay {
     fn next_transaction(&mut self, out: &mut Vec<u64>) {
-        let start = if self.next_txn == 0 { 0 } else { self.trace.txn_ends[self.next_txn - 1] };
+        let start = if self.next_txn == 0 {
+            0
+        } else {
+            self.trace.txn_ends[self.next_txn - 1]
+        };
         let end = self.trace.txn_ends[self.next_txn];
         out.extend_from_slice(&self.trace.pages[start..end]);
         self.next_txn = (self.next_txn + 1) % self.trace.txn_count();

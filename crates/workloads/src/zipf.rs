@@ -35,7 +35,13 @@ impl Zipf {
         } else {
             0.0
         };
-        Zipf { n, theta, alpha, zetan, eta }
+        Zipf {
+            n,
+            theta,
+            alpha,
+            zetan,
+            eta,
+        }
     }
 
     /// Harmonic-like normalizer `sum_{i=1..n} 1/i^theta`.

@@ -4,14 +4,18 @@
 //! transactions.
 
 use bpw_workloads::{
-    SequentialLoop, TableScan, TableScanConfig, Tpcc, TpccConfig, Tpcw, TpcwConfig, Trace,
-    Uniform, Workload, WorkloadKind, ZipfWorkload,
+    SequentialLoop, TableScan, TableScanConfig, Tpcc, TpccConfig, Tpcw, TpcwConfig, Trace, Uniform,
+    Workload, WorkloadKind, ZipfWorkload,
 };
 use proptest::prelude::*;
 
 fn all_workloads() -> Vec<Box<dyn Workload>> {
     vec![
-        Box::new(Tpcw::new(TpcwConfig { items: 2_000, customers: 10_000, item_theta: 0.8 })),
+        Box::new(Tpcw::new(TpcwConfig {
+            items: 2_000,
+            customers: 10_000,
+            item_theta: 0.8,
+        })),
         Box::new(Tpcc::new(TpccConfig { warehouses: 2 })),
         Box::new(TableScan::new(TableScanConfig {
             tables: 4,

@@ -11,8 +11,7 @@ use bpw_workloads::{Trace, Workload, WorkloadKind, ZipfWorkload};
 fn trace_for(workload: &dyn Workload, txns: usize) -> Vec<u64> {
     // Interleave four threads transaction-by-transaction.
     let traces = Trace::capture_per_thread(workload, 4, txns, 0xCAFE);
-    let per_thread: Vec<Vec<&[u64]>> =
-        traces.iter().map(|t| t.transactions().collect()).collect();
+    let per_thread: Vec<Vec<&[u64]>> = traces.iter().map(|t| t.transactions().collect()).collect();
     let mut flat = Vec::new();
     for round in 0..txns {
         for th in &per_thread {
@@ -44,7 +43,11 @@ fn main() {
     scenarios.push(("Loop-1100".to_owned(), loop_trace, vec![1000]));
     // Heavy Zipf point accesses.
     let zipf = ZipfWorkload::new(50_000, 0.9, 20);
-    scenarios.push(("Zipf-0.9".to_owned(), trace_for(&zipf, 2_000), vec![500, 2_500]));
+    scenarios.push((
+        "Zipf-0.9".to_owned(),
+        trace_for(&zipf, 2_000),
+        vec![500, 2_500],
+    ));
 
     for (name, trace, sizes) in &scenarios {
         println!("=== {name} ({} accesses) ===", trace.len());

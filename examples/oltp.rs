@@ -14,7 +14,12 @@ use bpw_core::WrapperConfig;
 use bpw_replacement::TwoQ;
 use bpw_workloads::{Tpcc, TpccConfig, Workload};
 
-fn drive<M: ReplacementManager>(pool: &BufferPool<M>, workload: &Tpcc, threads: usize, txns: usize) {
+fn drive<M: ReplacementManager>(
+    pool: &BufferPool<M>,
+    workload: &Tpcc,
+    threads: usize,
+    txns: usize,
+) {
     std::thread::scope(|s| {
         for t in 0..threads {
             let pool = &pool;
@@ -59,7 +64,12 @@ fn main() {
     let mut outcomes = Vec::new();
 
     {
-        let pool = BufferPool::new(frames, 256, ClockManager::new(frames), Arc::new(SimDisk::instant()));
+        let pool = BufferPool::new(
+            frames,
+            256,
+            ClockManager::new(frames),
+            Arc::new(SimDisk::instant()),
+        );
         drive(&pool, &workload, threads, txns);
         let snap = pool.manager().lock_snapshot();
         outcomes.push(Outcome {
@@ -70,7 +80,12 @@ fn main() {
         });
     }
     {
-        let pool = BufferPool::new(frames, 256, CoarseManager::new(TwoQ::new(frames)), Arc::new(SimDisk::instant()));
+        let pool = BufferPool::new(
+            frames,
+            256,
+            CoarseManager::new(TwoQ::new(frames)),
+            Arc::new(SimDisk::instant()),
+        );
         drive(&pool, &workload, threads, txns);
         let snap = pool.manager().lock_snapshot();
         outcomes.push(Outcome {
@@ -110,8 +125,12 @@ fn main() {
     let q = outcomes[1].hit_ratio;
     let wrapped = outcomes[2].hit_ratio;
     println!();
-    println!("2Q beats CLOCK on hit ratio by {:+.2} points; the wrapped 2Q matches the", (q - clock) * 100.0);
-    println!("unwrapped 2Q ({:+.3} points) while acquiring the lock ~{:.0}x less often.",
+    println!(
+        "2Q beats CLOCK on hit ratio by {:+.2} points; the wrapped 2Q matches the",
+        (q - clock) * 100.0
+    );
+    println!(
+        "unwrapped 2Q ({:+.3} points) while acquiring the lock ~{:.0}x less often.",
         (wrapped - q) * 100.0,
         outcomes[1].acquisitions as f64 / outcomes[2].acquisitions.max(1) as f64,
     );

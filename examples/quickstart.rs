@@ -48,7 +48,7 @@ fn main() {
     let elapsed = t0.elapsed();
 
     // 5. Inspect what the lock saw.
-    let total = threads as u64 * per_thread;
+    let total = threads * per_thread;
     let snap = wrapper.lock_stats().snapshot();
     let counters = wrapper.counters();
     println!("accesses recorded      : {total}");
@@ -56,10 +56,16 @@ fn main() {
         "throughput             : {:.1} M accesses/s",
         total as f64 / elapsed.as_secs_f64() / 1e6
     );
-    println!("lock acquisitions      : {} (1 per {:.1} accesses)",
-        snap.acquisitions, total as f64 / snap.acquisitions as f64);
-    println!("blocked acquisitions   : {} ({:.2} per million accesses)",
-        snap.contentions, wrapper.contentions_per_million());
+    println!(
+        "lock acquisitions      : {} (1 per {:.1} accesses)",
+        snap.acquisitions,
+        total as f64 / snap.acquisitions as f64
+    );
+    println!(
+        "blocked acquisitions   : {} ({:.2} per million accesses)",
+        snap.contentions,
+        wrapper.contentions_per_million()
+    );
     println!("failed try-locks       : {}", snap.trylock_failures);
     println!("accesses committed     : {}", counters.committed.get());
     println!("stale entries skipped  : {}", counters.stale_skipped.get());

@@ -16,7 +16,10 @@ fn main() {
         .unwrap_or(WorkloadKind::Dbt1);
     let wl = WorkloadParams::for_kind(kind);
     let hw = HardwareProfile::altix350();
-    println!("{} on simulated {} (up to {} processors)\n", wl.name, hw.name, hw.cpus);
+    println!(
+        "{} on simulated {} (up to {} processors)\n",
+        wl.name, hw.name, hw.cpus
+    );
     print!("{:>5}", "cpus");
     for k in SystemKind::ALL {
         print!("{:>12}", k.name());

@@ -13,7 +13,12 @@ use bpw_core::WrapperConfig;
 use bpw_replacement::TwoQ;
 use bpw_workloads::{TableScan, TableScanConfig, Workload};
 
-fn drive<M: ReplacementManager>(pool: &BufferPool<M>, workload: &TableScan, threads: usize, scans: usize) {
+fn drive<M: ReplacementManager>(
+    pool: &BufferPool<M>,
+    workload: &TableScan,
+    threads: usize,
+    scans: usize,
+) {
     std::thread::scope(|s| {
         for t in 0..threads {
             let pool = &pool;
@@ -52,7 +57,11 @@ fn main() {
     );
 
     for wrapped in [false, true] {
-        let label = if wrapped { "BP-wrapped 2Q (pgBatPre)" } else { "coarse-locked 2Q (pgQ)" };
+        let label = if wrapped {
+            "BP-wrapped 2Q (pgBatPre)"
+        } else {
+            "coarse-locked 2Q (pgQ)"
+        };
         let (hits, misses, snap) = if wrapped {
             let pool = BufferPool::new(
                 frames,

@@ -55,7 +55,10 @@ fn main() {
                 });
             }
         });
-        println!("phase 1: {} transactions committed", committed.load(Ordering::Relaxed));
+        println!(
+            "phase 1: {} transactions committed",
+            committed.load(Ordering::Relaxed)
+        );
         println!(
             "  WAL: {} appends, {} commits, {} physical flushes ({:.1} commits/flush via group commit)",
             wal.appends.get(),

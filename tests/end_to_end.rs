@@ -64,10 +64,16 @@ fn every_workload_through_wrapped_pool() {
         let (hits, misses) = drive(&pool, &*workload, 3, 60);
         assert!(hits + misses > 0, "{kind}: no accesses");
         assert!(hits > 0, "{kind}: no hits at 12.5% buffer");
-        pool.manager().wrapper().with_locked(|p| p.check_invariants());
+        pool.manager()
+            .wrapper()
+            .with_locked(|p| p.check_invariants());
         // No access may be lost by the wrapper.
         let c = pool.manager().wrapper().counters();
-        assert_eq!(c.accesses.get(), hits + misses, "{kind}: wrapper access count");
+        assert_eq!(
+            c.accesses.get(),
+            hits + misses,
+            "{kind}: wrapper access count"
+        );
     }
 }
 
@@ -94,10 +100,7 @@ fn every_policy_survives_concurrent_pool_traffic() {
                         let page = x % 300; // > frames: constant eviction
                         let pinned = session.fetch(page);
                         pinned.read(|bytes| {
-                            assert_eq!(
-                                u64::from_le_bytes(bytes[..8].try_into().unwrap()),
-                                page
-                            );
+                            assert_eq!(u64::from_le_bytes(bytes[..8].try_into().unwrap()), page);
                         });
                     }
                 });
@@ -124,7 +127,12 @@ fn three_manager_styles_agree_on_content() {
         CoarseManager::new(PolicyKind::TwoQ.build(frames)),
         Arc::new(SimDisk::instant()),
     );
-    let clock = BufferPool::new(frames, 64, ClockManager::new(frames), Arc::new(SimDisk::instant()));
+    let clock = BufferPool::new(
+        frames,
+        64,
+        ClockManager::new(frames),
+        Arc::new(SimDisk::instant()),
+    );
     let wrapped = BufferPool::new(
         frames,
         64,
@@ -189,5 +197,7 @@ fn invalidation_under_load() {
             }
         });
     });
-    pool.manager().wrapper().with_locked(|p| p.check_invariants());
+    pool.manager()
+        .wrapper()
+        .with_locked(|p| p.check_invariants());
 }

@@ -18,7 +18,12 @@ use bpw_sim::{simulate, HardwareProfile, RunReport, SimParams, SystemSpec, Workl
 use bpw_workloads::WorkloadKind;
 
 fn run(hw: HardwareProfile, cpus: usize, kind: SystemKind, wl: WorkloadKind) -> RunReport {
-    let mut p = SimParams::new(hw, cpus, SystemSpec::new(kind), WorkloadParams::for_kind(wl));
+    let mut p = SimParams::new(
+        hw,
+        cpus,
+        SystemSpec::new(kind),
+        WorkloadParams::for_kind(wl),
+    );
     p.horizon_ms = 500;
     simulate(p)
 }
@@ -29,8 +34,18 @@ fn throughput_gap_is_about_two_fold_or_more() {
     // (or more) of the lock-free throughput; BP-Wrapper recovers it.
     for wl in WorkloadKind::ALL {
         let clock = run(HardwareProfile::altix350(), 16, SystemKind::Clock, wl);
-        let q = run(HardwareProfile::altix350(), 16, SystemKind::LockPerAccess, wl);
-        let batpre = run(HardwareProfile::altix350(), 16, SystemKind::BatchingPrefetching, wl);
+        let q = run(
+            HardwareProfile::altix350(),
+            16,
+            SystemKind::LockPerAccess,
+            wl,
+        );
+        let batpre = run(
+            HardwareProfile::altix350(),
+            16,
+            SystemKind::BatchingPrefetching,
+            wl,
+        );
         assert!(
             q.throughput_tps <= 0.6 * clock.throughput_tps,
             "{wl}: pgQ should lose >= ~2x ({} vs {})",
@@ -52,8 +67,12 @@ fn batpre_matches_clock_scalability() {
     for wl in WorkloadKind::ALL {
         for cpus in [2, 4, 8, 16] {
             let clock = run(HardwareProfile::altix350(), cpus, SystemKind::Clock, wl);
-            let batpre =
-                run(HardwareProfile::altix350(), cpus, SystemKind::BatchingPrefetching, wl);
+            let batpre = run(
+                HardwareProfile::altix350(),
+                cpus,
+                SystemKind::BatchingPrefetching,
+                wl,
+            );
             let ratio = batpre.throughput_tps / clock.throughput_tps;
             assert!(
                 ratio > 0.9,
@@ -67,7 +86,12 @@ fn batpre_matches_clock_scalability() {
 fn contention_reduced_by_orders_of_magnitude() {
     // Claim 3: a factor of 97 to 9000+ fewer contentions.
     for wl in WorkloadKind::ALL {
-        let q = run(HardwareProfile::altix350(), 16, SystemKind::LockPerAccess, wl);
+        let q = run(
+            HardwareProfile::altix350(),
+            16,
+            SystemKind::LockPerAccess,
+            wl,
+        );
         let bat = run(HardwareProfile::altix350(), 16, SystemKind::Batching, wl);
         let factor = q.contentions_per_million / bat.contentions_per_million.max(0.1);
         assert!(
@@ -83,8 +107,18 @@ fn multicore_contends_harder_than_smp() {
     // (hardware prefetcher accelerates non-critical code, raising the
     // lock request rate) than on the Altix.
     for wl in WorkloadKind::ALL {
-        let altix = run(HardwareProfile::altix350(), 8, SystemKind::LockPerAccess, wl);
-        let pedge = run(HardwareProfile::poweredge1900(), 8, SystemKind::LockPerAccess, wl);
+        let altix = run(
+            HardwareProfile::altix350(),
+            8,
+            SystemKind::LockPerAccess,
+            wl,
+        );
+        let pedge = run(
+            HardwareProfile::poweredge1900(),
+            8,
+            SystemKind::LockPerAccess,
+            wl,
+        );
         assert!(
             pedge.contentions_per_million > altix.contentions_per_million,
             "{wl}: PowerEdge should contend harder ({} vs {})",
@@ -101,7 +135,12 @@ fn response_time_inflates_under_contention() {
     let wl = WorkloadKind::Dbt1;
     let clock_1 = run(HardwareProfile::altix350(), 1, SystemKind::Clock, wl);
     let clock_16 = run(HardwareProfile::altix350(), 16, SystemKind::Clock, wl);
-    let q_16 = run(HardwareProfile::altix350(), 16, SystemKind::LockPerAccess, wl);
+    let q_16 = run(
+        HardwareProfile::altix350(),
+        16,
+        SystemKind::LockPerAccess,
+        wl,
+    );
     assert!(
         clock_16.avg_response_ms < 1.5 * clock_1.avg_response_ms,
         "pgClock response time should stay nearly flat"

@@ -1,0 +1,288 @@
+//! Offline micro-bench shim exposing the subset of the `criterion` API
+//! this workspace's benches use: `Criterion::benchmark_group`,
+//! `BenchmarkGroup::{sample_size, measurement_time, warm_up_time,
+//! throughput, bench_with_input, bench_function, finish}`,
+//! `BenchmarkId::from_parameter`, `Throughput::Elements`, `Bencher::iter`
+//! and the `criterion_group!`/`criterion_main!` macros.
+//!
+//! Measurement model: a calibration pass sizes the per-sample iteration
+//! count to roughly fill `measurement_time / sample_size`, then
+//! `sample_size` samples are timed and the median ns/iter is reported to
+//! stdout. No statistics beyond median/min/max, no HTML reports, no
+//! comparison against saved baselines — enough to eyeball relative cost,
+//! which is all the workspace's benches are for in this offline image.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Throughput annotation attached to a benchmark group.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Identifier for one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Id rendered from a parameter value, e.g. a batch size.
+    pub fn from_parameter<P: fmt::Display>(parameter: P) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+
+    /// Id from a function name plus a parameter.
+    pub fn new<P: fmt::Display>(function_name: &str, parameter: P) -> Self {
+        BenchmarkId {
+            id: format!("{function_name}/{parameter}"),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Times closures handed to it by the benchmark body.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    iters_per_sample: u64,
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+}
+
+impl Bencher {
+    /// Time `routine`, running it enough times per sample to get a
+    /// stable median.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up and calibration: find an iteration count that makes a
+        // sample take roughly measurement_time / sample_size.
+        let warm_deadline = Instant::now() + self.warm_up_time;
+        let mut calib_iters = 0u64;
+        let calib_start = Instant::now();
+        while Instant::now() < warm_deadline {
+            std::hint::black_box(routine());
+            calib_iters += 1;
+        }
+        let per_iter = if calib_iters == 0 {
+            Duration::from_nanos(1)
+        } else {
+            calib_start.elapsed() / calib_iters as u32
+        };
+        let target_sample = self.measurement_time / self.sample_size.max(1) as u32;
+        self.iters_per_sample = (target_sample.as_nanos() / per_iter.as_nanos().max(1))
+            .clamp(1, u64::MAX as u128) as u64;
+
+        self.samples.clear();
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..self.iters_per_sample {
+                std::hint::black_box(routine());
+            }
+            self.samples.push(start.elapsed());
+        }
+    }
+
+    fn report(&self, group: &str, id: &str, throughput: Option<Throughput>) {
+        if self.samples.is_empty() {
+            println!("{group}/{id}: no samples");
+            return;
+        }
+        let mut per_iter: Vec<f64> = self
+            .samples
+            .iter()
+            .map(|d| d.as_nanos() as f64 / self.iters_per_sample as f64)
+            .collect();
+        per_iter.sort_by(|a, b| a.total_cmp(b));
+        let median = per_iter[per_iter.len() / 2];
+        let min = per_iter[0];
+        let max = per_iter[per_iter.len() - 1];
+        let rate = match throughput {
+            Some(Throughput::Elements(n)) => {
+                format!("  {:.1} Melem/s", n as f64 / median * 1e3)
+            }
+            Some(Throughput::Bytes(n)) => {
+                format!("  {:.1} MiB/s", n as f64 / median * 1e9 / (1 << 20) as f64)
+            }
+            None => String::new(),
+        };
+        println!(
+            "{group}/{id}: median {median:.1} ns/iter (min {min:.1}, max {max:.1}, \
+             {} samples x {} iters){rate}",
+            self.samples.len(),
+            self.iters_per_sample,
+        );
+    }
+}
+
+/// A named collection of related benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    throughput: Option<Throughput>,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Total measurement budget per benchmark.
+    pub fn measurement_time(&mut self, t: Duration) -> &mut Self {
+        self.measurement_time = t;
+        self
+    }
+
+    /// Warm-up/calibration budget per benchmark.
+    pub fn warm_up_time(&mut self, t: Duration) -> &mut Self {
+        self.warm_up_time = t;
+        self
+    }
+
+    /// Annotate subsequent benchmarks with work-per-iteration.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Run a benchmark parameterized by `input`.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        I: ?Sized,
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut bencher = self.bencher();
+        f(&mut bencher, input);
+        bencher.report(&self.name, &id.to_string(), self.throughput);
+        self
+    }
+
+    /// Run a benchmark with no input parameter.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = self.bencher();
+        f(&mut bencher);
+        bencher.report(&self.name, id, self.throughput);
+        self
+    }
+
+    /// End the group (prints nothing extra in this shim).
+    pub fn finish(self) {}
+
+    fn bencher(&self) -> Bencher {
+        Bencher {
+            samples: Vec::new(),
+            iters_per_sample: 1,
+            sample_size: self.sample_size,
+            warm_up_time: self.warm_up_time,
+            measurement_time: self.measurement_time,
+        }
+    }
+}
+
+/// Benchmark driver handed to each `criterion_group!` target.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Start a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: 20,
+            warm_up_time: Duration::from_millis(200),
+            measurement_time: Duration::from_millis(500),
+            throughput: None,
+            _criterion: self,
+        }
+    }
+
+    /// Run a standalone benchmark outside any group.
+    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut g = self.benchmark_group("bench");
+        g.bench_function(id, f);
+        g.finish();
+        self
+    }
+}
+
+/// Re-export for benches that import it from criterion rather than
+/// `std::hint`.
+pub use std::hint::black_box;
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn times_a_trivial_routine() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("shim");
+        g.sample_size(5);
+        g.measurement_time(Duration::from_millis(20));
+        g.warm_up_time(Duration::from_millis(5));
+        g.throughput(Throughput::Elements(1));
+        let mut count = 0u64;
+        g.bench_with_input(BenchmarkId::from_parameter(7), &7u64, |b, &x| {
+            b.iter(|| {
+                count = count.wrapping_add(x);
+                count
+            });
+        });
+        g.finish();
+        assert!(count > 0);
+    }
+
+    #[test]
+    fn macros_compose() {
+        fn target(c: &mut Criterion) {
+            let mut g = c.benchmark_group("m");
+            g.sample_size(2);
+            g.measurement_time(Duration::from_millis(5));
+            g.warm_up_time(Duration::from_millis(1));
+            g.bench_function("noop", |b| b.iter(|| 1 + 1));
+            g.finish();
+        }
+        criterion_group!(benches, target);
+        benches();
+    }
+}

@@ -1,0 +1,12 @@
+//! Offline shim for the subset of the `crossbeam` API this workspace
+//! uses: `utils::CachePadded` and `channel::{bounded, unbounded}`
+//! MPMC channels. The build environment has no crates.io access, so the
+//! workspace points its `crossbeam` dependency at this path crate.
+//!
+//! The channel is a straightforward `Mutex<VecDeque>` + two condvars —
+//! not the lock-free original, but semantically identical (FIFO, MPMC,
+//! disconnect on last-sender/last-receiver drop), which is what the
+//! code here relies on.
+
+pub mod channel;
+pub mod utils;

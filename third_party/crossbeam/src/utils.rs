@@ -1,0 +1,66 @@
+//! `CachePadded`: align a value to (at least) a cache line so adjacent
+//! instances never share one.
+
+use std::fmt;
+use std::ops::{Deref, DerefMut};
+
+/// Pads and aligns `T` to 128 bytes (covers the 128-byte prefetch pair
+/// on modern x86 and the 128-byte line on Apple silicon).
+#[derive(Default, Clone, Copy, PartialEq, Eq)]
+#[repr(align(128))]
+pub struct CachePadded<T> {
+    value: T,
+}
+
+impl<T> CachePadded<T> {
+    /// Pad `value`.
+    pub const fn new(value: T) -> Self {
+        CachePadded { value }
+    }
+
+    /// Unwrap.
+    pub fn into_inner(self) -> T {
+        self.value
+    }
+}
+
+impl<T> Deref for CachePadded<T> {
+    type Target = T;
+
+    fn deref(&self) -> &T {
+        &self.value
+    }
+}
+
+impl<T> DerefMut for CachePadded<T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.value
+    }
+}
+
+impl<T> From<T> for CachePadded<T> {
+    fn from(value: T) -> Self {
+        CachePadded::new(value)
+    }
+}
+
+impl<T: fmt::Debug> fmt::Debug for CachePadded<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("CachePadded")
+            .field("value", &self.value)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alignment_is_at_least_128() {
+        assert!(std::mem::align_of::<CachePadded<u64>>() >= 128);
+        let p = CachePadded::new(5u64);
+        assert_eq!(*p, 5);
+        assert_eq!(p.into_inner(), 5);
+    }
+}
