@@ -18,6 +18,7 @@ impl<M: ReplacementManager> BufferPool<M> {
     /// concurrently with fetches: content is copied under the frame's
     /// data latch and re-dirtying during the write is preserved.
     pub fn flush_dirty_pages(&self, max: usize) -> usize {
+        let span = bpw_trace::span_start();
         let mut cleaned = 0;
         for f in 0..self.frames() as FrameId {
             if cleaned >= max {
@@ -27,6 +28,7 @@ impl<M: ReplacementManager> BufferPool<M> {
                 cleaned += 1;
             }
         }
+        bpw_trace::span_end(bpw_trace::EventKind::BgwriterPass, span, cleaned as u64);
         cleaned
     }
 

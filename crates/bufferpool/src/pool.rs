@@ -6,6 +6,8 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
+use bpw_core::InstrumentedLock;
+use bpw_metrics::{LockSnapshot, LockStats};
 use bpw_replacement::{FrameId, MissOutcome, PageId};
 use parking_lot::Mutex;
 
@@ -46,7 +48,9 @@ pub struct BufferPool<M: ReplacementManager> {
     data: Vec<Mutex<Box<[u8]>>>,
     free: Mutex<Vec<FrameId>>,
     /// Serializes victim selection + table rebinding (not the I/O).
-    miss_lock: Mutex<()>,
+    /// Instrumented: misses are where lock contention concentrates once
+    /// BP-Wrapper removes it from the hit path.
+    miss_lock: InstrumentedLock<()>,
     manager: M,
     storage: Arc<dyn Storage>,
     wal: Option<Arc<Wal>>,
@@ -65,7 +69,7 @@ impl<M: ReplacementManager> BufferPool<M> {
                 .map(|_| Mutex::new(vec![0u8; page_size].into_boxed_slice()))
                 .collect(),
             free: Mutex::new((0..frames as FrameId).rev().collect()),
-            miss_lock: Mutex::new(()),
+            miss_lock: InstrumentedLock::new((), Arc::new(LockStats::new())),
             manager,
             storage,
             wal: None,
@@ -112,6 +116,11 @@ impl<M: ReplacementManager> BufferPool<M> {
     /// The replacement manager.
     pub fn manager(&self) -> &M {
         &self.manager
+    }
+
+    /// Contention profile of the miss lock (victim selection + rebinding).
+    pub fn miss_lock_snapshot(&self) -> LockSnapshot {
+        self.miss_lock.stats().snapshot()
     }
 
     /// The storage device.
@@ -223,13 +232,14 @@ impl<'p, M: ReplacementManager> PoolSession<'p, M> {
     /// caller retries).
     fn fetch_miss(&mut self, page: PageId) -> Option<PinnedPage<'p, M>> {
         let pool = self.pool;
-        let guard = pool.miss_lock.lock();
+        let mut guard = pool.miss_lock.lock();
         // Re-check: another thread may have loaded the page while we
         // waited for the miss lock.
         if pool.table.get(page).is_some() {
             drop(guard);
             return None; // retry via the hit path
         }
+        guard.cover_accesses(1);
         pool.stats.misses.fetch_add(1, Ordering::Relaxed);
         let free = pool.free.lock().pop();
         // Victim filter: pinned or in-I/O frames are rejected; the
@@ -275,11 +285,13 @@ impl<'p, M: ReplacementManager> PoolSession<'p, M> {
             }
         };
         if let Some(v) = victim {
+            bpw_trace::instant(bpw_trace::EventKind::Eviction, v);
             pool.table.remove(v);
         }
         pool.table.insert(page, frame);
         // I/O happens outside the miss lock: other misses proceed.
         drop(guard);
+        let io_span = bpw_trace::span_start();
         {
             let mut data = pool.data[frame as usize].lock();
             if was_dirty {
@@ -295,6 +307,7 @@ impl<'p, M: ReplacementManager> PoolSession<'p, M> {
             pool.storage.read_page(page, &mut data);
         }
         pool.descs[frame as usize].lock().io_in_progress = false;
+        bpw_trace::span_end(bpw_trace::EventKind::MissIo, io_span, page);
         Some(PinnedPage { pool, frame, page })
     }
 

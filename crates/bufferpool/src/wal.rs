@@ -123,9 +123,11 @@ impl Wal {
             let batch_end = s.append_lsn;
             let batch = std::mem::take(&mut s.buffer);
             drop(s);
+            let span = bpw_trace::span_start();
             Self::spin_for(self.flush_latency);
             self.log_file.lock().extend_from_slice(&batch);
             self.flushes.incr();
+            bpw_trace::span_end(bpw_trace::EventKind::WalFlush, span, batch.len() as u64);
             s = self.state.lock();
             s.flushed_lsn = batch_end;
             s.flush_in_progress = false;

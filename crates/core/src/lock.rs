@@ -74,7 +74,9 @@ impl<T> InstrumentedLock<T> {
         }
         let wait_start = Instant::now();
         let guard = self.inner.lock();
-        self.stats.record_acquisition(true, wait_start.elapsed());
+        let waited = wait_start.elapsed();
+        self.stats.record_acquisition(true, waited);
+        bpw_trace::span_backdated(bpw_trace::EventKind::LockWait, waited.as_nanos() as u64, 1);
         LockGuard {
             guard: Some(guard),
             stats: &self.stats,
@@ -118,6 +120,11 @@ impl<'a, T> Drop for LockGuard<'a, T> {
         let held = self.acquired_at.elapsed();
         drop(self.guard.take());
         self.stats.record_release(held, self.accesses);
+        bpw_trace::span_backdated(
+            bpw_trace::EventKind::LockHold,
+            held.as_nanos() as u64,
+            self.accesses,
+        );
     }
 }
 

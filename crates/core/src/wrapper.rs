@@ -219,6 +219,7 @@ impl<P: ReplacementPolicy> BpWrapper<P> {
     /// frame has been re-used for a different page since recording.
     fn commit_locked(&self, guard: &mut LockGuard<'_, P>, queue: &mut AccessQueue) {
         let n = queue.len() as u64;
+        let span = bpw_trace::span_start();
         let mut applied = 0u64;
         for entry in queue.drain() {
             if guard.page_at(entry.frame) == Some(entry.page) {
@@ -230,6 +231,7 @@ impl<P: ReplacementPolicy> BpWrapper<P> {
         self.counters.committed.add(applied);
         self.counters.stale_skipped.add(n - applied);
         self.counters.batches.incr();
+        bpw_trace::span_end(bpw_trace::EventKind::BatchCommit, span, n);
     }
 }
 

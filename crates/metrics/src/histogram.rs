@@ -75,6 +75,33 @@ impl Histogram {
         self.max.load(Ordering::Relaxed)
     }
 
+    /// Exact sum of all samples.
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// Per-bucket counts: `(lower, upper, count)` for each of the 64
+    /// buckets, bounds inclusive. Bucket 0 holds only the value 0;
+    /// bucket `i` holds `[2^(i-1), 2^i - 1]`; bucket 63 additionally
+    /// absorbs the clamp of 64-bit values (so its upper bound is
+    /// `u64::MAX`).
+    pub fn buckets(&self) -> Vec<(u64, u64, u64)> {
+        (0..64)
+            .map(|i| {
+                let upper = match i {
+                    0 => 0,
+                    63 => u64::MAX,
+                    _ => (1u64 << i) - 1,
+                };
+                (
+                    Self::bucket_floor(i),
+                    upper,
+                    self.buckets[i].load(Ordering::Relaxed),
+                )
+            })
+            .collect()
+    }
+
     /// Approximate quantile (`q` in `[0,1]`): lower bound of the bucket
     /// containing the q-th sample. Exact to within one power of two.
     pub fn quantile(&self, q: f64) -> u64 {
@@ -177,5 +204,80 @@ mod tests {
     fn empty_quantile_is_zero() {
         let h = Histogram::new();
         assert_eq!(h.quantile(0.5), 0);
+        assert_eq!(h.quantile(0.0), 0);
+        assert_eq!(h.quantile(1.0), 0);
+        assert_eq!(h.sum(), 0);
+    }
+
+    #[test]
+    fn quantile_edge_values_zero_and_max() {
+        let h = Histogram::new();
+        h.record(0);
+        assert_eq!(h.quantile(0.5), 0, "a lone 0 lives in bucket 0");
+        h.record(u64::MAX);
+        // u64::MAX clamps into bucket 63 (floor 2^62).
+        assert_eq!(h.quantile(1.0), 1u64 << 62);
+        assert_eq!(h.max(), u64::MAX);
+        // Out-of-range q is clamped, not a panic.
+        assert_eq!(h.quantile(-1.0), 0);
+        assert_eq!(h.quantile(2.0), 1u64 << 62);
+    }
+
+    #[test]
+    fn bucket_63_clamp_merges_top_two_bit_lengths() {
+        // Values of bit length 63 land in bucket 63 naturally; bit
+        // length 64 is clamped into the same bucket.
+        let h = Histogram::new();
+        h.record(1u64 << 62); // bit length 63 -> index 63
+        h.record(u64::MAX); // bit length 64 -> clamped to 63
+        let b = h.buckets();
+        assert_eq!(b[63], (1u64 << 62, u64::MAX, 2));
+        assert_eq!(b.iter().map(|&(_, _, c)| c).sum::<u64>(), 2);
+    }
+
+    #[test]
+    fn buckets_report_bounds_and_counts() {
+        let h = Histogram::new();
+        for v in [0u64, 1, 2, 3, 4, 7, 8] {
+            h.record(v);
+        }
+        let b = h.buckets();
+        assert_eq!(b.len(), 64);
+        assert_eq!(b[0], (0, 0, 1));
+        assert_eq!(b[1], (1, 1, 1));
+        assert_eq!(b[2], (2, 3, 2));
+        assert_eq!(b[3], (4, 7, 2));
+        assert_eq!(b[4], (8, 15, 1));
+        // Bounds tile the u64 range with no gaps.
+        for w in b.windows(2) {
+            assert_eq!(w[0].1.wrapping_add(1), w[1].0);
+        }
+        assert_eq!(
+            b.iter().map(|&(_, _, c)| c).sum::<u64>(),
+            h.count(),
+            "bucket counts must total the sample count"
+        );
+    }
+
+    #[test]
+    fn merged_histogram_preserves_buckets_and_quantiles() {
+        let a = Histogram::new();
+        let b = Histogram::new();
+        for v in 1..=500u64 {
+            a.record(v);
+        }
+        for v in 501..=1000u64 {
+            b.record(v);
+        }
+        a.merge(&b);
+        let whole = Histogram::new();
+        for v in 1..=1000u64 {
+            whole.record(v);
+        }
+        assert_eq!(a.buckets(), whole.buckets());
+        assert_eq!(a.sum(), whole.sum());
+        for q in [0.0, 0.25, 0.5, 0.99, 1.0] {
+            assert_eq!(a.quantile(q), whole.quantile(q));
+        }
     }
 }

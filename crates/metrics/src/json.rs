@@ -395,12 +395,62 @@ impl JsonValue {
             _ => None,
         }
     }
+
+    /// Render back to JSON text. `parse(render(v)) == v` for every
+    /// value this type can hold: numbers round-trip because integral
+    /// values within the exact-f64 range print as integers and
+    /// everything else uses shortest-roundtrip float formatting;
+    /// object keys keep the `BTreeMap`'s deterministic order.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.render_into(&mut out);
+        out
+    }
+
+    fn render_into(&self, out: &mut String) {
+        match self {
+            JsonValue::Null => out.push_str("null"),
+            JsonValue::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            JsonValue::Num(v) => {
+                if v.fract() == 0.0 && v.abs() <= 2f64.powi(53) {
+                    let _ = write!(out, "{}", *v as i64);
+                } else {
+                    write_f64_into(out, *v);
+                }
+            }
+            JsonValue::Str(s) => escape_str_into(out, s),
+            JsonValue::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.render_into(out);
+                }
+                out.push(']');
+            }
+            JsonValue::Obj(map) => {
+                out.push('{');
+                for (i, (k, v)) in map.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    escape_str_into(out, k);
+                    out.push(':');
+                    v.render_into(out);
+                }
+                out.push('}');
+            }
+        }
+    }
 }
 
 impl crate::Histogram {
     /// Render this histogram's summary as a JSON object:
-    /// `count`, `mean`, `max`, and the `p50`/`p95`/`p99`/`p999`
-    /// quantiles, all in the recorded unit.
+    /// `count`, `mean`, `max`, the `p50`/`p95`/`p99`/`p999` quantiles
+    /// (all in the recorded unit), and `buckets` — the occupied
+    /// buckets as `[lower_bound, count]` pairs so consumers can
+    /// rebuild the full distribution, not just the summary.
     pub fn to_json(&self) -> String {
         let mut o = JsonObject::new();
         o.field_u64("count", self.count())
@@ -409,8 +459,29 @@ impl crate::Histogram {
             .field_u64("p50", self.quantile(0.50))
             .field_u64("p95", self.quantile(0.95))
             .field_u64("p99", self.quantile(0.99))
-            .field_u64("p999", self.quantile(0.999));
+            .field_u64("p999", self.quantile(0.999))
+            .field_raw("buckets", &self.buckets_to_json());
         o.finish()
+    }
+
+    /// The occupied buckets as a JSON array of `[lower_bound, count]`
+    /// pairs (empty buckets are omitted; an empty histogram renders
+    /// `[]`).
+    pub fn buckets_to_json(&self) -> String {
+        let mut out = String::from("[");
+        let mut any = false;
+        for (lower, _, count) in self.buckets() {
+            if count == 0 {
+                continue;
+            }
+            if any {
+                out.push(',');
+            }
+            any = true;
+            let _ = write!(out, "[{lower},{count}]");
+        }
+        out.push(']');
+        out
     }
 }
 

@@ -1,0 +1,125 @@
+//! Round-trip guarantees for the hand-rolled JSON module: the trace
+//! exporter and the server's STATS/METRICS replies all depend on
+//! `parse(render(parse(text)))` being lossless.
+
+use bpw_metrics::{Histogram, JsonObject, JsonValue};
+
+/// parse → render → parse must be a fixed point.
+fn assert_roundtrip(text: &str) {
+    let v1 = JsonValue::parse(text).unwrap_or_else(|e| panic!("parse {text:?}: {e}"));
+    let rendered = v1.render();
+    let v2 = JsonValue::parse(&rendered)
+        .unwrap_or_else(|e| panic!("re-parse of rendered {rendered:?}: {e}"));
+    assert_eq!(
+        v1, v2,
+        "round-trip changed the value (rendered {rendered:?})"
+    );
+    // Rendering is deterministic: a second render is byte-identical.
+    assert_eq!(v2.render(), rendered);
+}
+
+#[test]
+fn nested_objects_and_arrays_round_trip() {
+    assert_roundtrip(r#"{"a":{"b":[1,2,{"c":[[],{}]}],"d":null},"e":[true,false]}"#);
+    assert_roundtrip("[]");
+    assert_roundtrip("{}");
+    assert_roundtrip(r#"[[[[1]]],{"deep":{"deeper":{"deepest":0}}}]"#);
+}
+
+#[test]
+fn escape_sequences_round_trip() {
+    assert_roundtrip(r#""quote \" backslash \\ newline \n tab \t cr \r""#);
+    assert_roundtrip(r#""control   and unicode é snowman ☃""#);
+    assert_roundtrip(r#"{"key with \"quotes\"":"value\nwith\nnewlines"}"#);
+    // Solidus and the two-char escapes parse to the same chars however
+    // they were written, and re-render canonically.
+    let v = JsonValue::parse(
+        r#""a\/b
+c""#,
+    )
+    .unwrap();
+    assert_eq!(v.as_str(), Some("a/b\nc"));
+    assert_roundtrip(
+        r#""a\/b
+c""#,
+    );
+}
+
+#[test]
+fn large_integers_round_trip_exactly() {
+    // Everything up to 2^53 is exact in an f64 and must render as an
+    // integer literal, not in exponent notation.
+    let max_exact = (1u64 << 53).to_string();
+    assert_roundtrip(&max_exact);
+    let v = JsonValue::parse(&max_exact).unwrap();
+    assert_eq!(v.render(), max_exact);
+    assert_eq!(v.as_u64(), Some(1u64 << 53));
+
+    assert_roundtrip("9007199254740992"); // 2^53
+    assert_roundtrip("-9007199254740992");
+    assert_roundtrip("123456789012345");
+    // Beyond 2^53 the *parsed* f64 value still round-trips (even though
+    // the decimal text may not survive verbatim).
+    assert_roundtrip("18446744073709551615");
+    assert_roundtrip("1e300");
+    assert_roundtrip("-2.5e-7");
+    assert_roundtrip("0.1");
+}
+
+#[test]
+fn negative_and_fractional_numbers_round_trip() {
+    assert_roundtrip("[-1,0,1,-0.5,3.25,1000000]");
+    // -0.0 compares equal to 0.0; rendering as 0 is acceptable.
+    assert_roundtrip("-0.0");
+}
+
+#[test]
+fn builder_output_round_trips() {
+    let mut o = JsonObject::new();
+    o.field_u64("count", u64::MAX / 2)
+        .field_f64("ratio", 0.123456789)
+        .field_str("name", "zipf \"0.86\"\n\ttail")
+        .field_bool("ok", true)
+        .field_raw("nested", r#"{"xs":[1,2,3],"s":""}"#);
+    assert_roundtrip(&o.finish());
+}
+
+#[test]
+fn histogram_json_with_buckets_round_trips() {
+    let h = Histogram::new();
+    for v in [0u64, 1, 5, 5, 900, u64::MAX] {
+        h.record(v);
+    }
+    let text = h.to_json();
+    assert_roundtrip(&text);
+    let v = JsonValue::parse(&text).unwrap();
+    let JsonValue::Arr(buckets) = v.get("buckets").unwrap() else {
+        panic!("buckets must be an array");
+    };
+    // Occupied buckets: {0}, {1}, {5,5} in [4,7], {900} in [512,1023],
+    // and u64::MAX clamped into bucket 63 (floor 2^62).
+    let pairs: Vec<(u64, u64)> = buckets
+        .iter()
+        .map(|b| {
+            let JsonValue::Arr(pair) = b else {
+                panic!("bucket entries are [lower, count] pairs")
+            };
+            // Bucket 63's lower bound (2^62) exceeds as_u64's 2^53
+            // exactness guard, but powers of two are exact in f64.
+            (pair[0].as_f64().unwrap() as u64, pair[1].as_u64().unwrap())
+        })
+        .collect();
+    assert_eq!(pairs, vec![(0, 1), (1, 1), (4, 2), (512, 1), (1 << 62, 1)]);
+    assert_eq!(
+        pairs.iter().map(|&(_, c)| c).sum::<u64>(),
+        v.get("count").unwrap().as_u64().unwrap()
+    );
+}
+
+#[test]
+fn empty_histogram_buckets_render_as_empty_array() {
+    let h = Histogram::new();
+    let v = JsonValue::parse(&h.to_json()).unwrap();
+    assert_eq!(v.get("buckets"), Some(&JsonValue::Arr(vec![])));
+    assert_roundtrip(&h.to_json());
+}

@@ -68,6 +68,18 @@ impl Client {
         }
     }
 
+    /// Fetch the server's metrics as Prometheus-style text exposition.
+    pub fn metrics(&mut self) -> io::Result<String> {
+        match self.call(&Request::Metrics)? {
+            Response::Ok(bytes) => String::from_utf8(bytes)
+                .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string())),
+            other => Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("METRICS answered {other:?}"),
+            )),
+        }
+    }
+
     /// Ask the server to stop accepting connections.
     pub fn shutdown(&mut self) -> io::Result<Response> {
         self.call(&Request::Shutdown)

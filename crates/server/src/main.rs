@@ -9,7 +9,12 @@
 //!                    [--workload zipf|dbt1|dbt2|scan] [--zipf-pages N]
 //!                    [--theta F] [--seed S]
 //! bpw-server bench   [--out FILE] [--requests N] [--connections LIST]
+//! bpw-server smoke   [--out FILE]
 //! ```
+//!
+//! `smoke` is the CI self-test: it starts an in-process server, checks
+//! STATS and METRICS payloads, runs a traced workload, and validates
+//! the exported Chrome trace.
 
 use std::collections::HashMap;
 use std::net::SocketAddr;
@@ -27,9 +32,10 @@ fn main() {
         "serve" => cmd_serve(&flags),
         "loadgen" => cmd_loadgen(&flags),
         "bench" => cmd_bench(&flags),
+        "smoke" => cmd_smoke(&flags),
         _ => {
             eprintln!(
-                "usage: bpw-server <serve|loadgen|bench> [flags]  (see --help in src/main.rs)"
+                "usage: bpw-server <serve|loadgen|bench|smoke> [flags]  (see --help in src/main.rs)"
             );
             std::process::exit(2);
         }
@@ -246,5 +252,101 @@ fn cmd_bench(flags: &HashMap<String, String>) -> Result<(), String> {
     }
     std::fs::write(&out, lines.join("\n") + "\n").map_err(|e| format!("write {out}: {e}"))?;
     println!("wrote {} rows to {out}", lines.len());
+    Ok(())
+}
+
+/// CI self-test: exercise STATS, METRICS, and the tracing pipeline
+/// end-to-end against a live server, failing loudly on any malformed
+/// payload.
+fn cmd_smoke(flags: &HashMap<String, String>) -> Result<(), String> {
+    use bpw_metrics::JsonValue;
+
+    let out = flags
+        .get("out")
+        .cloned()
+        .unwrap_or_else(|| "results/smoke.trace.json".into());
+    let server = Server::start(ServerConfig {
+        workers: 2,
+        frames: 256,
+        page_size: 256,
+        pages: 4096,
+        ..ServerConfig::default()
+    })
+    .map_err(|e| e.to_string())?;
+    let mut client = bpw_server::Client::connect(server.addr()).map_err(|e| e.to_string())?;
+
+    // 1. STATS parses and carries the new observability fields.
+    let stats = client.stats().map_err(|e| e.to_string())?;
+    let v = JsonValue::parse(&stats).map_err(|e| format!("STATS is not valid JSON: {e}"))?;
+    for key in ["ok", "replacement_lock", "miss_lock", "trace"] {
+        if v.get(key).is_none() {
+            return Err(format!("STATS JSON is missing {key:?}: {stats}"));
+        }
+    }
+
+    // 2. METRICS is a well-formed exposition with a useful sample count.
+    let metrics = client.metrics().map_err(|e| e.to_string())?;
+    let samples = bpw_trace::validate_exposition(&metrics)
+        .map_err(|e| format!("METRICS exposition is malformed: {e}"))?;
+    if samples < 20 {
+        return Err(format!("METRICS has only {samples} samples:\n{metrics}"));
+    }
+
+    // 3. A traced workload produces a loadable Chrome trace with spans
+    //    from several threads.
+    bpw_trace::clear();
+    bpw_trace::set_enabled(true);
+    let workload = ZipfWorkload::new(4096, 0.86, 8);
+    let report = loadgen::run(
+        server.addr(),
+        &workload,
+        &LoadConfig {
+            connections: 4,
+            requests_per_conn: 2_000,
+            write_fraction: 0.1,
+            ..LoadConfig::default()
+        },
+    );
+    bpw_trace::set_enabled(false);
+    if report.ok == 0 {
+        return Err("traced workload completed no requests".into());
+    }
+    let events = bpw_trace::drain();
+    let tids: std::collections::HashSet<u32> = events.iter().map(|e| e.tid).collect();
+    if events.is_empty() || tids.len() < 2 {
+        return Err(format!(
+            "traced run produced {} events from {} threads (want >=2 threads)",
+            events.len(),
+            tids.len()
+        ));
+    }
+    bpw_trace::write_chrome_trace(&out, &events).map_err(|e| format!("write {out}: {e}"))?;
+    let trace_json = std::fs::read_to_string(&out).map_err(|e| e.to_string())?;
+    let tv = JsonValue::parse(&trace_json).map_err(|e| format!("trace JSON invalid: {e}"))?;
+    let Some(JsonValue::Arr(items)) = tv.get("traceEvents") else {
+        return Err("trace JSON lacks a traceEvents array".into());
+    };
+    if items.len() != events.len() {
+        return Err(format!(
+            "trace JSON has {} events, drained {}",
+            items.len(),
+            events.len()
+        ));
+    }
+
+    // 4. METRICS reflects the traced run (the trace gauges moved).
+    let metrics = client.metrics().map_err(|e| e.to_string())?;
+    if !metrics.contains("bpw_trace_threads") {
+        return Err("METRICS lost the trace health gauges".into());
+    }
+
+    client.shutdown().map_err(|e| e.to_string())?;
+    drop(client); // join() waits for live connections to close
+    server.join();
+    println!(
+        "smoke ok: {samples} exposition samples, {} trace events from {} threads -> {out}",
+        events.len(),
+        tids.len()
+    );
     Ok(())
 }

@@ -71,14 +71,22 @@ impl ServerMetrics {
 
     /// Render everything as one JSON object. `pool` carries the buffer
     /// pool's counters, `lock` the replacement manager's lock
-    /// behaviour, and `peak_queue_depth` the admission queue's
-    /// high-water mark.
+    /// behaviour, `miss_lock` the pool's miss-path lock, and
+    /// `peak_queue_depth` the admission queue's high-water mark. The
+    /// `trace` sub-object reports the event-trace collector's health.
     pub fn to_json(
         &self,
         pool: &PoolCounters,
         lock: &LockSnapshot,
+        miss_lock: &LockSnapshot,
         peak_queue_depth: u64,
     ) -> String {
+        let mut trace = JsonObject::new();
+        trace
+            .field_bool("enabled", bpw_trace::enabled())
+            .field_u64("dropped_events", bpw_trace::dropped())
+            .field_u64("threads", bpw_trace::thread_count() as u64)
+            .field_u64("buffered_events", bpw_trace::buffered() as u64);
         let mut o = JsonObject::new();
         o.field_u64("ok", self.ok.get())
             .field_u64("busy", self.busy.get())
@@ -93,7 +101,9 @@ impl ServerMetrics {
             .field_u64("pool_misses", pool.misses)
             .field_u64("pool_writebacks", pool.writebacks)
             .field_f64("pool_hit_ratio", pool.hit_ratio())
-            .field_raw("replacement_lock", &lock.to_json());
+            .field_raw("replacement_lock", &lock.to_json())
+            .field_raw("miss_lock", &miss_lock.to_json())
+            .field_raw("trace", &trace.finish());
         o.finish()
     }
 }
@@ -139,7 +149,11 @@ mod tests {
             writebacks: 3,
         };
         let lock = LockSnapshot::default();
-        let json = m.to_json(&pool, &lock, 17);
+        let miss_lock = LockSnapshot {
+            acquisitions: 10,
+            ..LockSnapshot::default()
+        };
+        let json = m.to_json(&pool, &lock, &miss_lock, 17);
 
         let v = JsonValue::parse(&json).expect("STATS must be valid JSON");
         assert_eq!(v.get("ok").and_then(JsonValue::as_u64), Some(2));
@@ -159,6 +173,18 @@ mod tests {
         assert!(v
             .get("replacement_lock")
             .and_then(|l| l.get("acquisitions"))
+            .is_some());
+        assert_eq!(
+            v.get("miss_lock")
+                .and_then(|l| l.get("acquisitions"))
+                .and_then(JsonValue::as_u64),
+            Some(10)
+        );
+        let trace = v.get("trace").expect("trace health sub-object");
+        assert!(trace.get("enabled").is_some());
+        assert!(trace
+            .get("dropped_events")
+            .and_then(JsonValue::as_u64)
             .is_some());
     }
 

@@ -12,11 +12,13 @@
 //!   SCAN     (0x03)  start:u64 len:u32
 //!   STATS    (0x04)
 //!   SHUTDOWN (0x05)
+//!   METRICS  (0x06)
 //!
 //! response := u32 len | status:u8 payload
 //!   OK       (0x00)  GET: page bytes; PUT/SHUTDOWN: empty;
 //!                    SCAN: count:u32 checksum:u64 (FNV-1a over contents);
-//!                    STATS: UTF-8 JSON
+//!                    STATS: UTF-8 JSON;
+//!                    METRICS: UTF-8 Prometheus-style text exposition
 //!   BUSY     (0x01)  shed by admission control (queue full)
 //!   DROPPED  (0x02)  deadline exceeded while queued
 //!   ERR      (0x03)  UTF-8 message
@@ -57,6 +59,8 @@ pub enum Request {
     Stats,
     /// Ask the server to stop accepting and drain.
     Shutdown,
+    /// Fetch the server's metrics as Prometheus-style text exposition.
+    Metrics,
 }
 
 /// A server reply.
@@ -90,6 +94,7 @@ const OP_PUT: u8 = 0x02;
 const OP_SCAN: u8 = 0x03;
 const OP_STATS: u8 = 0x04;
 const OP_SHUTDOWN: u8 = 0x05;
+const OP_METRICS: u8 = 0x06;
 
 const ST_OK: u8 = 0x00;
 const ST_BUSY: u8 = 0x01;
@@ -122,6 +127,20 @@ impl Request {
             }
             Request::Stats => vec![OP_STATS],
             Request::Shutdown => vec![OP_SHUTDOWN],
+            Request::Metrics => vec![OP_METRICS],
+        }
+    }
+
+    /// The request's opcode byte (also the first byte of
+    /// [`encode`](Self::encode)'s output).
+    pub fn opcode(&self) -> u8 {
+        match self {
+            Request::Get { .. } => OP_GET,
+            Request::Put { .. } => OP_PUT,
+            Request::Scan { .. } => OP_SCAN,
+            Request::Stats => OP_STATS,
+            Request::Shutdown => OP_SHUTDOWN,
+            Request::Metrics => OP_METRICS,
         }
     }
 
@@ -159,7 +178,8 @@ impl Request {
             }
             OP_STATS if rest.is_empty() => Ok(Request::Stats),
             OP_SHUTDOWN if rest.is_empty() => Ok(Request::Shutdown),
-            OP_STATS | OP_SHUTDOWN => Err(ProtocolError("unexpected payload".into())),
+            OP_METRICS if rest.is_empty() => Ok(Request::Metrics),
+            OP_STATS | OP_SHUTDOWN | OP_METRICS => Err(ProtocolError("unexpected payload".into())),
             other => Err(ProtocolError(format!("unknown opcode 0x{other:02x}"))),
         }
     }
@@ -282,8 +302,10 @@ mod tests {
             Request::Scan { start: 10, len: 4 },
             Request::Stats,
             Request::Shutdown,
+            Request::Metrics,
         ];
         for req in cases {
+            assert_eq!(req.encode()[0], req.opcode());
             assert_eq!(Request::decode(&req.encode()).unwrap(), req);
         }
     }
@@ -309,6 +331,7 @@ mod tests {
         assert!(Request::decode(&[OP_GET, 1, 2]).is_err());
         assert!(Request::decode(&[OP_SCAN, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0]).is_err());
         assert!(Request::decode(&[OP_STATS, 1]).is_err());
+        assert!(Request::decode(&[OP_METRICS, 1]).is_err());
         assert!(Response::decode(&[0xEE]).is_err());
         // SCAN len over the cap.
         let mut b = vec![OP_SCAN];

@@ -8,9 +8,9 @@
 //! sits the admission queue (see [`crate::backpressure`]), which is
 //! where overload policy is applied.
 //!
-//! `STATS` and `SHUTDOWN` are served on the connection thread itself,
-//! bypassing the queue: observability and control must keep working
-//! when the data path is saturated.
+//! `STATS`, `METRICS`, and `SHUTDOWN` are served on the connection
+//! thread itself, bypassing the queue: observability and control must
+//! keep working when the data path is saturated.
 
 use std::io::{self, BufReader, BufWriter, Write as _};
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -211,6 +211,11 @@ impl Server {
         stats_json(&self.shared)
     }
 
+    /// Render the same text a `METRICS` request returns.
+    pub fn metrics_text(&self) -> String {
+        metrics_text(&self.shared)
+    }
+
     /// Has a stop been requested (via [`stop`](Self::stop) or a client
     /// `SHUTDOWN`)?
     pub fn stop_requested(&self) -> bool {
@@ -310,6 +315,11 @@ fn serve_connection(
                 protocol::write_frame(&mut writer, &resp.encode())?;
                 continue;
             }
+            Request::Metrics => {
+                let resp = Response::Ok(metrics_text(shared).into_bytes());
+                protocol::write_frame(&mut writer, &resp.encode())?;
+                continue;
+            }
             Request::Shutdown => {
                 protocol::write_frame(&mut writer, &Response::Ok(Vec::new()).encode())?;
                 writer.flush()?;
@@ -324,6 +334,7 @@ fn serve_connection(
             Request::Scan { .. } => OpKind::Scan,
             _ => unreachable!("handled above"),
         };
+        bpw_trace::instant(bpw_trace::EventKind::ServerEnqueue, req.opcode() as u64);
         let (reply_tx, reply_rx) = channel::bounded(1);
         let resp = match admission.submit(Job {
             req,
@@ -337,6 +348,17 @@ fn serve_connection(
             Admitted::Closed => Response::Err("server is shutting down".into()),
         };
         protocol::write_frame(&mut writer, &resp.encode())?;
+        let status = match &resp {
+            Response::Ok(_) => 0u64,
+            Response::Busy => 1,
+            Response::Dropped => 2,
+            Response::Err(_) => 3,
+        };
+        bpw_trace::span_backdated(
+            bpw_trace::EventKind::ServerReply,
+            admitted.elapsed().as_nanos() as u64,
+            status,
+        );
         match resp {
             Response::Ok(_) => shared.metrics.record_ok(kind, admitted),
             Response::Busy => shared.metrics.busy.incr(),
@@ -352,10 +374,13 @@ fn worker_loop(shared: &Shared, work: &WorkQueue<Job>) {
     loop {
         match work.pop(Duration::from_millis(50)) {
             Popped::Item(job) => {
-                shared
-                    .metrics
-                    .queue_wait_ns
-                    .record(job.admitted.elapsed().as_nanos() as u64);
+                let waited_ns = job.admitted.elapsed().as_nanos() as u64;
+                shared.metrics.queue_wait_ns.record(waited_ns);
+                bpw_trace::span_backdated(
+                    bpw_trace::EventKind::ServerDequeue,
+                    waited_ns,
+                    job.req.opcode() as u64,
+                );
                 let resp = execute(&mut session, shared, &job.req);
                 let _ = job.reply.send(resp);
             }
@@ -418,7 +443,7 @@ fn execute(
             payload.extend_from_slice(&checksum.to_le_bytes());
             Response::Ok(payload)
         }
-        Request::Stats | Request::Shutdown => {
+        Request::Stats | Request::Shutdown | Request::Metrics => {
             Response::Err("control requests are not executed by workers".into())
         }
     }
@@ -432,7 +457,83 @@ fn stats_json(shared: &Shared) -> String {
         writebacks: stats.writebacks.load(Ordering::Relaxed),
     };
     let lock = shared.pool.manager().lock_snapshot();
-    shared.metrics.to_json(&pool, &lock, shared.depth.get())
+    let miss_lock = shared.pool.miss_lock_snapshot();
+    shared
+        .metrics
+        .to_json(&pool, &lock, &miss_lock, shared.depth.get())
+}
+
+/// Prometheus-style text exposition: the METRICS reply. Same sources
+/// as `stats_json`, plus the trace collector's own health counters.
+fn metrics_text(shared: &Shared) -> String {
+    let m = &shared.metrics;
+    let stats = shared.pool.stats();
+    let mut w = bpw_trace::PromWriter::new();
+    w.labeled_counter(
+        "bpw_requests_total",
+        "Requests by reply status.",
+        "status",
+        &[
+            ("ok", m.ok.get()),
+            ("busy", m.busy.get()),
+            ("dropped", m.dropped.get()),
+            ("error", m.errors.get()),
+        ],
+    )
+    .gauge(
+        "bpw_queue_depth_peak",
+        "Admission-queue depth high-water mark.",
+        shared.depth.get() as f64,
+    )
+    .histogram("bpw_get_latency_ns", "End-to-end GET latency.", &m.get_ns)
+    .histogram("bpw_put_latency_ns", "End-to-end PUT latency.", &m.put_ns)
+    .histogram(
+        "bpw_scan_latency_ns",
+        "End-to-end SCAN latency.",
+        &m.scan_ns,
+    )
+    .histogram(
+        "bpw_queue_wait_ns",
+        "Time queued before a worker picked the request up.",
+        &m.queue_wait_ns,
+    )
+    .counter(
+        "bpw_pool_hits_total",
+        "Fetches served from the buffer.",
+        stats.hits.load(Ordering::Relaxed),
+    )
+    .counter(
+        "bpw_pool_misses_total",
+        "Fetches that read storage.",
+        stats.misses.load(Ordering::Relaxed),
+    )
+    .counter(
+        "bpw_pool_writebacks_total",
+        "Dirty victims written back.",
+        stats.writebacks.load(Ordering::Relaxed),
+    )
+    .lock_snapshot(
+        "bpw_lock",
+        "replacement",
+        &shared.pool.manager().lock_snapshot(),
+    )
+    .lock_snapshot("bpw_lock", "miss", &shared.pool.miss_lock_snapshot())
+    .gauge(
+        "bpw_trace_enabled",
+        "1 when event tracing is recording.",
+        bpw_trace::enabled() as u64 as f64,
+    )
+    .counter(
+        "bpw_trace_dropped_events_total",
+        "Trace events lost to ring overflow.",
+        bpw_trace::dropped(),
+    )
+    .gauge(
+        "bpw_trace_threads",
+        "Threads that have recorded at least one trace event.",
+        bpw_trace::thread_count() as f64,
+    );
+    w.finish()
 }
 
 #[cfg(test)]

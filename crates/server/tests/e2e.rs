@@ -329,3 +329,67 @@ fn workload_pages_fit_the_server_universe() {
         assert!(stream.next_page() < PAGES);
     }
 }
+
+/// METRICS returns a well-formed Prometheus-style exposition covering
+/// request counters, both instrumented locks, and the trace collector's
+/// health; STATS carries the matching JSON sub-objects.
+#[test]
+fn metrics_exposition_and_enriched_stats() {
+    let server = test_server(AdmissionPolicy::Block, "wrapped-2q", 64);
+    let mut client = Client::connect(server.addr()).expect("connect");
+    for page in 0..64u64 {
+        assert!(matches!(client.get(page).unwrap(), Response::Ok(_)));
+    }
+
+    let text = client.metrics().expect("METRICS reply");
+    let samples = bpw_trace::validate_exposition(&text).expect("well-formed exposition");
+    assert!(samples >= 20, "only {samples} samples:\n{text}");
+    assert!(text.contains("bpw_requests_total{status=\"ok\"}"));
+    assert!(text.contains("bpw_get_latency_ns_count"));
+    assert!(text.contains("bpw_lock_acquisitions_total{lock=\"replacement\"}"));
+    assert!(text.contains("bpw_lock_acquisitions_total{lock=\"miss\"}"));
+    assert!(text.contains("bpw_trace_dropped_events_total"));
+
+    let stats = client.stats().expect("STATS reply");
+    let v = JsonValue::parse(&stats).expect("STATS JSON");
+    assert!(
+        v.get("miss_lock")
+            .and_then(|l| l.get("acquisitions"))
+            .and_then(JsonValue::as_u64)
+            .is_some_and(|a| a >= 1),
+        "64 cold fetches must acquire the miss lock: {stats}"
+    );
+    assert!(v.get("trace").and_then(|t| t.get("enabled")).is_some());
+
+    drop(client);
+    server.join();
+}
+
+/// With tracing enabled, a served request leaves enqueue/dequeue/reply
+/// events in the collector.
+#[test]
+fn traced_requests_leave_server_events() {
+    use bpw_trace::EventKind;
+
+    let server = test_server(AdmissionPolicy::Block, "wrapped-2q", 64);
+    let mut client = Client::connect(server.addr()).expect("connect");
+    bpw_trace::set_enabled(true);
+    for page in 0..32u64 {
+        assert!(matches!(client.get(page).unwrap(), Response::Ok(_)));
+    }
+    bpw_trace::set_enabled(false);
+    let events = bpw_trace::drain();
+    for kind in [
+        EventKind::ServerEnqueue,
+        EventKind::ServerDequeue,
+        EventKind::ServerReply,
+    ] {
+        assert!(
+            events.iter().any(|e| e.kind == kind),
+            "no {kind:?} event among {} drained",
+            events.len()
+        );
+    }
+    drop(client);
+    server.join();
+}

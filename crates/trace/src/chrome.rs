@@ -1,0 +1,132 @@
+//! Chrome trace-event JSON export.
+//!
+//! Produces the "JSON object format" of the Trace Event spec — a
+//! `traceEvents` array of complete (`ph:"X"`) and instant (`ph:"i"`)
+//! events — loadable in Perfetto (ui.perfetto.dev) or
+//! `chrome://tracing`. Timestamps are microseconds as doubles, the
+//! spec's unit; sub-microsecond detail survives in the fraction.
+
+use std::io;
+use std::path::Path;
+
+use bpw_metrics::json::{escape_str_into, JsonObject};
+
+use crate::event::TraceEvent;
+
+/// Render one event as a Chrome trace-event object.
+fn event_json(e: &TraceEvent) -> String {
+    let mut o = JsonObject::new();
+    o.field_str("name", e.kind.name())
+        .field_str("cat", "bpw")
+        .field_str("ph", if e.kind.is_span() { "X" } else { "i" })
+        .field_f64("ts", e.start_ns as f64 / 1_000.0)
+        .field_u64("pid", 1)
+        .field_u64("tid", e.tid as u64);
+    if e.kind.is_span() {
+        o.field_f64("dur", e.dur_ns as f64 / 1_000.0);
+    } else {
+        // Thread-scoped instant marker.
+        o.field_str("s", "t");
+    }
+    let mut args = JsonObject::new();
+    args.field_u64(e.kind.arg_name(), e.arg);
+    o.field_raw("args", &args.finish());
+    o.finish()
+}
+
+/// Render `events` as a complete Chrome trace JSON document.
+pub fn chrome_trace_json(events: &[TraceEvent]) -> String {
+    let mut buf = String::with_capacity(events.len() * 120 + 64);
+    buf.push_str("{\"traceEvents\":[");
+    for (i, e) in events.iter().enumerate() {
+        if i > 0 {
+            buf.push(',');
+        }
+        buf.push_str(&event_json(e));
+    }
+    buf.push_str("],\"displayTimeUnit\":\"ns\",\"otherData\":{\"source\":");
+    escape_str_into(&mut buf, "bpw-trace");
+    buf.push_str("}}");
+    buf
+}
+
+/// Write `events` as Chrome trace JSON to `path`, creating parent
+/// directories as needed.
+pub fn write_chrome_trace(path: impl AsRef<Path>, events: &[TraceEvent]) -> io::Result<()> {
+    let path = path.as_ref();
+    if let Some(dir) = path.parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir)?;
+        }
+    }
+    std::fs::write(path, chrome_trace_json(events))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::EventKind;
+    use bpw_metrics::JsonValue;
+
+    fn sample() -> Vec<TraceEvent> {
+        vec![
+            TraceEvent {
+                kind: EventKind::LockHold,
+                tid: 0,
+                start_ns: 1_500,
+                dur_ns: 700,
+                arg: 32,
+            },
+            TraceEvent {
+                kind: EventKind::Eviction,
+                tid: 1,
+                start_ns: 2_000,
+                dur_ns: 0,
+                arg: 42,
+            },
+        ]
+    }
+
+    #[test]
+    fn trace_json_parses_and_has_spec_fields() {
+        let text = chrome_trace_json(&sample());
+        let v = JsonValue::parse(&text).expect("chrome trace must be valid JSON");
+        let JsonValue::Arr(events) = v.get("traceEvents").expect("traceEvents") else {
+            panic!("traceEvents must be an array");
+        };
+        assert_eq!(events.len(), 2);
+
+        let span = &events[0];
+        assert_eq!(span.get("name").unwrap().as_str(), Some("lock_hold"));
+        assert_eq!(span.get("ph").unwrap().as_str(), Some("X"));
+        assert_eq!(span.get("ts").unwrap().as_f64(), Some(1.5));
+        assert_eq!(span.get("dur").unwrap().as_f64(), Some(0.7));
+        assert_eq!(
+            span.get("args")
+                .unwrap()
+                .get("accesses_covered")
+                .unwrap()
+                .as_u64(),
+            Some(32)
+        );
+
+        let inst = &events[1];
+        assert_eq!(inst.get("ph").unwrap().as_str(), Some("i"));
+        assert_eq!(inst.get("s").unwrap().as_str(), Some("t"));
+        assert!(inst.get("dur").is_none(), "instants carry no dur");
+        assert_eq!(
+            inst.get("args")
+                .unwrap()
+                .get("victim_page")
+                .unwrap()
+                .as_u64(),
+            Some(42)
+        );
+    }
+
+    #[test]
+    fn empty_trace_is_still_valid() {
+        let v = JsonValue::parse(&chrome_trace_json(&[])).unwrap();
+        assert_eq!(v.get("traceEvents"), Some(&JsonValue::Arr(vec![])));
+    }
+}
