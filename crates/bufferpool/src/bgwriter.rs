@@ -33,23 +33,50 @@ impl<M: ReplacementManager> BufferPool<M> {
     }
 
     /// Attempt to clean frame `f`. See `flush_dirty_pages`.
+    ///
+    /// The content is copied under the frame's data latch and the latch
+    /// released *before* the WAL commit and device write, so writers to
+    /// the page are never blocked for the flush+write latency. A pin is
+    /// held across the I/O so the frame cannot be evicted meanwhile (a
+    /// concurrent eviction's write-back of newer bytes could otherwise
+    /// be clobbered by this copy landing late); readers and writers pin
+    /// concurrently as usual, and a racing write re-dirties the frame so
+    /// nothing is lost.
     fn clean_one(&self, f: FrameId) -> bool {
         // Lock order everywhere: data latch before descriptor latch.
-        let data = self.data_lock(f);
+        let copy;
         let (page, lsn) = {
+            let data = self.data_lock(f);
             let mut s = self.desc(f).lock();
             if !(s.valid && s.dirty && !s.io_in_progress) {
                 return false;
             }
             s.dirty = false; // a racing write re-dirties after us: no loss
+            s.pins += 1; // hold the frame against eviction across the I/O
+            copy = data.clone();
             (s.tag, s.lsn)
-        };
-        if let (Some(wal), true) = (self.wal(), lsn > 0) {
-            wal.commit(lsn); // WAL-before-data
+        }; // both latches released; I/O proceeds on the copy
+        let result = self.io_with_retries(page, || {
+            if let (Some(wal), true) = (self.wal(), lsn > 0) {
+                wal.commit(lsn)?; // WAL-before-data
+            }
+            self.storage().write_page(page, &copy)
+        });
+        let mut s = self.desc(f).lock();
+        s.pins -= 1;
+        match result {
+            Ok(()) => {
+                self.stats().writebacks.fetch_add(1, Ordering::Relaxed);
+                true
+            }
+            Err(_) => {
+                // Put the dirt back so a later pass (or eviction-time
+                // write-back) retries; the bytes are still in the frame.
+                s.dirty = true;
+                s.lsn = s.lsn.max(lsn);
+                false
+            }
         }
-        self.storage().write_page(page, &data);
-        self.stats().writebacks.fetch_add(1, Ordering::Relaxed);
-        true
     }
 }
 
@@ -123,7 +150,7 @@ mod tests {
         let p = pool(8);
         let mut s = p.session();
         for page in 0..4u64 {
-            s.fetch(page).write(|d| d[10] = page as u8 + 1);
+            s.fetch(page).unwrap().write(|d| d[10] = page as u8 + 1);
         }
         assert_eq!(p.flush_dirty_pages(2), 2, "bounded batch");
         assert_eq!(p.flush_dirty_pages(usize::MAX), 2, "rest cleaned");
@@ -135,13 +162,13 @@ mod tests {
     fn cleaned_evictions_need_no_writeback() {
         let p = pool(2);
         let mut s = p.session();
-        s.fetch(1).write(|d| d[10] = 1);
-        s.fetch(2).write(|d| d[10] = 2);
+        s.fetch(1).unwrap().write(|d| d[10] = 1);
+        s.fetch(2).unwrap().write(|d| d[10] = 2);
         p.flush_dirty_pages(usize::MAX);
         let writes_before = p.storage().writes();
         // Evict both: no further write-backs needed.
-        drop(s.fetch(3));
-        drop(s.fetch(4));
+        drop(s.fetch(3).unwrap());
+        drop(s.fetch(4).unwrap());
         assert_eq!(
             p.storage().writes(),
             writes_before,
@@ -153,10 +180,10 @@ mod tests {
     fn redirty_during_clean_is_not_lost() {
         let p = pool(2);
         let mut s = p.session();
-        s.fetch(1).write(|d| d[10] = 1);
+        s.fetch(1).unwrap().write(|d| d[10] = 1);
         p.flush_dirty_pages(usize::MAX);
         // Dirty again; the flag must be back.
-        s.fetch(1).write(|d| d[10] = 2);
+        s.fetch(1).unwrap().write(|d| d[10] = 2);
         assert_eq!(
             p.flush_dirty_pages(usize::MAX),
             1,
@@ -164,7 +191,69 @@ mod tests {
         );
         // Verify the latest version is what storage holds.
         let mut buf = vec![0u8; 64];
-        p.storage().read_page(1, &mut buf);
+        p.storage().read_page(1, &mut buf).unwrap();
+        assert_eq!(buf[10], 2);
+    }
+
+    #[test]
+    fn failed_clean_redirties_the_frame() {
+        use crate::pool::RetryPolicy;
+        use crate::storage::{FaultPlan, FaultyDisk, Storage};
+        let disk = Arc::new(FaultyDisk::new(
+            Arc::new(SimDisk::instant()),
+            FaultPlan::default(),
+        ));
+        let p = BufferPool::new(
+            4,
+            64,
+            CoarseManager::new(TwoQ::new(4)),
+            Arc::clone(&disk) as Arc<dyn Storage>,
+        )
+        .with_retry_policy(RetryPolicy::none());
+        let mut s = p.session();
+        s.fetch(1).unwrap().write(|d| d[10] = 0x11);
+        disk.break_page_writes(1);
+        assert_eq!(p.flush_dirty_pages(usize::MAX), 0, "clean must fail");
+        assert_eq!(p.stats().io_errors.load(Ordering::Relaxed), 1);
+        assert!(p.desc(0).snapshot().dirty, "frame must be re-dirtied");
+        assert_eq!(p.desc(0).snapshot().pins, 0, "bgwriter pin released");
+        // Device heals: the same dirt cleans on the next pass.
+        disk.clear_faults();
+        assert_eq!(p.flush_dirty_pages(usize::MAX), 1);
+        let mut buf = vec![0u8; 64];
+        p.storage().read_page(1, &mut buf).unwrap();
+        assert_eq!(buf[10], 0x11, "the write eventually lands");
+    }
+
+    #[test]
+    fn writers_not_blocked_during_clean_io() {
+        // The satellite fix: a slow device write must not hold the data
+        // latch — a writer to the same page proceeds while the bgwriter
+        // flushes its copy.
+        let disk = Arc::new(SimDisk::new(Duration::ZERO, Duration::from_millis(30)));
+        let p = BufferPool::new(2, 64, CoarseManager::new(TwoQ::new(2)), disk);
+        let mut s = p.session();
+        s.fetch(1).unwrap().write(|d| d[10] = 1);
+        std::thread::scope(|sc| {
+            let p = &p;
+            let t = sc.spawn(move || p.flush_dirty_pages(usize::MAX));
+            // Give the bgwriter time to take its copy and start the
+            // 30 ms device write.
+            std::thread::sleep(Duration::from_millis(5));
+            let t0 = std::time::Instant::now();
+            let mut s2 = p.session();
+            s2.fetch(1).unwrap().write(|d| d[10] = 2);
+            assert!(
+                t0.elapsed() < Duration::from_millis(20),
+                "writer blocked for the device write: {:?}",
+                t0.elapsed()
+            );
+            t.join().unwrap();
+        });
+        // The racing write re-dirtied the frame; nothing lost.
+        assert_eq!(p.flush_dirty_pages(usize::MAX), 1);
+        let mut buf = vec![0u8; 64];
+        p.storage().read_page(1, &mut buf).unwrap();
         assert_eq!(buf[10], 2);
     }
 
@@ -177,7 +266,7 @@ mod tests {
             sc.spawn(move || {
                 let mut s = p.session();
                 for page in 0..500u64 {
-                    s.fetch(page % 64).write(|d| d[12] = (page % 251) as u8);
+                    s.fetch(page % 64).unwrap().write(|d| d[12] = (page % 251) as u8);
                 }
             });
         });

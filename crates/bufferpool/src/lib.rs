@@ -20,7 +20,7 @@
 //!     Arc::new(SimDisk::instant()),
 //! );
 //! let mut session = pool.session();
-//! let page = session.fetch(42);
+//! let page = session.fetch(42).expect("storage I/O failed");
 //! page.read(|bytes| assert_eq!(bytes.len(), 8192));
 //! ```
 
@@ -38,6 +38,6 @@ pub use managers::{
     ClockManager, CoarseManager, ManagerHandle, ReplacementManager, WrappedManager,
 };
 pub use page_table::PageTable;
-pub use pool::{BufferPool, PinnedPage, PoolSession, PoolStats};
-pub use storage::{SimDisk, Storage};
+pub use pool::{BufferPool, PinnedPage, PoolSession, PoolStats, RetryPolicy};
+pub use storage::{FaultPlan, FaultyDisk, SimDisk, Storage};
 pub use wal::{Lsn, Wal};

@@ -3,8 +3,10 @@
 //! paper — concurrent hash-table lookup, per-frame pinning, and
 //! replacement bookkeeping routed through a [`ReplacementManager`].
 
+use std::io;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::Duration;
 
 use bpw_core::InstrumentedLock;
 use bpw_metrics::{LockSnapshot, LockStats};
@@ -26,6 +28,46 @@ pub struct PoolStats {
     pub misses: AtomicU64,
     /// Dirty victims written back.
     pub writebacks: AtomicU64,
+    /// Storage operations retried after a transient fault.
+    pub io_retries: AtomicU64,
+    /// Storage operations that failed after exhausting their retry
+    /// budget (each surfaced an error to the caller or re-dirtied the
+    /// frame; none wedged a frame).
+    pub io_errors: AtomicU64,
+}
+
+/// How the pool retries failed storage operations before giving up:
+/// bounded attempts with exponential backoff, the standard treatment
+/// for transient device faults.
+#[derive(Debug, Clone, Copy)]
+pub struct RetryPolicy {
+    /// Retries after the first failure (0 = fail immediately).
+    pub max_retries: u32,
+    /// Sleep before retry `k` is `base_backoff * 2^k`.
+    pub base_backoff: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_retries: 3,
+            base_backoff: Duration::from_micros(50),
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// No retries: every fault surfaces immediately (tests).
+    pub fn none() -> Self {
+        RetryPolicy {
+            max_retries: 0,
+            base_backoff: Duration::ZERO,
+        }
+    }
+
+    fn backoff(&self, attempt: u32) -> Duration {
+        self.base_backoff.saturating_mul(1u32 << attempt.min(10))
+    }
 }
 
 impl PoolStats {
@@ -56,6 +98,7 @@ pub struct BufferPool<M: ReplacementManager> {
     wal: Option<Arc<Wal>>,
     stats: PoolStats,
     page_size: usize,
+    retry: RetryPolicy,
 }
 
 impl<M: ReplacementManager> BufferPool<M> {
@@ -75,7 +118,19 @@ impl<M: ReplacementManager> BufferPool<M> {
             wal: None,
             stats: PoolStats::default(),
             page_size,
+            retry: RetryPolicy::default(),
         }
+    }
+
+    /// Set the storage retry policy (builder style).
+    pub fn with_retry_policy(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
+        self
+    }
+
+    /// The storage retry policy in effect.
+    pub fn retry_policy(&self) -> RetryPolicy {
+        self.retry
     }
 
     /// Attach a write-ahead log: page writes append records and dirty
@@ -92,10 +147,14 @@ impl<M: ReplacementManager> BufferPool<M> {
 
     /// Commit everything logged so far (transaction boundary): group
     /// commit makes the log durable up to the current append point.
-    pub fn commit_transaction(&self) {
-        if let Some(wal) = &self.wal {
-            wal.commit(wal.append_lsn());
-        }
+    /// An `Err` means the log device failed after retries; nothing was
+    /// lost (the records stay buffered) and the commit may be retried.
+    pub fn commit_transaction(&self) -> io::Result<()> {
+        let Some(wal) = &self.wal else {
+            return Ok(());
+        };
+        let lsn = wal.append_lsn();
+        self.io_with_retries(0, || wal.commit(lsn))
     }
 
     /// Number of frames.
@@ -171,14 +230,76 @@ impl<M: ReplacementManager> BufferPool<M> {
     /// Crash recovery: redo every durable WAL record into `storage`
     /// (later records overwrite earlier ones, so the final state is the
     /// last committed version of each page). Run against a *fresh* pool's
-    /// storage after a crash that lost dirty buffers.
-    pub fn replay_wal_into_storage(wal: &Wal, storage: &dyn Storage) {
+    /// storage after a crash that lost dirty buffers. Returns the first
+    /// storage error, if any (recovery should be restarted on a healthy
+    /// device; redo is idempotent).
+    pub fn replay_wal_into_storage(wal: &Wal, storage: &dyn Storage) -> io::Result<()> {
+        let mut first_err = None;
         wal.replay(|payload| {
-            if payload.len() >= 8 {
+            if first_err.is_none() && payload.len() >= 8 {
                 let page = PageId::from_le_bytes(payload[..8].try_into().expect("8 bytes"));
-                storage.write_page(page, &payload[8..]);
+                if let Err(e) = storage.write_page(page, &payload[8..]) {
+                    first_err = Some(e);
+                }
             }
         });
+        match first_err {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
+    }
+
+    /// Run `op` with bounded retries and exponential backoff per the
+    /// pool's [`RetryPolicy`]. Emits an `IoRetry` trace event per retry
+    /// and an `IoError` (plus the `io_errors` counter) on exhaustion.
+    pub(crate) fn io_with_retries(
+        &self,
+        page: PageId,
+        mut op: impl FnMut() -> io::Result<()>,
+    ) -> io::Result<()> {
+        let mut attempt = 0u32;
+        loop {
+            match op() {
+                Ok(()) => return Ok(()),
+                Err(e) => {
+                    if attempt >= self.retry.max_retries {
+                        self.stats.io_errors.fetch_add(1, Ordering::Relaxed);
+                        bpw_trace::instant(bpw_trace::EventKind::IoError, page);
+                        return Err(e);
+                    }
+                    self.stats.io_retries.fetch_add(1, Ordering::Relaxed);
+                    bpw_trace::instant(bpw_trace::EventKind::IoRetry, page);
+                    let backoff = self.retry.backoff(attempt);
+                    if !backoff.is_zero() {
+                        std::thread::sleep(backoff);
+                    }
+                    attempt += 1;
+                }
+            }
+        }
+    }
+
+    /// Undo a failed miss: the frame was claimed for `page` (tagged,
+    /// pinned once, `io_in_progress`) but the I/O never completed. Put
+    /// everything back the way it was — mapping removed, replacement
+    /// state forgotten, frame on the free list — so no frame is ever
+    /// wedged and a later fetch of `page` starts from scratch.
+    fn repair_failed_frame(&self, page: PageId, frame: FrameId) {
+        let _g = self.miss_lock.lock();
+        {
+            let mut s = self.descs[frame as usize].lock();
+            debug_assert!(s.io_in_progress, "repair of a frame not in I/O");
+            debug_assert_eq!(s.tag, page, "repair of a re-tagged frame");
+            debug_assert_eq!(s.pins, 1, "only the failed fetch may hold a pin");
+            s.valid = false;
+            s.dirty = false;
+            s.io_in_progress = false;
+            s.pins = 0; // the caller gets an error, not a guard
+            s.lsn = 0;
+        }
+        self.table.remove(page);
+        self.manager.invalidate(frame);
+        self.free.lock().push(frame);
     }
 
     /// Number of valid resident pages (O(frames); tests).
@@ -201,46 +322,49 @@ pub struct PoolSession<'p, M: ReplacementManager> {
 
 impl<'p, M: ReplacementManager> PoolSession<'p, M> {
     /// Fetch `page`, pinning it in the buffer. Blocks on storage I/O for
-    /// a miss. Returns a guard that unpins on drop.
-    pub fn fetch(&mut self, page: PageId) -> PinnedPage<'p, M> {
+    /// a miss. Returns a guard that unpins on drop, or the storage error
+    /// once the miss path has exhausted its retry budget — in which case
+    /// the claimed frame has been fully repaired (unpinned, unmapped,
+    /// returned to the free list) and the fetch may simply be retried.
+    pub fn fetch(&mut self, page: PageId) -> io::Result<PinnedPage<'p, M>> {
         loop {
             // Fast path: concurrent hash lookup + pin.
             if let Some(frame) = self.pool.table.get(page) {
                 if self.pool.descs[frame as usize].try_pin(page) {
                     self.pool.stats.hits.fetch_add(1, Ordering::Relaxed);
                     self.handle.on_hit(page, frame);
-                    return PinnedPage {
+                    return Ok(PinnedPage {
                         pool: self.pool,
                         frame,
                         page,
-                    };
+                    });
                 }
                 // Mapping present but unpinnable: I/O in progress or a
-                // stale mapping mid-eviction. Yield and retry.
+                // stale mapping mid-eviction. Yield and retry. (A failed
+                // I/O removes the mapping, so this cannot spin forever.)
                 std::thread::yield_now();
                 continue;
             }
             // Miss path.
-            if let Some(pinned) = self.fetch_miss(page) {
-                return pinned;
+            if let Some(pinned) = self.fetch_miss(page)? {
+                return Ok(pinned);
             }
             std::thread::yield_now();
         }
     }
 
-    /// Slow path. Returns `None` when the state changed underfoot (the
-    /// caller retries).
-    fn fetch_miss(&mut self, page: PageId) -> Option<PinnedPage<'p, M>> {
+    /// Slow path. Returns `Ok(None)` when the state changed underfoot
+    /// (the caller retries), `Err` when storage failed after retries.
+    fn fetch_miss(&mut self, page: PageId) -> io::Result<Option<PinnedPage<'p, M>>> {
         let pool = self.pool;
         let mut guard = pool.miss_lock.lock();
         // Re-check: another thread may have loaded the page while we
         // waited for the miss lock.
         if pool.table.get(page).is_some() {
             drop(guard);
-            return None; // retry via the hit path
+            return Ok(None); // retry via the hit path
         }
         guard.cover_accesses(1);
-        pool.stats.misses.fetch_add(1, Ordering::Relaxed);
         let free = pool.free.lock().pop();
         // Victim filter: pinned or in-I/O frames are rejected; the
         // accepted frame is atomically invalidated under its latch so no
@@ -261,9 +385,11 @@ impl<'p, M: ReplacementManager> PoolSession<'p, M> {
             MissOutcome::NoEvictableFrame => {
                 // Everything pinned: put the free frame back (none was
                 // consumed — on_miss only returns NoEvictableFrame when
-                // free was None) and let the caller retry.
+                // free was None) and let the caller retry. No miss is
+                // counted: the logical miss has not completed, and a
+                // retry would otherwise double-count it.
                 debug_assert!(free.is_none());
-                return None;
+                return Ok(None);
             }
         };
         // Claim the frame for the new page, marked in-I/O.
@@ -292,23 +418,36 @@ impl<'p, M: ReplacementManager> PoolSession<'p, M> {
         // I/O happens outside the miss lock: other misses proceed.
         drop(guard);
         let io_span = bpw_trace::span_start();
-        {
+        let io_result = (|| -> io::Result<()> {
             let mut data = pool.data[frame as usize].lock();
             if was_dirty {
                 let v = victim.expect("dirty implies eviction");
-                // WAL-before-data: the log covering this page must be
-                // durable before its new version reaches storage.
-                if let (Some(wal), true) = (&pool.wal, victim_lsn > 0) {
-                    wal.commit(victim_lsn);
-                }
-                pool.storage.write_page(v, &data);
+                pool.io_with_retries(v, || {
+                    // WAL-before-data: the log covering this page must
+                    // be durable before its new version reaches storage.
+                    if let (Some(wal), true) = (&pool.wal, victim_lsn > 0) {
+                        wal.commit(victim_lsn)?;
+                    }
+                    pool.storage.write_page(v, &data)
+                })?;
                 pool.stats.writebacks.fetch_add(1, Ordering::Relaxed);
             }
-            pool.storage.read_page(page, &mut data);
+            let buf = &mut **data;
+            pool.io_with_retries(page, || pool.storage.read_page(page, &mut *buf))
+        })();
+        if let Err(e) = io_result {
+            // The dirty victim's latest bytes may be lost here (its
+            // committed WAL records still cover it when a log is
+            // attached); what must never happen is a wedged frame.
+            pool.repair_failed_frame(page, frame);
+            return Err(e);
         }
         pool.descs[frame as usize].lock().io_in_progress = false;
+        // Count the miss only now that it has completed: a retry after
+        // NoEvictableFrame or an I/O failure must not count twice.
+        pool.stats.misses.fetch_add(1, Ordering::Relaxed);
         bpw_trace::span_end(bpw_trace::EventKind::MissIo, io_span, page);
-        Some(PinnedPage { pool, frame, page })
+        Ok(Some(PinnedPage { pool, frame, page }))
     }
 
     /// Commit any deferred replacement bookkeeping (BP-Wrapper queue).
@@ -370,6 +509,15 @@ impl<'p, M: ReplacementManager> PinnedPage<'p, M> {
     }
 }
 
+impl<'p, M: ReplacementManager> std::fmt::Debug for PinnedPage<'p, M> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PinnedPage")
+            .field("page", &self.page)
+            .field("frame", &self.frame)
+            .finish()
+    }
+}
+
 impl<'p, M: ReplacementManager> Drop for PinnedPage<'p, M> {
     fn drop(&mut self) {
         self.pool.descs[self.frame as usize].unpin();
@@ -397,13 +545,13 @@ mod tests {
     fn fetch_reads_correct_content() {
         let pool = pool_2q(4);
         let mut s = pool.session();
-        let p = s.fetch(42);
+        let p = s.fetch(42).unwrap();
         p.read(|data| {
             assert_eq!(u64::from_le_bytes(data[..8].try_into().unwrap()), 42);
         });
         drop(p);
         assert_eq!(pool.stats().misses.load(Ordering::Relaxed), 1);
-        let p = s.fetch(42);
+        let p = s.fetch(42).unwrap();
         drop(p);
         assert_eq!(pool.stats().hits.load(Ordering::Relaxed), 1);
         assert_eq!(pool.storage().reads(), 1, "second fetch must not hit disk");
@@ -414,11 +562,11 @@ mod tests {
         let pool = pool_2q(2);
         let mut s = pool.session();
         for p in [1u64, 2, 3] {
-            drop(s.fetch(p));
+            drop(s.fetch(p).unwrap());
         }
         // One of 1, 2 was evicted; fetch both again -> at least one miss.
-        drop(s.fetch(1));
-        drop(s.fetch(2));
+        drop(s.fetch(1).unwrap());
+        drop(s.fetch(2).unwrap());
         let st = pool.stats();
         assert!(st.misses.load(Ordering::Relaxed) >= 4);
         assert_eq!(pool.resident_count(), 2);
@@ -428,10 +576,10 @@ mod tests {
     fn pinned_pages_are_never_evicted() {
         let pool = pool_2q(2);
         let mut s = pool.session();
-        let held = s.fetch(1); // stays pinned
-        drop(s.fetch(2));
+        let held = s.fetch(1).unwrap(); // stays pinned
+        drop(s.fetch(2).unwrap());
         for p in 10..20u64 {
-            drop(s.fetch(p)); // must always evict the *other* frame
+            drop(s.fetch(p).unwrap()); // must always evict the *other* frame
         }
         held.read(|data| {
             assert_eq!(u64::from_le_bytes(data[..8].try_into().unwrap()), 1);
@@ -443,11 +591,11 @@ mod tests {
     fn dirty_pages_written_back() {
         let pool = pool_2q(2);
         let mut s = pool.session();
-        let p = s.fetch(1);
+        let p = s.fetch(1).unwrap();
         p.write(|data| data[9] = 0xAB);
         drop(p);
         for q in [2u64, 3, 4] {
-            drop(s.fetch(q)); // force eviction of page 1
+            drop(s.fetch(q).unwrap()); // force eviction of page 1
         }
         assert!(
             pool.storage().writes() >= 1,
@@ -460,12 +608,12 @@ mod tests {
     fn invalidate_frees_frame() {
         let pool = pool_2q(2);
         let mut s = pool.session();
-        drop(s.fetch(1));
-        drop(s.fetch(2));
+        drop(s.fetch(1).unwrap());
+        drop(s.fetch(2).unwrap());
         assert!(pool.invalidate(1));
         assert!(!pool.invalidate(1));
         assert_eq!(pool.resident_count(), 1);
-        drop(s.fetch(3)); // takes the freed frame, no eviction
+        drop(s.fetch(3).unwrap()); // takes the freed frame, no eviction
         assert_eq!(pool.resident_count(), 2);
     }
 
@@ -493,7 +641,7 @@ mod tests {
                         x ^= x >> 7;
                         x ^= x << 17;
                         let page = x % 64; // 2x the pool size
-                        let p = s.fetch(page);
+                        let p = s.fetch(page).unwrap();
                         p.read(|data| {
                             assert_eq!(
                                 u64::from_le_bytes(data[..8].try_into().unwrap()),
@@ -531,7 +679,7 @@ mod tests {
                     let mut s = pool.session();
                     for i in 0..2000u64 {
                         let page = (i * (t + 1)) % 40;
-                        let p = s.fetch(page);
+                        let p = s.fetch(page).unwrap();
                         p.read(|data| {
                             assert_eq!(u64::from_le_bytes(data[..8].try_into().unwrap()), page);
                         });
@@ -548,14 +696,14 @@ mod tests {
         // write-back + SimDisk retention must round-trip the bytes.
         let pool = pool_2q(2);
         let mut s = pool.session();
-        let p = s.fetch(1);
+        let p = s.fetch(1).unwrap();
         p.write(|data| data[20] = 0xC4);
         drop(p);
         for q in 10..20u64 {
-            drop(s.fetch(q));
+            drop(s.fetch(q).unwrap());
         }
         assert!(pool.table.get(1).is_none() || pool.descs.len() == 2);
-        let p = s.fetch(1);
+        let p = s.fetch(1).unwrap();
         p.read(|data| assert_eq!(data[20], 0xC4, "write lost through eviction"));
     }
 
@@ -570,7 +718,7 @@ mod tests {
         )
         .with_wal(Arc::clone(&wal));
         let mut s = pool.session();
-        let p = s.fetch(1);
+        let p = s.fetch(1).unwrap();
         p.write(|data| data[9] = 0x55);
         drop(p);
         let logged = wal.append_lsn();
@@ -578,7 +726,7 @@ mod tests {
         assert_eq!(wal.flushed_lsn(), 0, "nothing committed yet");
         // Evict page 1: the write-back must first force the WAL.
         for q in [2u64, 3, 4] {
-            drop(s.fetch(q));
+            drop(s.fetch(q).unwrap());
         }
         assert!(pool.storage().writes() >= 1, "dirty page written back");
         assert!(
@@ -603,15 +751,15 @@ mod tests {
             )
             .with_wal(Arc::clone(&wal));
             let mut s = pool.session();
-            let p = s.fetch(5);
+            let p = s.fetch(5).unwrap();
             p.write(|data| data[16] = 0xAA);
             drop(p);
-            let p = s.fetch(6);
+            let p = s.fetch(6).unwrap();
             p.write(|data| data[17] = 0xBB);
             drop(p);
-            pool.commit_transaction();
+            pool.commit_transaction().unwrap();
             // Uncommitted write: must NOT survive the crash.
-            let p = s.fetch(7);
+            let p = s.fetch(7).unwrap();
             p.write(|data| data[18] = 0xCC);
             drop(p);
         } // crash: dirty pages lost
@@ -622,7 +770,7 @@ mod tests {
         );
 
         // Recovery: redo the durable log into storage.
-        BufferPool::<CoarseManager<TwoQ>>::replay_wal_into_storage(&wal, &*storage);
+        BufferPool::<CoarseManager<TwoQ>>::replay_wal_into_storage(&wal, &*storage).unwrap();
 
         // Session 2: a fresh pool over the same storage sees the
         // committed writes and not the uncommitted one.
@@ -633,11 +781,11 @@ mod tests {
             Arc::clone(&storage) as Arc<dyn crate::storage::Storage>,
         );
         let mut s = pool.session();
-        s.fetch(5)
+        s.fetch(5).unwrap()
             .read(|d| assert_eq!(d[16], 0xAA, "committed write lost"));
-        s.fetch(6)
+        s.fetch(6).unwrap()
             .read(|d| assert_eq!(d[17], 0xBB, "committed write lost"));
-        s.fetch(7)
+        s.fetch(7).unwrap()
             .read(|d| assert_ne!(d[18], 0xCC, "uncommitted write must not survive"));
     }
 
@@ -652,13 +800,206 @@ mod tests {
         )
         .with_wal(Arc::clone(&wal));
         let mut s = pool.session();
-        let p = s.fetch(7);
+        let p = s.fetch(7).unwrap();
         p.write(|data| data[10] = 1);
         p.write(|data| data[11] = 2);
         drop(p);
-        pool.commit_transaction();
+        pool.commit_transaction().unwrap();
         assert_eq!(wal.flushed_lsn(), wal.append_lsn());
         assert_eq!(wal.flushes.get(), 1, "one group flush for the txn");
+    }
+
+    #[test]
+    fn all_frames_pinned_misses_not_double_counted() {
+        // Regression for the miss double-count: with every frame pinned
+        // the miss path retries (NoEvictableFrame); each retry must NOT
+        // count another miss, so hits + misses == completed fetches.
+        let frames = 4usize;
+        let pool = Arc::new(pool_2q(frames));
+        let mut s = pool.session();
+        let held: Vec<_> = (0..frames as u64).map(|p| s.fetch(p).unwrap()).collect();
+        let pool2 = Arc::clone(&pool);
+        let t = std::thread::spawn(move || {
+            let mut s = pool2.session();
+            // Spins through NoEvictableFrame until a pin drops below.
+            drop(s.fetch(100).unwrap());
+        });
+        // Let the fetcher accumulate a good number of failed miss
+        // attempts before releasing a frame.
+        std::thread::sleep(Duration::from_millis(50));
+        drop(held);
+        t.join().unwrap();
+        let st = pool.stats();
+        let completed = frames as u64 + 1; // N initial loads + page 100
+        assert_eq!(
+            st.hits.load(Ordering::Relaxed) + st.misses.load(Ordering::Relaxed),
+            completed,
+            "hits + misses must equal completed fetches"
+        );
+        assert_eq!(st.misses.load(Ordering::Relaxed), completed);
+    }
+
+    #[test]
+    fn failed_read_repairs_frame_and_recovers() {
+        // Persistent read fault: fetch errors (no wedge), the frame goes
+        // back on the free list, and once the fault clears the same page
+        // fetches fine.
+        let frames = 4usize;
+        let disk = Arc::new(crate::storage::FaultyDisk::new(
+            Arc::new(SimDisk::instant()),
+            crate::storage::FaultPlan::default(),
+        ));
+        let pool = BufferPool::new(
+            frames,
+            128,
+            CoarseManager::new(TwoQ::new(frames)),
+            Arc::clone(&disk) as Arc<dyn Storage>,
+        )
+        .with_retry_policy(RetryPolicy::none());
+        disk.break_page_reads(7);
+        let mut s = pool.session();
+        let err = s.fetch(7).expect_err("broken page must error");
+        assert_eq!(err.kind(), io::ErrorKind::Other);
+        assert_eq!(pool.stats().io_errors.load(Ordering::Relaxed), 1);
+        assert_eq!(pool.free_frames(), frames, "frame returned to free list");
+        assert_eq!(pool.resident_count(), 0);
+        assert_eq!(
+            pool.stats().misses.load(Ordering::Relaxed),
+            0,
+            "failed miss must not count"
+        );
+        // Unrelated pages unaffected.
+        drop(s.fetch(1).unwrap());
+        // Fault clears: page 7 now loads.
+        disk.clear_faults();
+        let p = s.fetch(7).unwrap();
+        p.read(|d| assert_eq!(u64::from_le_bytes(d[..8].try_into().unwrap()), 7));
+        drop(p);
+        assert_eq!(pool.free_frames() + pool.resident_count(), frames);
+    }
+
+    #[test]
+    fn transient_fault_retried_transparently() {
+        let disk = Arc::new(crate::storage::FaultyDisk::new(
+            Arc::new(SimDisk::instant()),
+            crate::storage::FaultPlan::default(),
+        ));
+        let pool = BufferPool::new(
+            4,
+            128,
+            CoarseManager::new(TwoQ::new(4)),
+            Arc::clone(&disk) as Arc<dyn Storage>,
+        )
+        .with_retry_policy(RetryPolicy {
+            max_retries: 3,
+            base_backoff: Duration::ZERO,
+        });
+        disk.fail_next_reads(2); // fewer than the retry budget
+        let mut s = pool.session();
+        let p = s.fetch(9).expect("transient faults must be retried");
+        p.read(|d| assert_eq!(u64::from_le_bytes(d[..8].try_into().unwrap()), 9));
+        drop(p);
+        assert_eq!(pool.stats().io_retries.load(Ordering::Relaxed), 2);
+        assert_eq!(pool.stats().io_errors.load(Ordering::Relaxed), 0);
+        assert_eq!(pool.stats().misses.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn failed_writeback_surfaces_but_repairs() {
+        // Dirty victim whose write-back fails persistently: the fetch
+        // that tried to evict it errors, the claimed frame is repaired,
+        // and the pool's frame accounting stays intact.
+        let disk = Arc::new(crate::storage::FaultyDisk::new(
+            Arc::new(SimDisk::instant()),
+            crate::storage::FaultPlan::default(),
+        ));
+        let pool = BufferPool::new(
+            1,
+            128,
+            CoarseManager::new(TwoQ::new(1)),
+            Arc::clone(&disk) as Arc<dyn Storage>,
+        )
+        .with_retry_policy(RetryPolicy::none());
+        let mut s = pool.session();
+        let p = s.fetch(1).unwrap();
+        p.write(|d| d[9] = 0xEE);
+        drop(p);
+        disk.break_page_writes(1);
+        let err = s.fetch(2).expect_err("write-back failure must surface");
+        assert_eq!(err.kind(), io::ErrorKind::Other);
+        assert_eq!(pool.free_frames() + pool.resident_count(), 1);
+        disk.clear_faults();
+        // Both pages reachable again once the device heals.
+        drop(s.fetch(2).unwrap());
+        drop(s.fetch(1).unwrap());
+    }
+
+    #[test]
+    fn concurrent_fetchers_survive_failed_io() {
+        // Threads racing on a page whose read fails must all get an
+        // error or a correct page — and nobody may livelock on the
+        // yield-and-retry loop (the pre-fix wedge).
+        let disk = Arc::new(crate::storage::FaultyDisk::new(
+            Arc::new(SimDisk::instant()),
+            crate::storage::FaultPlan::default(),
+        ));
+        let pool = BufferPool::new(
+            8,
+            64,
+            CoarseManager::new(TwoQ::new(8)),
+            Arc::clone(&disk) as Arc<dyn Storage>,
+        )
+        .with_retry_policy(RetryPolicy::none());
+        disk.fail_next_reads(6);
+        std::thread::scope(|sc| {
+            for t in 0..4u64 {
+                let pool = &pool;
+                sc.spawn(move || {
+                    let mut s = pool.session();
+                    for i in 0..200u64 {
+                        let page = (i + t) % 16;
+                        match s.fetch(page) {
+                            Ok(p) => p.read(|d| {
+                                assert_eq!(
+                                    u64::from_le_bytes(d[..8].try_into().unwrap()),
+                                    page,
+                                    "wrong bytes served"
+                                );
+                            }),
+                            Err(_) => {} // injected; next fetch retries
+                        }
+                    }
+                });
+            }
+        });
+        assert_eq!(
+            pool.free_frames() + pool.resident_count(),
+            8,
+            "no frame may be wedged or leaked"
+        );
+    }
+
+    #[test]
+    fn commit_transaction_surfaces_log_fault() {
+        let wal = Arc::new(crate::wal::Wal::instant());
+        let pool = BufferPool::new(
+            2,
+            128,
+            CoarseManager::new(TwoQ::new(2)),
+            Arc::new(SimDisk::instant()),
+        )
+        .with_wal(Arc::clone(&wal))
+        .with_retry_policy(RetryPolicy::none());
+        let mut s = pool.session();
+        let p = s.fetch(1).unwrap();
+        p.write(|d| d[10] = 7);
+        drop(p);
+        wal.fail_next_flushes(1);
+        assert!(pool.commit_transaction().is_err());
+        assert_eq!(pool.stats().io_errors.load(Ordering::Relaxed), 1);
+        // Nothing lost: retry commits the same records.
+        pool.commit_transaction().unwrap();
+        assert_eq!(wal.flushed_lsn(), wal.append_lsn());
     }
 
     #[test]
@@ -666,11 +1007,11 @@ mod tests {
         let pool = pool_2q(8);
         let mut s = pool.session();
         for p in 0..8u64 {
-            drop(s.fetch(p));
+            drop(s.fetch(p).unwrap());
         }
         for _ in 0..3 {
             for p in 0..8u64 {
-                drop(s.fetch(p));
+                drop(s.fetch(p).unwrap());
             }
         }
         assert!((pool.stats().hit_ratio() - 0.75).abs() < 1e-9);

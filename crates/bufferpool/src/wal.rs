@@ -13,6 +13,8 @@
 //! The buffer pool enforces WAL-before-data: a dirty page cannot be
 //! written back until the log records covering it are flushed.
 
+use std::io;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
 
 use bpw_metrics::Counter;
@@ -40,10 +42,15 @@ pub struct Wal {
     flush_latency: Duration,
     /// The durable log: every flushed byte, in order (the "log file").
     log_file: Mutex<Vec<u8>>,
+    /// Fault injection: the next N physical flushes fail (transient log
+    /// device errors for tests and chaos runs).
+    fail_next_flushes: AtomicU64,
     /// Records appended.
     pub appends: Counter,
     /// Physical flushes performed.
     pub flushes: Counter,
+    /// Physical flushes that failed (injected or real).
+    pub flush_errors: Counter,
     /// Commit requests served (each waits for durability of its LSN).
     pub commits: Counter,
     /// Commits that piggybacked on another leader's flush.
@@ -63,8 +70,10 @@ impl Wal {
             flushed: Condvar::new(),
             flush_latency,
             log_file: Mutex::new(Vec::new()),
+            fail_next_flushes: AtomicU64::new(0),
             appends: Counter::new(),
             flushes: Counter::new(),
+            flush_errors: Counter::new(),
             commits: Counter::new(),
             group_commits: Counter::new(),
         }
@@ -96,11 +105,31 @@ impl Wal {
         self.state.lock().append_lsn
     }
 
+    /// Fail the next `n` physical flushes (fault injection; adds to any
+    /// pending budget). Failed flushes leave the log exactly as it was:
+    /// nothing becomes durable and the buffered records stay buffered,
+    /// so a later retry re-covers them.
+    pub fn fail_next_flushes(&self, n: u64) {
+        self.fail_next_flushes.fetch_add(n, Ordering::Relaxed);
+    }
+
+    fn take_injected_flush_fault(&self) -> bool {
+        self.fail_next_flushes
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |n| n.checked_sub(1))
+            .is_ok()
+    }
+
     /// Make the log durable up to at least `lsn` (group commit):
     /// if a flush already covers it, return immediately; if one is in
     /// flight, wait for it (and re-check); otherwise become the leader
     /// and flush everything appended so far, releasing followers.
-    pub fn commit(&self, lsn: Lsn) {
+    ///
+    /// On a flush error the leader restores the unflushed batch to the
+    /// buffer (nothing is lost; a later commit retries it), wakes every
+    /// follower, and returns the error. Woken followers whose LSN is
+    /// still not durable become leaders themselves and retry, so a
+    /// transient log-device fault never wedges a waiter.
+    pub fn commit(&self, lsn: Lsn) -> io::Result<()> {
         self.commits.incr();
         let mut s = self.state.lock();
         let mut piggybacked = false;
@@ -109,10 +138,10 @@ impl Wal {
                 if piggybacked {
                     self.group_commits.incr();
                 }
-                return;
+                return Ok(());
             }
             if s.flush_in_progress {
-                // Follower: sleep until the leader finishes.
+                // Follower: sleep until the leader finishes (or fails).
                 piggybacked = true;
                 self.flushed.wait(&mut s);
                 continue;
@@ -125,10 +154,26 @@ impl Wal {
             drop(s);
             let span = bpw_trace::span_start();
             Self::spin_for(self.flush_latency);
-            self.log_file.lock().extend_from_slice(&batch);
-            self.flushes.incr();
+            let failed = self.take_injected_flush_fault();
+            if !failed {
+                self.log_file.lock().extend_from_slice(&batch);
+                self.flushes.incr();
+            }
             bpw_trace::span_end(bpw_trace::EventKind::WalFlush, span, batch.len() as u64);
             s = self.state.lock();
+            if failed {
+                // Unwind: put the batch back in front of anything
+                // appended while we were flushing, so LSN order (and
+                // replay order) is preserved.
+                self.flush_errors.incr();
+                let mut restored = batch;
+                restored.append(&mut s.buffer);
+                s.buffer = restored;
+                s.flush_in_progress = false;
+                self.flushed.notify_all();
+                drop(s);
+                return Err(io::Error::other("injected WAL flush fault"));
+            }
             s.flushed_lsn = batch_end;
             s.flush_in_progress = false;
             self.flushed.notify_all();
@@ -201,11 +246,11 @@ mod tests {
     fn commit_makes_durable() {
         let wal = Wal::instant();
         let lsn = wal.append(b"record");
-        wal.commit(lsn);
+        wal.commit(lsn).unwrap();
         assert!(wal.flushed_lsn() >= lsn);
         assert_eq!(wal.flushes.get(), 1);
         // Re-commit is free (already durable).
-        wal.commit(lsn);
+        wal.commit(lsn).unwrap();
         assert_eq!(wal.flushes.get(), 1);
     }
 
@@ -214,10 +259,53 @@ mod tests {
         let wal = Wal::instant();
         let a = wal.append(b"a");
         let b = wal.append(b"b");
-        wal.commit(b); // flushes both
+        wal.commit(b).unwrap(); // flushes both
         assert_eq!(wal.flushes.get(), 1);
-        wal.commit(a); // already durable
+        wal.commit(a).unwrap(); // already durable
         assert_eq!(wal.flushes.get(), 1);
+    }
+
+    #[test]
+    fn failed_flush_loses_nothing_and_retries() {
+        let wal = Wal::instant();
+        let a = wal.append(b"alpha");
+        wal.fail_next_flushes(1);
+        assert!(wal.commit(a).is_err(), "injected flush fault surfaces");
+        assert_eq!(wal.flushed_lsn(), 0, "nothing became durable");
+        assert_eq!(wal.flush_errors.get(), 1);
+        // Records appended after the failure keep their order.
+        let b = wal.append(b"beta");
+        wal.commit(b).unwrap();
+        assert_eq!(wal.flushed_lsn(), b);
+        let mut seen = Vec::new();
+        wal.replay(|p| seen.push(p.to_vec()));
+        assert_eq!(seen, vec![b"alpha".to_vec(), b"beta".to_vec()]);
+    }
+
+    #[test]
+    fn failed_flush_releases_followers() {
+        // A leader that fails must wake followers, who then retry as
+        // leaders themselves — no waiter may wedge.
+        let wal = std::sync::Arc::new(Wal::new(Duration::from_micros(200)));
+        wal.fail_next_flushes(1);
+        std::thread::scope(|s| {
+            for t in 0..4u64 {
+                let wal = std::sync::Arc::clone(&wal);
+                s.spawn(move || {
+                    for i in 0..50u64 {
+                        let lsn = wal.append(&(t * 1000 + i).to_le_bytes());
+                        // At most one commit errors (one injected fault);
+                        // a retry must always succeed.
+                        if wal.commit(lsn).is_err() {
+                            wal.commit(lsn).unwrap();
+                        }
+                        assert!(wal.flushed_lsn() >= lsn);
+                    }
+                });
+            }
+        });
+        assert_eq!(wal.flushed_lsn(), wal.append_lsn());
+        assert_eq!(wal.flush_errors.get(), 1);
     }
 
     #[test]
@@ -231,7 +319,7 @@ mod tests {
                 s.spawn(move || {
                     for i in 0..per_thread {
                         let lsn = wal.append(&i.to_le_bytes());
-                        wal.commit(lsn);
+                        wal.commit(lsn).unwrap();
                     }
                 });
             }
@@ -251,7 +339,7 @@ mod tests {
         let wal = Wal::instant();
         let a = wal.append(b"alpha");
         wal.append(b"beta");
-        wal.commit(a); // leader flushes BOTH appended records
+        wal.commit(a).unwrap(); // leader flushes BOTH appended records
         wal.append(b"gamma"); // never committed
         let mut seen = Vec::new();
         wal.replay(|payload| seen.push(payload.to_vec()));
@@ -267,7 +355,7 @@ mod tests {
                 s.spawn(move || {
                     for i in 0..2_000u64 {
                         let lsn = wal.append(&(t * 1_000_000 + i).to_le_bytes());
-                        wal.commit(lsn);
+                        wal.commit(lsn).unwrap();
                         assert!(wal.flushed_lsn() >= lsn, "commit returned before durable");
                     }
                 });

@@ -31,7 +31,7 @@ proptest! {
         let mut session = pool.session();
         for &page in &trace {
             let before_hits = pool.stats().hits.load(Ordering::Relaxed);
-            let pinned = session.fetch(page);
+            let pinned = session.fetch(page).unwrap();
             pinned.read(|bytes| {
                 prop_assert_eq!(
                     u64::from_le_bytes(bytes[..8].try_into().unwrap()),
@@ -69,12 +69,12 @@ proptest! {
         );
         let mut session = pool.session();
         for &p in &dirty_pages {
-            let pinned = session.fetch(p);
+            let pinned = session.fetch(p).unwrap();
             pinned.write(|bytes| bytes[9] = 0xEE);
         }
         // Churn through cold pages to force the dirty ones out.
         for p in 0..churn {
-            drop(session.fetch(1_000 + p));
+            drop(session.fetch(1_000 + p).unwrap());
         }
         let wrote = pool.storage().writes();
         let wb = pool.stats().writebacks.load(Ordering::Relaxed);
@@ -104,7 +104,7 @@ proptest! {
             if invalidate {
                 pool.invalidate(page);
             } else {
-                drop(session.fetch(page));
+                drop(session.fetch(page).unwrap());
             }
         }
         session.flush();

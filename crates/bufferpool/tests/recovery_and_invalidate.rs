@@ -45,7 +45,7 @@ fn invalidate_races_concurrent_pins_without_corruption() {
                     x ^= x >> 7;
                     x ^= x << 17;
                     let page = x % pages;
-                    let p = s.fetch(page);
+                    let p = s.fetch(page).unwrap();
                     p.read(|data| {
                         assert_eq!(
                             u64::from_le_bytes(data[..8].try_into().unwrap()),
@@ -102,7 +102,7 @@ fn invalidate_races_concurrent_pins_without_corruption() {
     // The pool still works after the storm.
     let mut s = pool.session();
     for page in 0..pages {
-        s.fetch(page).read(|d| {
+        s.fetch(page).unwrap().read(|d| {
             assert_eq!(u64::from_le_bytes(d[..8].try_into().unwrap()), page);
         });
     }
@@ -128,15 +128,15 @@ fn wal_recovery_after_crash_mid_transaction() {
         let mut s = pool.session();
 
         // Transaction 1: touches two pages, commits.
-        s.fetch(10).write(|d| d[32] = 0x11);
-        s.fetch(11).write(|d| d[32] = 0x22);
-        pool.commit_transaction();
+        s.fetch(10).unwrap().write(|d| d[32] = 0x11);
+        s.fetch(11).unwrap().write(|d| d[32] = 0x22);
+        pool.commit_transaction().unwrap();
 
         // Transaction 2: first write lands in the log buffer, the
         // "crash" happens before the second write's commit — mid-write
         // from the transaction's point of view.
-        s.fetch(12).write(|d| d[32] = 0x33);
-        s.fetch(13).write(|d| d[32] = 0x44);
+        s.fetch(12).unwrap().write(|d| d[32] = 0x33);
+        s.fetch(13).unwrap().write(|d| d[32] = 0x44);
         // no commit — crash here
     }
     assert_eq!(
@@ -145,7 +145,7 @@ fn wal_recovery_after_crash_mid_transaction() {
         "no data page reached storage pre-crash"
     );
 
-    BufferPool::<CoarseManager<TwoQ>>::replay_wal_into_storage(&wal, &*storage);
+    BufferPool::<CoarseManager<TwoQ>>::replay_wal_into_storage(&wal, &*storage).unwrap();
     let writes_after_first_replay = storage.writes();
 
     let verify = |storage: &Arc<SimDisk>| {
@@ -156,19 +156,19 @@ fn wal_recovery_after_crash_mid_transaction() {
             Arc::clone(storage) as Arc<dyn Storage>,
         );
         let mut s = pool.session();
-        s.fetch(10)
+        s.fetch(10).unwrap()
             .read(|d| assert_eq!(d[32], 0x11, "committed write lost"));
-        s.fetch(11)
+        s.fetch(11).unwrap()
             .read(|d| assert_eq!(d[32], 0x22, "committed write lost"));
-        s.fetch(12)
+        s.fetch(12).unwrap()
             .read(|d| assert_ne!(d[32], 0x33, "torn transaction resurrected"));
-        s.fetch(13)
+        s.fetch(13).unwrap()
             .read(|d| assert_ne!(d[32], 0x44, "torn transaction resurrected"));
     };
     verify(&storage);
 
     // Recovery must be idempotent: replaying again changes nothing.
-    BufferPool::<CoarseManager<TwoQ>>::replay_wal_into_storage(&wal, &*storage);
+    BufferPool::<CoarseManager<TwoQ>>::replay_wal_into_storage(&wal, &*storage).unwrap();
     assert_eq!(
         storage.writes(),
         2 * writes_after_first_replay,
@@ -195,16 +195,16 @@ fn wal_recovery_respects_forced_flush_boundary() {
         )
         .with_wal(Arc::clone(&wal));
         let mut s = pool.session();
-        s.fetch(1).write(|d| d[40] = 0xA1); // uncommitted...
-        drop(s.fetch(2));
-        drop(s.fetch(3)); // ...but this eviction forces the WAL for page 1
+        s.fetch(1).unwrap().write(|d| d[40] = 0xA1); // uncommitted...
+        drop(s.fetch(2).unwrap());
+        drop(s.fetch(3).unwrap()); // ...but this eviction forces the WAL for page 1
         let flushed = wal.flushed_lsn();
         assert!(flushed > 0, "write-back must have forced the log");
-        s.fetch(4).write(|d| d[40] = 0xB2); // appended after the flush
+        s.fetch(4).unwrap().write(|d| d[40] = 0xB2); // appended after the flush
         assert!(wal.append_lsn() > flushed);
         // crash
     }
-    BufferPool::<CoarseManager<TwoQ>>::replay_wal_into_storage(&wal, &*storage);
+    BufferPool::<CoarseManager<TwoQ>>::replay_wal_into_storage(&wal, &*storage).unwrap();
     let pool = BufferPool::new(
         8,
         128,
@@ -212,9 +212,9 @@ fn wal_recovery_respects_forced_flush_boundary() {
         Arc::clone(&storage) as Arc<dyn Storage>,
     );
     let mut s = pool.session();
-    s.fetch(1)
+    s.fetch(1).unwrap()
         .read(|d| assert_eq!(d[40], 0xA1, "force-flushed record must replay"));
-    s.fetch(4)
+    s.fetch(4).unwrap()
         .read(|d| assert_ne!(d[40], 0xB2, "unflushed tail must not replay"));
 }
 
@@ -239,7 +239,7 @@ fn simdisk_concurrent_writeback_is_deterministic() {
                         buf[..8].copy_from_slice(&page.to_le_bytes());
                         buf[8..16].copy_from_slice(&v.to_le_bytes());
                         buf[16..].fill((v % 251) as u8);
-                        disk.write_page(page, &buf);
+                        disk.write_page(page, &buf).unwrap();
                     }
                 }
             });
@@ -249,7 +249,7 @@ fn simdisk_concurrent_writeback_is_deterministic() {
     assert_eq!(disk.writes(), threads * pages_per_thread * versions);
     let mut buf = vec![0u8; 64];
     for page in 0..threads * pages_per_thread {
-        disk.read_page(page, &mut buf);
+        disk.read_page(page, &mut buf).unwrap();
         assert_eq!(u64::from_le_bytes(buf[..8].try_into().unwrap()), page);
         assert_eq!(
             u64::from_le_bytes(buf[8..16].try_into().unwrap()),
@@ -282,7 +282,7 @@ fn pool_writeback_roundtrip_under_concurrent_writers() {
                 for round in 1..=40u8 {
                     for i in 0..pages_per_thread {
                         let page = t * pages_per_thread + i;
-                        let p = s.fetch(page);
+                        let p = s.fetch(page).unwrap();
                         p.write(|d| {
                             d[20] = round;
                             d[21] = t as u8;
@@ -296,7 +296,7 @@ fn pool_writeback_roundtrip_under_concurrent_writers() {
     for t in 0..threads {
         for i in 0..pages_per_thread {
             let page = t * pages_per_thread + i;
-            s.fetch(page).read(|d| {
+            s.fetch(page).unwrap().read(|d| {
                 assert_eq!(u64::from_le_bytes(d[..8].try_into().unwrap()), page);
                 assert_eq!(d[20], 40, "page {page} lost its final write");
                 assert_eq!(d[21], t as u8);

@@ -39,4 +39,5 @@ pub use client::Client;
 pub use loadgen::{LoadConfig, LoadMode, LoadReport};
 pub use metrics::{OpKind, PoolCounters, ServerMetrics};
 pub use protocol::{Request, Response, MAX_FRAME};
+pub use bpw_bufferpool::{FaultPlan, FaultyDisk};
 pub use server::{build_manager, DynPool, Server, ServerConfig};

@@ -87,6 +87,8 @@ pub struct LoadReport {
     pub dropped: u64,
     /// `ERR` replies or transport failures.
     pub errors: u64,
+    /// `ERR_IO` replies (storage failed after server-side retries).
+    pub io_errors: u64,
     /// Wall-clock time of the whole run.
     pub wall: Duration,
 }
@@ -104,13 +106,14 @@ impl LoadReport {
     /// One-line human summary (the shutdown banner).
     pub fn summary(&self) -> String {
         format!(
-            "{} ok / {} sent ({} busy, {} dropped, {} err) in {:.2}s — {:.0} req/s; \
+            "{} ok / {} sent ({} busy, {} dropped, {} err, {} io_err) in {:.2}s — {:.0} req/s; \
              latency p50={}us p95={}us p99={}us p999={}us max={}us",
             self.ok,
             self.sent,
             self.busy,
             self.dropped,
             self.errors,
+            self.io_errors,
             self.wall.as_secs_f64(),
             self.throughput(),
             self.latency_ns.quantile(0.50) / 1_000,
@@ -129,6 +132,7 @@ impl LoadReport {
             .field_u64("busy", self.busy)
             .field_u64("dropped", self.dropped)
             .field_u64("errors", self.errors)
+            .field_u64("io_errors", self.io_errors)
             .field_f64("wall_secs", self.wall.as_secs_f64())
             .field_f64("throughput_rps", self.throughput())
             .field_raw("latency_ns", &self.latency_ns.to_json());
@@ -143,6 +147,7 @@ struct Tallies {
     busy: AtomicU64,
     dropped: AtomicU64,
     errors: AtomicU64,
+    io_errors: AtomicU64,
 }
 
 /// Run a load against `addr`. Blocks until every connection finishes.
@@ -164,6 +169,7 @@ pub fn run(addr: SocketAddr, workload: &dyn Workload, cfg: &LoadConfig) -> LoadR
         busy: tallies.busy.load(Ordering::Relaxed),
         dropped: tallies.dropped.load(Ordering::Relaxed),
         errors: tallies.errors.load(Ordering::Relaxed),
+        io_errors: tallies.io_errors.load(Ordering::Relaxed),
         wall: started.elapsed(),
     }
 }
@@ -229,11 +235,20 @@ fn drive_connection(
                     Response::Busy => tallies.busy.fetch_add(1, Ordering::Relaxed),
                     Response::Dropped => tallies.dropped.fetch_add(1, Ordering::Relaxed),
                     Response::Err(_) => tallies.errors.fetch_add(1, Ordering::Relaxed),
+                    Response::IoError(_) => tallies.io_errors.fetch_add(1, Ordering::Relaxed),
                 };
             }
             Err(_) => {
-                tallies.errors.fetch_add(1, Ordering::Relaxed);
-                return; // connection is broken; stop this driver
+                // Connection is broken; stop this driver — but charge its
+                // remaining requests (like the connect-failure path does)
+                // so `sent == connections * requests_per_conn` and
+                // throughput/error-rate comparisons stay honest.
+                let unfinished = cfg.requests_per_conn - i; // this one + the rest
+                tallies.errors.fetch_add(unfinished, Ordering::Relaxed);
+                tallies
+                    .sent
+                    .fetch_add(unfinished - 1, Ordering::Relaxed); // this one already counted
+                return;
             }
         }
 
@@ -276,6 +291,48 @@ mod tests {
     }
 
     #[test]
+    fn broken_connections_charge_their_remaining_requests() {
+        // A "server" that answers exactly one request per connection and
+        // then hangs up mid-run: the generator must still account for
+        // every request it intended to send.
+        use crate::protocol::{read_frame, write_frame};
+        use bpw_workloads::synthetic::Uniform;
+        use std::io::{BufReader, BufWriter};
+        use std::net::TcpListener;
+
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let connections = 3usize;
+        let server = std::thread::spawn(move || {
+            for _ in 0..connections {
+                let (stream, _) = listener.accept().unwrap();
+                let mut r = BufReader::new(stream.try_clone().unwrap());
+                let mut w = BufWriter::new(stream);
+                let mut buf = Vec::new();
+                if read_frame(&mut r, &mut buf).unwrap_or(false) {
+                    let _ = write_frame(&mut w, &Response::Ok(vec![0u8; 8]).encode());
+                }
+                // Drop: the client's next request hits a dead socket.
+            }
+        });
+        let cfg = LoadConfig {
+            connections,
+            requests_per_conn: 7,
+            write_fraction: 0.0,
+            ..LoadConfig::default()
+        };
+        let report = run(addr, &Uniform::new(64, 4), &cfg);
+        server.join().unwrap();
+        assert_eq!(
+            report.sent,
+            connections as u64 * cfg.requests_per_conn,
+            "broken connections must charge their remaining requests"
+        );
+        assert_eq!(report.ok, connections as u64);
+        assert_eq!(report.ok + report.errors, report.sent);
+    }
+
+    #[test]
     fn empty_report_summary_is_sane() {
         let r = LoadReport {
             latency_ns: Histogram::new(),
@@ -284,6 +341,7 @@ mod tests {
             busy: 0,
             dropped: 0,
             errors: 0,
+            io_errors: 0,
             wall: Duration::ZERO,
         };
         assert_eq!(r.throughput(), 0.0);

@@ -4,24 +4,33 @@
 //! ```text
 //! bpw-server serve   [--addr H:P] [--workers N] [--queue N] [--policy P]
 //!                    [--frames N] [--page-size B] [--pages N] [--manager SPEC]
+//!                    [--faulty true] [--fault-seed S] [--fail-reads-ppm N]
+//!                    [--fail-writes-ppm N] [--spike-ppm N] [--spike-us U]
 //! bpw-server loadgen --addr H:P [--connections N] [--requests N]
 //!                    [--write-fraction F] [--rate RPS | --think MS]
 //!                    [--workload zipf|dbt1|dbt2|scan] [--zipf-pages N]
 //!                    [--theta F] [--seed S]
 //! bpw-server bench   [--out FILE] [--requests N] [--connections LIST]
-//! bpw-server smoke   [--out FILE]
+//! bpw-server smoke   [--out FILE] [--faulty true]
+//! bpw-server chaos   [--out FILE] [--requests N] [--fault-seed S]
 //! ```
 //!
 //! `smoke` is the CI self-test: it starts an in-process server, checks
 //! STATS and METRICS payloads, runs a traced workload, and validates
-//! the exported Chrome trace.
+//! the exported Chrome trace. With `--faulty true` the server runs over
+//! a fault-injecting disk and the run additionally proves degraded-mode
+//! behaviour (ERR_IO surfaces, no frame is wedged).
+//!
+//! `chaos` is the degraded-mode experiment: the same load at increasing
+//! storage fault rates, recording throughput, error mix, and the pool's
+//! retry/repair counters to a JSON-lines artifact.
 
 use std::collections::HashMap;
 use std::net::SocketAddr;
 use std::time::Duration;
 
 use bpw_metrics::JsonObject;
-use bpw_server::{loadgen, LoadConfig, LoadMode, Server, ServerConfig};
+use bpw_server::{loadgen, FaultPlan, LoadConfig, LoadMode, Server, ServerConfig};
 use bpw_workloads::{Workload, WorkloadKind, ZipfWorkload};
 
 fn main() {
@@ -33,9 +42,10 @@ fn main() {
         "loadgen" => cmd_loadgen(&flags),
         "bench" => cmd_bench(&flags),
         "smoke" => cmd_smoke(&flags),
+        "chaos" => cmd_chaos(&flags),
         _ => {
             eprintln!(
-                "usage: bpw-server <serve|loadgen|bench|smoke> [flags]  (see --help in src/main.rs)"
+                "usage: bpw-server <serve|loadgen|bench|smoke|chaos> [flags]  (see --help in src/main.rs)"
             );
             std::process::exit(2);
         }
@@ -82,6 +92,40 @@ where
     }
 }
 
+/// Fault-injection flags -> an optional [`FaultPlan`]. `--faulty true`
+/// alone enables a default plan (2% transient read+write faults, 1%
+/// latency spikes); the per-rate flags refine or enable one explicitly.
+fn fault_plan(flags: &HashMap<String, String>) -> Result<Option<FaultPlan>, String> {
+    let faulty: bool = get(flags, "faulty", false)?;
+    let read_ppm: u32 = get(flags, "fail-reads-ppm", 0)?;
+    let write_ppm: u32 = get(flags, "fail-writes-ppm", 0)?;
+    let spike_ppm: u32 = get(flags, "spike-ppm", 0)?;
+    if !faulty && read_ppm == 0 && write_ppm == 0 && spike_ppm == 0 {
+        return Ok(None);
+    }
+    let d = FaultPlan::default();
+    Ok(Some(FaultPlan {
+        seed: get(flags, "fault-seed", d.seed)?,
+        read_fail_ppm: if faulty && read_ppm == 0 {
+            20_000
+        } else {
+            read_ppm
+        },
+        write_fail_ppm: if faulty && write_ppm == 0 {
+            20_000
+        } else {
+            write_ppm
+        },
+        spike_ppm: if faulty && spike_ppm == 0 {
+            10_000
+        } else {
+            spike_ppm
+        },
+        spike: Duration::from_micros(get(flags, "spike-us", 500)?),
+        ..d
+    }))
+}
+
 fn server_config(flags: &HashMap<String, String>) -> Result<ServerConfig, String> {
     let d = ServerConfig::default();
     Ok(ServerConfig {
@@ -93,6 +137,7 @@ fn server_config(flags: &HashMap<String, String>) -> Result<ServerConfig, String
         page_size: get(flags, "page-size", d.page_size)?,
         pages: get(flags, "pages", d.pages)?,
         manager: flags.get("manager").cloned().unwrap_or(d.manager),
+        fault_plan: fault_plan(flags)?,
     })
 }
 
@@ -255,6 +300,106 @@ fn cmd_bench(flags: &HashMap<String, String>) -> Result<(), String> {
     Ok(())
 }
 
+/// Degraded-mode experiment: the same Zipf load at increasing storage
+/// fault rates. Records throughput, the OK/ERR_IO mix, retry/repair
+/// counters, and the frame-accounting invariant to a JSON-lines
+/// artifact (`results/fault_injection.jsonl`).
+fn cmd_chaos(flags: &HashMap<String, String>) -> Result<(), String> {
+    let out = flags
+        .get("out")
+        .cloned()
+        .unwrap_or_else(|| "results/fault_injection.jsonl".into());
+    let requests: u64 = get(flags, "requests", 8_000)?;
+    let seed: u64 = get(flags, "fault-seed", 0xC4A0)?;
+    let workload = ZipfWorkload::new(4_096, 0.86, 8);
+    let mut lines = Vec::new();
+    println!(
+        "{:>10} {:>10} {:>8} {:>8} {:>9} {:>9} {:>7}",
+        "fault_ppm", "req/s", "ok", "io_err", "retries", "repairs", "frames"
+    );
+    for fault_ppm in [0u32, 10_000, 50_000, 200_000] {
+        let server = Server::start(ServerConfig {
+            workers: 4,
+            frames: 512,
+            page_size: 256,
+            pages: 4_096,
+            fault_plan: Some(FaultPlan {
+                seed,
+                read_fail_ppm: fault_ppm,
+                write_fail_ppm: fault_ppm / 2,
+                spike_ppm: fault_ppm / 4,
+                ..FaultPlan::default()
+            }),
+            ..ServerConfig::default()
+        })
+        .map_err(|e| e.to_string())?;
+        let report = loadgen::run(
+            server.addr(),
+            &workload,
+            &LoadConfig {
+                connections: 4,
+                requests_per_conn: requests / 4,
+                write_fraction: 0.2,
+                ..LoadConfig::default()
+            },
+        );
+        let stats = server.pool().stats();
+        let ord = std::sync::atomic::Ordering::Relaxed;
+        let retries = stats.io_retries.load(ord);
+        let hard_errors = stats.io_errors.load(ord);
+        let frames = server.pool().frames();
+        let accounted = server.pool().free_frames() + server.pool().resident_count();
+        if accounted != frames {
+            return Err(format!(
+                "fault_ppm {fault_ppm}: frame accounting broken ({accounted} of {frames})"
+            ));
+        }
+        // Recovery: clear the faults and re-read; everything must be OK.
+        server.faulty_disk().expect("chaos has a disk").clear_faults();
+        let mut client = bpw_server::Client::connect(server.addr()).map_err(|e| e.to_string())?;
+        for page in 0..128u64 {
+            match client.get(page).map_err(|e| e.to_string())? {
+                bpw_server::Response::Ok(_) => {}
+                other => {
+                    return Err(format!(
+                        "fault_ppm {fault_ppm}: GET {page} after recovery: {other:?}"
+                    ))
+                }
+            }
+        }
+        println!(
+            "{:>10} {:>10.0} {:>8} {:>8} {:>9} {:>9} {:>7}",
+            fault_ppm,
+            report.throughput(),
+            report.ok,
+            report.io_errors,
+            retries,
+            hard_errors,
+            "ok"
+        );
+        let mut o = JsonObject::new();
+        o.field_u64("fault_ppm", fault_ppm as u64)
+            .field_u64("fault_seed", seed)
+            .field_u64("io_retries", retries)
+            .field_u64("io_errors", hard_errors)
+            .field_u64("frames", frames as u64)
+            .field_u64("frames_accounted", accounted as u64)
+            .field_bool("recovered", true)
+            .field_raw("load", &report.to_json());
+        lines.push(o.finish());
+        drop(client); // close the socket so join() can reap its connection thread
+        server.join();
+    }
+    if let Some(dir) = std::path::Path::new(&out).parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir).map_err(|e| format!("mkdir {}: {e}", dir.display()))?;
+        }
+    }
+    std::fs::write(&out, lines.join("\n") + "\n").map_err(|e| format!("write {out}: {e}"))?;
+    println!("wrote {} rows to {out}", lines.len());
+    Ok(())
+}
+
 /// CI self-test: exercise STATS, METRICS, and the tracing pipeline
 /// end-to-end against a live server, failing loudly on any malformed
 /// payload.
@@ -265,11 +410,14 @@ fn cmd_smoke(flags: &HashMap<String, String>) -> Result<(), String> {
         .get("out")
         .cloned()
         .unwrap_or_else(|| "results/smoke.trace.json".into());
+    let plan = fault_plan(flags)?;
+    let faulty = plan.is_some();
     let server = Server::start(ServerConfig {
         workers: 2,
         frames: 256,
         page_size: 256,
         pages: 4096,
+        fault_plan: plan,
         ..ServerConfig::default()
     })
     .map_err(|e| e.to_string())?;
@@ -338,6 +486,36 @@ fn cmd_smoke(flags: &HashMap<String, String>) -> Result<(), String> {
     let metrics = client.metrics().map_err(|e| e.to_string())?;
     if !metrics.contains("bpw_trace_threads") {
         return Err("METRICS lost the trace health gauges".into());
+    }
+
+    // 5. Degraded mode (--faulty): the run survived a flaky disk —
+    //    transient faults were retried, nothing wedged a frame, and once
+    //    the faults clear every page is reachable again.
+    if faulty {
+        let stats = server.pool().stats();
+        let retries = stats.io_retries.load(std::sync::atomic::Ordering::Relaxed);
+        if retries == 0 {
+            return Err("faulty smoke injected no retried faults".into());
+        }
+        let frames = server.pool().frames();
+        let accounted = server.pool().free_frames() + server.pool().resident_count();
+        if accounted != frames {
+            return Err(format!(
+                "frame accounting broken after faults: {accounted} of {frames}"
+            ));
+        }
+        let disk = server.faulty_disk().expect("faulty config has a disk");
+        disk.clear_faults();
+        for page in 0..64u64 {
+            match client.get(page).map_err(|e| e.to_string())? {
+                bpw_server::Response::Ok(_) => {}
+                other => return Err(format!("GET {page} after recovery: {other:?}")),
+            }
+        }
+        println!(
+            "degraded mode ok: {retries} retries, {} hard errors, frames intact",
+            stats.io_errors.load(std::sync::atomic::Ordering::Relaxed)
+        );
     }
 
     client.shutdown().map_err(|e| e.to_string())?;

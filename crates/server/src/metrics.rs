@@ -44,6 +44,8 @@ pub struct ServerMetrics {
     pub dropped: Counter,
     /// Requests answered `ERR`.
     pub errors: Counter,
+    /// Requests answered `ERR_IO` (storage failed after retries).
+    pub io_errors: Counter,
 }
 
 impl ServerMetrics {
@@ -67,6 +69,7 @@ impl ServerMetrics {
     /// Total requests that received any reply.
     pub fn total(&self) -> u64 {
         self.ok.get() + self.busy.get() + self.dropped.get() + self.errors.get()
+            + self.io_errors.get()
     }
 
     /// Render everything as one JSON object. `pool` carries the buffer
@@ -92,6 +95,7 @@ impl ServerMetrics {
             .field_u64("busy", self.busy.get())
             .field_u64("dropped", self.dropped.get())
             .field_u64("errors", self.errors.get())
+            .field_u64("io_errors", self.io_errors.get())
             .field_u64("peak_queue_depth", peak_queue_depth)
             .field_raw("get_ns", &self.get_ns.to_json())
             .field_raw("put_ns", &self.put_ns.to_json())
@@ -100,6 +104,8 @@ impl ServerMetrics {
             .field_u64("pool_hits", pool.hits)
             .field_u64("pool_misses", pool.misses)
             .field_u64("pool_writebacks", pool.writebacks)
+            .field_u64("pool_io_retries", pool.io_retries)
+            .field_u64("pool_io_errors", pool.io_errors)
             .field_f64("pool_hit_ratio", pool.hit_ratio())
             .field_raw("replacement_lock", &lock.to_json())
             .field_raw("miss_lock", &miss_lock.to_json())
@@ -118,6 +124,10 @@ pub struct PoolCounters {
     pub misses: u64,
     /// Dirty pages written back during eviction.
     pub writebacks: u64,
+    /// Storage operations retried after a transient fault.
+    pub io_retries: u64,
+    /// Storage operations that failed after exhausting retries.
+    pub io_errors: u64,
 }
 
 impl PoolCounters {
@@ -143,10 +153,13 @@ mod tests {
         m.record_ok(OpKind::Get, Instant::now());
         m.record_ok(OpKind::Put, Instant::now());
         m.busy.incr();
+        m.io_errors.incr();
         let pool = PoolCounters {
             hits: 90,
             misses: 10,
             writebacks: 3,
+            io_retries: 2,
+            io_errors: 1,
         };
         let lock = LockSnapshot::default();
         let miss_lock = LockSnapshot {
@@ -158,6 +171,12 @@ mod tests {
         let v = JsonValue::parse(&json).expect("STATS must be valid JSON");
         assert_eq!(v.get("ok").and_then(JsonValue::as_u64), Some(2));
         assert_eq!(v.get("busy").and_then(JsonValue::as_u64), Some(1));
+        assert_eq!(v.get("io_errors").and_then(JsonValue::as_u64), Some(1));
+        assert_eq!(
+            v.get("pool_io_retries").and_then(JsonValue::as_u64),
+            Some(2)
+        );
+        assert_eq!(v.get("pool_io_errors").and_then(JsonValue::as_u64), Some(1));
         assert_eq!(
             v.get("peak_queue_depth").and_then(JsonValue::as_u64),
             Some(17)
@@ -194,6 +213,7 @@ mod tests {
         m.ok.add(5);
         m.dropped.add(2);
         m.errors.incr();
-        assert_eq!(m.total(), 8);
+        m.io_errors.incr();
+        assert_eq!(m.total(), 9);
     }
 }

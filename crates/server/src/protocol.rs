@@ -22,6 +22,9 @@
 //!   BUSY     (0x01)  shed by admission control (queue full)
 //!   DROPPED  (0x02)  deadline exceeded while queued
 //!   ERR      (0x03)  UTF-8 message
+//!   ERR_IO   (0x04)  UTF-8 message: storage failed after retries; the
+//!                    pool repaired itself and the request may simply be
+//!                    retried
 //! ```
 
 use std::io::{self, Read, Write};
@@ -75,6 +78,10 @@ pub enum Response {
     Dropped,
     /// Malformed request or execution failure.
     Err(String),
+    /// Storage I/O failed after the pool's retry budget. Transient by
+    /// contract: the frame involved was repaired, so retrying the same
+    /// request is safe and succeeds once the device recovers.
+    IoError(String),
 }
 
 /// Decode failure (maps to an `ERR` reply and connection close).
@@ -100,6 +107,7 @@ const ST_OK: u8 = 0x00;
 const ST_BUSY: u8 = 0x01;
 const ST_DROPPED: u8 = 0x02;
 const ST_ERR: u8 = 0x03;
+const ST_IO_ERR: u8 = 0x04;
 
 impl Request {
     /// Serialize the body (no frame header).
@@ -203,6 +211,12 @@ impl Response {
                 b.extend_from_slice(msg.as_bytes());
                 b
             }
+            Response::IoError(msg) => {
+                let mut b = Vec::with_capacity(1 + msg.len());
+                b.push(ST_IO_ERR);
+                b.extend_from_slice(msg.as_bytes());
+                b
+            }
         }
     }
 
@@ -216,6 +230,9 @@ impl Response {
             ST_BUSY => Ok(Response::Busy),
             ST_DROPPED => Ok(Response::Dropped),
             ST_ERR => Ok(Response::Err(String::from_utf8_lossy(rest).into_owned())),
+            ST_IO_ERR => Ok(Response::IoError(
+                String::from_utf8_lossy(rest).into_owned(),
+            )),
             other => Err(ProtocolError(format!("unknown status 0x{other:02x}"))),
         }
     }
@@ -318,6 +335,7 @@ mod tests {
             Response::Busy,
             Response::Dropped,
             Response::Err("no such page".into()),
+            Response::IoError("injected read fault on page 7".into()),
         ];
         for resp in cases {
             assert_eq!(Response::decode(&resp.encode()).unwrap(), resp);

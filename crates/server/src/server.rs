@@ -20,8 +20,8 @@ use std::thread::{self, JoinHandle};
 use std::time::{Duration, Instant};
 
 use bpw_bufferpool::{
-    BufferPool, ClockManager, CoarseManager, PoolSession, ReplacementManager, SimDisk,
-    WrappedManager,
+    BufferPool, ClockManager, CoarseManager, FaultPlan, FaultyDisk, PoolSession,
+    ReplacementManager, SimDisk, Storage, WrappedManager,
 };
 use bpw_core::WrapperConfig;
 use bpw_replacement::PolicyKind;
@@ -55,6 +55,10 @@ pub struct ServerConfig {
     pub pages: u64,
     /// Manager spec, e.g. `"wrapped-2q"` (see [`build_manager`]).
     pub manager: String,
+    /// When set, the simulated disk is wrapped in a [`FaultyDisk`]
+    /// driven by this plan (chaos testing; see
+    /// [`Server::faulty_disk`]).
+    pub fault_plan: Option<FaultPlan>,
 }
 
 impl Default for ServerConfig {
@@ -68,6 +72,7 @@ impl Default for ServerConfig {
             page_size: 4096,
             pages: 1 << 20,
             manager: "wrapped-2q".into(),
+            fault_plan: None,
         }
     }
 }
@@ -127,6 +132,9 @@ struct Shared {
 pub struct Server {
     addr: SocketAddr,
     shared: Arc<Shared>,
+    /// Present when the config asked for fault injection; tests and the
+    /// chaos driver use it to steer faults mid-run.
+    faulty: Option<Arc<FaultyDisk>>,
     /// The server's own sender handle; dropped during [`join`](Self::join)
     /// so the workers see the channel disconnect once every connection
     /// thread's clone is gone too.
@@ -141,11 +149,20 @@ impl Server {
     pub fn start(config: ServerConfig) -> io::Result<Server> {
         let manager = build_manager(&config.manager, config.frames)
             .map_err(|e| io::Error::new(io::ErrorKind::InvalidInput, e))?;
+        let mut faulty = None;
+        let storage: Arc<dyn Storage> = match config.fault_plan {
+            Some(plan) => {
+                let disk = Arc::new(FaultyDisk::new(Arc::new(SimDisk::instant()), plan));
+                faulty = Some(Arc::clone(&disk));
+                disk
+            }
+            None => Arc::new(SimDisk::instant()),
+        };
         let pool = Arc::new(BufferPool::new(
             config.frames,
             config.page_size,
             manager,
-            Arc::new(SimDisk::instant()),
+            storage,
         ));
         let (admission, work) = admission_queue(config.queue_capacity, config.policy);
         let shared = Arc::new(Shared {
@@ -184,6 +201,7 @@ impl Server {
         Ok(Server {
             addr,
             shared,
+            faulty,
             admission: Some(admission),
             acceptor: Some(acceptor),
             workers,
@@ -204,6 +222,11 @@ impl Server {
     /// The underlying buffer pool.
     pub fn pool(&self) -> &Arc<DynPool> {
         &self.shared.pool
+    }
+
+    /// The fault-injecting disk, when the config enabled one.
+    pub fn faulty_disk(&self) -> Option<&Arc<FaultyDisk>> {
+        self.faulty.as_ref()
     }
 
     /// Render the same JSON a `STATS` request returns.
@@ -321,9 +344,11 @@ fn serve_connection(
                 continue;
             }
             Request::Shutdown => {
+                // Flag the stop before acknowledging: a client that has
+                // seen the OK must observe `stop_requested()` as true.
+                request_stop(&shared.stop, addr);
                 protocol::write_frame(&mut writer, &Response::Ok(Vec::new()).encode())?;
                 writer.flush()?;
-                request_stop(&shared.stop, addr);
                 continue;
             }
             _ => {}
@@ -353,6 +378,7 @@ fn serve_connection(
             Response::Busy => 1,
             Response::Dropped => 2,
             Response::Err(_) => 3,
+            Response::IoError(_) => 4,
         };
         bpw_trace::span_backdated(
             bpw_trace::EventKind::ServerReply,
@@ -364,6 +390,7 @@ fn serve_connection(
             Response::Busy => shared.metrics.busy.incr(),
             Response::Dropped => shared.metrics.dropped.incr(),
             Response::Err(_) => shared.metrics.errors.incr(),
+            Response::IoError(_) => shared.metrics.io_errors.incr(),
         }
     }
     Ok(())
@@ -409,8 +436,10 @@ fn execute(
             if *page >= shared.pages {
                 return Response::Err(format!("page {page} outside 0..{}", shared.pages));
             }
-            let pinned = session.fetch(*page);
-            Response::Ok(pinned.read(|data| data.to_vec()))
+            match session.fetch(*page) {
+                Ok(pinned) => Response::Ok(pinned.read(|data| data.to_vec())),
+                Err(e) => Response::IoError(e.to_string()),
+            }
         }
         Request::Put { page, data } => {
             if *page >= shared.pages {
@@ -422,9 +451,13 @@ fn execute(
                     data.len()
                 ));
             }
-            let pinned = session.fetch(*page);
-            pinned.write(|dst| dst[..data.len()].copy_from_slice(data));
-            Response::Ok(Vec::new())
+            match session.fetch(*page) {
+                Ok(pinned) => {
+                    pinned.write(|dst| dst[..data.len()].copy_from_slice(data));
+                    Response::Ok(Vec::new())
+                }
+                Err(e) => Response::IoError(e.to_string()),
+            }
         }
         Request::Scan { start, len } => {
             let end = match start.checked_add(*len as u64) {
@@ -435,8 +468,10 @@ fn execute(
             };
             let mut checksum = 0u64;
             for page in *start..end {
-                let pinned = session.fetch(page);
-                checksum = pinned.read(|data| fnv1a(checksum, data));
+                match session.fetch(page) {
+                    Ok(pinned) => checksum = pinned.read(|data| fnv1a(checksum, data)),
+                    Err(e) => return Response::IoError(e.to_string()),
+                }
             }
             let mut payload = Vec::with_capacity(12);
             payload.extend_from_slice(&len.to_le_bytes());
@@ -455,6 +490,8 @@ fn stats_json(shared: &Shared) -> String {
         hits: stats.hits.load(Ordering::Relaxed),
         misses: stats.misses.load(Ordering::Relaxed),
         writebacks: stats.writebacks.load(Ordering::Relaxed),
+        io_retries: stats.io_retries.load(Ordering::Relaxed),
+        io_errors: stats.io_errors.load(Ordering::Relaxed),
     };
     let lock = shared.pool.manager().lock_snapshot();
     let miss_lock = shared.pool.miss_lock_snapshot();
@@ -478,6 +515,7 @@ fn metrics_text(shared: &Shared) -> String {
             ("busy", m.busy.get()),
             ("dropped", m.dropped.get()),
             ("error", m.errors.get()),
+            ("io_error", m.io_errors.get()),
         ],
     )
     .gauge(
@@ -511,6 +549,16 @@ fn metrics_text(shared: &Shared) -> String {
         "bpw_pool_writebacks_total",
         "Dirty victims written back.",
         stats.writebacks.load(Ordering::Relaxed),
+    )
+    .counter(
+        "bpw_pool_io_retries_total",
+        "Storage operations retried after a transient fault.",
+        stats.io_retries.load(Ordering::Relaxed),
+    )
+    .counter(
+        "bpw_pool_io_errors_total",
+        "Storage operations failed after exhausting retries.",
+        stats.io_errors.load(Ordering::Relaxed),
     )
     .lock_snapshot(
         "bpw_lock",

@@ -36,13 +36,20 @@ pub enum EventKind {
     ServerDequeue,
     /// A reply was written back to the client; the span covers
     /// admission to reply (end-to-end latency). Arg: response status
-    /// byte (0 OK, 1 BUSY, 2 DROPPED, 3 ERR).
+    /// byte (0 OK, 1 BUSY, 2 DROPPED, 3 ERR, 4 ERR_IO).
     ServerReply,
+    /// A storage operation failed transiently and is being retried
+    /// after backoff. Instant. Arg: page id.
+    IoRetry,
+    /// A storage operation failed permanently (retry budget exhausted);
+    /// the frame involved was repaired and the error surfaced. Instant.
+    /// Arg: page id.
+    IoError,
 }
 
 impl EventKind {
     /// Every kind, in declaration order.
-    pub const ALL: [EventKind; 10] = [
+    pub const ALL: [EventKind; 12] = [
         EventKind::LockWait,
         EventKind::LockHold,
         EventKind::BatchCommit,
@@ -53,6 +60,8 @@ impl EventKind {
         EventKind::ServerEnqueue,
         EventKind::ServerDequeue,
         EventKind::ServerReply,
+        EventKind::IoRetry,
+        EventKind::IoError,
     ];
 
     /// Stable snake_case name (Chrome trace `name`, Prometheus label).
@@ -68,6 +77,8 @@ impl EventKind {
             EventKind::ServerEnqueue => "server_enqueue",
             EventKind::ServerDequeue => "server_dequeue",
             EventKind::ServerReply => "server_reply",
+            EventKind::IoRetry => "io_retry",
+            EventKind::IoError => "io_error",
         }
     }
 
@@ -85,12 +96,20 @@ impl EventKind {
             EventKind::ServerEnqueue => "opcode",
             EventKind::ServerDequeue => "opcode",
             EventKind::ServerReply => "status",
+            EventKind::IoRetry => "page",
+            EventKind::IoError => "page",
         }
     }
 
     /// Does this kind carry a meaningful duration?
     pub fn is_span(self) -> bool {
-        !matches!(self, EventKind::Eviction | EventKind::ServerEnqueue)
+        !matches!(
+            self,
+            EventKind::Eviction
+                | EventKind::ServerEnqueue
+                | EventKind::IoRetry
+                | EventKind::IoError
+        )
     }
 }
 

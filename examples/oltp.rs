@@ -31,7 +31,7 @@ fn drive<M: ReplacementManager>(
                     buf.clear();
                     stream.next_transaction(&mut buf);
                     for &page in &buf {
-                        let pinned = session.fetch(page);
+                        let pinned = session.fetch(page).expect("storage I/O failed");
                         pinned.read(|bytes| std::hint::black_box(bytes[0]));
                     }
                 }

@@ -43,13 +43,13 @@ fn main() {
                         let mut last_lsn = 0;
                         for k in 0..3u64 {
                             let page = (t * 1_000) + txn * 3 + k;
-                            let pinned = session.fetch(page);
+                            let pinned = session.fetch(page).expect("storage I/O failed");
                             pinned.write(|data| {
                                 data[32] = 0xD0 + t as u8; // transaction marker
                             });
                             last_lsn = wal.append_lsn();
                         }
-                        wal.commit(last_lsn);
+                        wal.commit(last_lsn).expect("log flush failed");
                         committed.fetch_add(1, Ordering::Relaxed);
                     }
                 });
@@ -75,7 +75,7 @@ fn main() {
 
     // --- Phase 2: recovery --------------------------------------------
     let redo_before = storage.writes();
-    BufferPool::<WrappedManager<TwoQ>>::replay_wal_into_storage(&wal, &*storage);
+    BufferPool::<WrappedManager<TwoQ>>::replay_wal_into_storage(&wal, &*storage).expect("recovery replay failed");
     println!(
         "\nphase 2 (recovery): {} redo writes from {} durable WAL bytes",
         storage.writes() - redo_before,
@@ -95,7 +95,7 @@ fn main() {
         for txn in 0..100u64 {
             for k in 0..3u64 {
                 let page = (t * 1_000) + txn * 3 + k;
-                let pinned = session.fetch(page);
+                let pinned = session.fetch(page).expect("storage I/O failed");
                 pinned.read(|data| {
                     assert_eq!(
                         data[32],

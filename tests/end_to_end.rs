@@ -30,7 +30,7 @@ fn drive<M: ReplacementManager>(
                     buf.clear();
                     stream.next_transaction(&mut buf);
                     for &page in &buf {
-                        let pinned = session.fetch(page);
+                        let pinned = session.fetch(page).expect("storage I/O failed");
                         // Verify the substrate delivered the right page.
                         pinned.read(|bytes| {
                             assert_eq!(
@@ -98,7 +98,7 @@ fn every_policy_survives_concurrent_pool_traffic() {
                         x ^= x >> 7;
                         x ^= x << 17;
                         let page = x % 300; // > frames: constant eviction
-                        let pinned = session.fetch(page);
+                        let pinned = session.fetch(page).expect("storage I/O failed");
                         pinned.read(|bytes| {
                             assert_eq!(u64::from_le_bytes(bytes[..8].try_into().unwrap()), page);
                         });
@@ -184,7 +184,7 @@ fn invalidation_under_load() {
                     x ^= x >> 7;
                     x ^= x << 17;
                     let page = x % 128;
-                    drop(session.fetch(page));
+                    drop(session.fetch(page).expect("storage I/O failed"));
                 }
             });
         }
