@@ -211,12 +211,15 @@ mod tests {
         )
         .with_retry_policy(RetryPolicy::none());
         let mut s = p.session();
-        s.fetch(1).unwrap().write(|d| d[10] = 0x11);
+        let pin = s.fetch(1).unwrap();
+        let frame = pin.frame();
+        pin.write(|d| d[10] = 0x11);
+        drop(pin);
         disk.break_page_writes(1);
         assert_eq!(p.flush_dirty_pages(usize::MAX), 0, "clean must fail");
         assert_eq!(p.stats().io_errors.load(Ordering::Relaxed), 1);
-        assert!(p.desc(0).snapshot().dirty, "frame must be re-dirtied");
-        assert_eq!(p.desc(0).snapshot().pins, 0, "bgwriter pin released");
+        assert!(p.desc(frame).snapshot().dirty, "frame must be re-dirtied");
+        assert_eq!(p.desc(frame).snapshot().pins, 0, "bgwriter pin released");
         // Device heals: the same dirt cleans on the next pass.
         disk.clear_faults();
         assert_eq!(p.flush_dirty_pages(usize::MAX), 1);
@@ -266,7 +269,9 @@ mod tests {
             sc.spawn(move || {
                 let mut s = p.session();
                 for page in 0..500u64 {
-                    s.fetch(page % 64).unwrap().write(|d| d[12] = (page % 251) as u8);
+                    s.fetch(page % 64)
+                        .unwrap()
+                        .write(|d| d[12] = (page % 251) as u8);
                 }
             });
         });

@@ -1,0 +1,310 @@
+//! Striped lock-free free list.
+//!
+//! The seed pool kept free frames in one `Mutex<Vec<FrameId>>` — a
+//! single point of serialization on every miss and every frame repair,
+//! defeating the per-shard miss locks. This replaces it with one
+//! Treiber stack per page-table shard plus a *cold* stack:
+//!
+//! * `pop(home)` tries the caller's home stripe first, then steals from
+//!   the other stripes, and drains the cold stack only when everything
+//!   else is empty.
+//! * `push(home, f)` returns a frame to its shard's stripe (eviction,
+//!   invalidation).
+//! * `push_cold(f)` parks a frame at the coldest point of the rotation
+//!   — used for frames freed by I/O-failure repair, so a fault-prone
+//!   frame is the *last* candidate for reuse instead of the first (the
+//!   LIFO pathology: a persistently failing page would otherwise churn
+//!   one frame forever).
+//!
+//! Each stack head packs a 32-bit ABA tag with the frame index; every
+//! successful CAS bumps the tag, so a pop that observed head `A` cannot
+//! succeed after a concurrent pop-push cycle reinstalls `A`. Per-frame
+//! `next` links live in one atomic array — a frame is on at most one
+//! stack at a time, so its link is owned by whichever stack holds it.
+
+use std::sync::atomic::{AtomicU32, AtomicU64, AtomicUsize, Ordering};
+
+use bpw_replacement::FrameId;
+
+/// Empty-stack sentinel in the index half of a head word.
+const NIL: u32 = u32::MAX;
+
+fn pack(tag: u32, idx: u32) -> u64 {
+    ((tag as u64) << 32) | idx as u64
+}
+
+fn unpack(word: u64) -> (u32, u32) {
+    ((word >> 32) as u32, word as u32)
+}
+
+/// Lock-free striped free list with work stealing and a cold stack.
+pub struct StripedFreeList {
+    /// One Treiber head per stripe; `heads[stripes]` is the cold stack.
+    heads: Vec<AtomicU64>,
+    /// Per-frame successor link (index into itself, `NIL` at the end).
+    next: Vec<AtomicU32>,
+    /// Regular stripe count (excluding the cold stack).
+    stripes: usize,
+    /// Frames currently on any stack (exact when quiescent).
+    count: AtomicUsize,
+    /// Pops satisfied by a stripe other than the caller's home.
+    steals: AtomicU64,
+    /// Frames parked on the cold stack.
+    cold_pushes: AtomicU64,
+}
+
+impl StripedFreeList {
+    /// A free list over frames `0..frames`, striped `stripes` ways,
+    /// with every frame initially free (frame `f` starts on stripe
+    /// `f % stripes`).
+    pub fn new(frames: usize, stripes: usize) -> Self {
+        assert!(stripes >= 1, "need at least one stripe");
+        let list = StripedFreeList {
+            heads: (0..=stripes)
+                .map(|_| AtomicU64::new(pack(0, NIL)))
+                .collect(),
+            next: (0..frames).map(|_| AtomicU32::new(NIL)).collect(),
+            stripes,
+            count: AtomicUsize::new(0),
+            steals: AtomicU64::new(0),
+            cold_pushes: AtomicU64::new(0),
+        };
+        // Reverse order so low frame ids pop first, like the seed's Vec.
+        for f in (0..frames as u32).rev() {
+            list.push(f as usize % stripes, f);
+        }
+        list
+    }
+
+    /// Regular stripe count (the cold stack is extra).
+    pub fn stripes(&self) -> usize {
+        self.stripes
+    }
+
+    /// Frames currently free. Exact only when no pops/pushes race it.
+    pub fn len(&self) -> usize {
+        self.count.load(Ordering::Acquire)
+    }
+
+    /// True when no frame is free (same caveat as [`len`](Self::len)).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Cross-stripe steals served so far.
+    pub fn steals(&self) -> u64 {
+        self.steals.load(Ordering::Relaxed)
+    }
+
+    /// Frames parked cold (repair path) so far.
+    pub fn cold_pushes(&self) -> u64 {
+        self.cold_pushes.load(Ordering::Relaxed)
+    }
+
+    fn push_stack(&self, stack: usize, frame: u32) {
+        let head = &self.heads[stack];
+        loop {
+            let old = head.load(Ordering::Acquire);
+            let (tag, idx) = unpack(old);
+            self.next[frame as usize].store(idx, Ordering::Release);
+            if head
+                .compare_exchange_weak(
+                    old,
+                    pack(tag.wrapping_add(1), frame),
+                    Ordering::AcqRel,
+                    Ordering::Acquire,
+                )
+                .is_ok()
+            {
+                self.count.fetch_add(1, Ordering::AcqRel);
+                return;
+            }
+        }
+    }
+
+    fn pop_stack(&self, stack: usize) -> Option<u32> {
+        let head = &self.heads[stack];
+        loop {
+            let old = head.load(Ordering::Acquire);
+            let (tag, idx) = unpack(old);
+            if idx == NIL {
+                return None;
+            }
+            // A racing pop may free `idx` and a push may relink it
+            // elsewhere before our CAS; the tag bump makes the CAS fail
+            // then, so a stale `next` read is never acted on.
+            let next = self.next[idx as usize].load(Ordering::Acquire);
+            if head
+                .compare_exchange_weak(
+                    old,
+                    pack(tag.wrapping_add(1), next),
+                    Ordering::AcqRel,
+                    Ordering::Acquire,
+                )
+                .is_ok()
+            {
+                self.count.fetch_sub(1, Ordering::AcqRel);
+                return Some(idx);
+            }
+        }
+    }
+
+    /// Return `frame` to its home stripe.
+    pub fn push(&self, home: usize, frame: FrameId) {
+        self.push_stack(home % self.stripes, frame);
+    }
+
+    /// Park `frame` on the cold stack: it is reused only after every
+    /// regular stripe is empty.
+    pub fn push_cold(&self, frame: FrameId) {
+        self.cold_pushes.fetch_add(1, Ordering::Relaxed);
+        self.push_stack(self.stripes, frame);
+    }
+
+    /// Take a free frame, preferring the caller's `home` stripe, then
+    /// stealing round-robin from the other stripes, then draining the
+    /// cold stack. Returns `None` only when every stack was observed
+    /// empty.
+    pub fn pop(&self, home: usize) -> Option<FrameId> {
+        let home = home % self.stripes;
+        if let Some(f) = self.pop_stack(home) {
+            return Some(f);
+        }
+        for i in 1..self.stripes {
+            let s = (home + i) % self.stripes;
+            if let Some(f) = self.pop_stack(s) {
+                self.steals.fetch_add(1, Ordering::Relaxed);
+                bpw_trace::instant(bpw_trace::EventKind::FreeListSteal, s as u64);
+                return Some(f);
+            }
+        }
+        if let Some(f) = self.pop_stack(self.stripes) {
+            self.steals.fetch_add(1, Ordering::Relaxed);
+            bpw_trace::instant(bpw_trace::EventKind::FreeListSteal, self.stripes as u64);
+            return Some(f);
+        }
+        None
+    }
+}
+
+impl std::fmt::Debug for StripedFreeList {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("StripedFreeList")
+            .field("stripes", &self.stripes)
+            .field("len", &self.len())
+            .field("steals", &self.steals())
+            .field("cold_pushes", &self.cold_pushes())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn starts_full_and_drains_unique() {
+        let fl = StripedFreeList::new(64, 4);
+        assert_eq!(fl.len(), 64);
+        let mut seen = HashSet::new();
+        for _ in 0..64 {
+            assert!(seen.insert(fl.pop(0).expect("frame available")));
+        }
+        assert!(fl.pop(0).is_none());
+        assert!(fl.is_empty());
+    }
+
+    #[test]
+    fn home_stripe_preferred_no_steal() {
+        let fl = StripedFreeList::new(8, 4);
+        // Frame f sits on stripe f % 4: popping home=1 gets 1 or 5 first.
+        let f = fl.pop(1).unwrap();
+        assert!(f % 4 == 1, "home stripe must serve first (got {f})");
+        assert_eq!(fl.steals(), 0);
+    }
+
+    #[test]
+    fn dry_stripe_steals_and_counts() {
+        let fl = StripedFreeList::new(4, 4);
+        assert_eq!(fl.pop(2).unwrap() % 4, 2);
+        // Stripe 2 is now dry; next pop from it must steal.
+        let f = fl.pop(2).unwrap();
+        assert!(f % 4 != 2);
+        assert_eq!(fl.steals(), 1);
+    }
+
+    #[test]
+    fn cold_frames_reused_last() {
+        let fl = StripedFreeList::new(4, 2);
+        let victim = fl.pop(0).unwrap();
+        fl.push_cold(victim);
+        assert_eq!(fl.cold_pushes(), 1);
+        // Three regular frames remain; the cold one must come out last.
+        let mut order = Vec::new();
+        while let Some(f) = fl.pop(0) {
+            order.push(f);
+        }
+        assert_eq!(order.len(), 4);
+        assert_eq!(*order.last().unwrap(), victim, "cold frame reused first");
+    }
+
+    #[test]
+    fn push_pop_roundtrip_conserves_frames() {
+        let fl = StripedFreeList::new(16, 4);
+        let mut held = Vec::new();
+        for _ in 0..10 {
+            held.push(fl.pop(3).unwrap());
+        }
+        assert_eq!(fl.len(), 6);
+        for f in held.drain(..) {
+            fl.push(f as usize, f);
+        }
+        assert_eq!(fl.len(), 16);
+    }
+
+    #[test]
+    fn concurrent_churn_never_duplicates_a_frame() {
+        // 4 threads pop/push against 2 stripes; every popped frame is
+        // "owned" until pushed back, so no frame may be popped twice
+        // concurrently. Ownership is tracked with an atomic claim map.
+        let frames = 32usize;
+        let fl = StripedFreeList::new(frames, 2);
+        let claimed: Vec<AtomicU32> = (0..frames).map(|_| AtomicU32::new(0)).collect();
+        std::thread::scope(|s| {
+            for t in 0..4usize {
+                let fl = &fl;
+                let claimed = &claimed;
+                s.spawn(move || {
+                    let mut local = Vec::new();
+                    for i in 0..5_000usize {
+                        if let Some(f) = fl.pop(t) {
+                            let was = claimed[f as usize].swap(1, Ordering::AcqRel);
+                            assert_eq!(was, 0, "frame {f} popped while owned");
+                            local.push(f);
+                        }
+                        if (i % 3 == 0 || fl.is_empty()) && !local.is_empty() {
+                            let f = local.swap_remove(i % local.len());
+                            claimed[f as usize].store(0, Ordering::Release);
+                            if i % 7 == 0 {
+                                fl.push_cold(f);
+                            } else {
+                                fl.push(t, f);
+                            }
+                        }
+                    }
+                    for f in local {
+                        claimed[f as usize].store(0, Ordering::Release);
+                        fl.push(t, f);
+                    }
+                });
+            }
+        });
+        assert_eq!(fl.len(), frames, "frames leaked or duplicated");
+        let mut seen = HashSet::new();
+        while let Some(f) = fl.pop(0) {
+            assert!(seen.insert(f), "duplicate frame {f}");
+        }
+        assert_eq!(seen.len(), frames);
+    }
+}

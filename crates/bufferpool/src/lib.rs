@@ -26,6 +26,7 @@
 
 pub mod bgwriter;
 pub mod desc;
+pub mod free_list;
 pub mod managers;
 pub mod page_table;
 pub mod pool;
@@ -34,10 +35,11 @@ pub mod wal;
 
 pub use bgwriter::BgWriter;
 pub use desc::{BufferDesc, DescState};
+pub use free_list::StripedFreeList;
 pub use managers::{
     ClockManager, CoarseManager, ManagerHandle, ReplacementManager, WrappedManager,
 };
 pub use page_table::PageTable;
-pub use pool::{BufferPool, PinnedPage, PoolSession, PoolStats, RetryPolicy};
+pub use pool::{BufferPool, InvalidateOutcome, PinnedPage, PoolSession, PoolStats, RetryPolicy};
 pub use storage::{FaultPlan, FaultyDisk, SimDisk, Storage};
 pub use wal::{Lsn, Wal};

@@ -31,13 +31,30 @@ impl PageTable {
         self.shards.len()
     }
 
-    fn shard(&self, page: PageId) -> &RwLock<HashMap<PageId, FrameId>> {
+    /// The shard index `page` hashes to. Public so pool-side structures
+    /// (per-shard miss locks, striped free lists) can partition by the
+    /// exact same function.
+    pub fn shard_index(&self, page: PageId) -> usize {
         // splitmix64 avalanche so sequential page ids spread over shards.
         let mut x = page.wrapping_add(0x9E37_79B9_7F4A_7C15);
         x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
         x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
         x ^= x >> 31;
-        &self.shards[(x & self.mask) as usize]
+        (x & self.mask) as usize
+    }
+
+    fn shard(&self, page: PageId) -> &RwLock<HashMap<PageId, FrameId>> {
+        &self.shards[self.shard_index(page)]
+    }
+
+    /// Visit every `(page, frame)` mapping (O(shards) lock rounds; for
+    /// invariant checks and stats, not hot paths).
+    pub fn for_each(&self, mut f: impl FnMut(PageId, FrameId)) {
+        for shard in &self.shards {
+            for (&page, &frame) in shard.read().iter() {
+                f(page, frame);
+            }
+        }
     }
 
     /// Look up the frame caching `page`, if mapped.
@@ -86,6 +103,30 @@ mod tests {
     fn shard_count_rounds_up() {
         assert_eq!(PageTable::new(1).shards(), 16);
         assert_eq!(PageTable::new(17).shards(), 32);
+    }
+
+    #[test]
+    fn shard_index_is_stable_and_in_range() {
+        let t = PageTable::new(8);
+        for p in 0..10_000u64 {
+            let i = t.shard_index(p);
+            assert!(i < t.shards());
+            assert_eq!(i, t.shard_index(p), "shard function must be pure");
+        }
+    }
+
+    #[test]
+    fn for_each_visits_all_mappings() {
+        let t = PageTable::new(4);
+        for p in 0..100u64 {
+            t.insert(p, p as FrameId);
+        }
+        let mut seen = std::collections::HashSet::new();
+        t.for_each(|page, frame| {
+            assert_eq!(page as FrameId, frame);
+            assert!(seen.insert(page));
+        });
+        assert_eq!(seen.len(), 100);
     }
 
     #[test]

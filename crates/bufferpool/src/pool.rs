@@ -9,15 +9,42 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use bpw_core::InstrumentedLock;
-use bpw_metrics::{LockSnapshot, LockStats};
+use bpw_metrics::{LockShardSummary, LockSnapshot, LockStats};
 use bpw_replacement::{FrameId, MissOutcome, PageId};
 use parking_lot::Mutex;
 
 use crate::desc::BufferDesc;
+use crate::free_list::StripedFreeList;
 use crate::managers::{ManagerHandle, ReplacementManager};
 use crate::page_table::PageTable;
 use crate::storage::Storage;
 use crate::wal::Wal;
+
+/// Why [`BufferPool::invalidate`] did or did not drop a page.
+/// `NotResident` is permanent (until someone re-fetches the page);
+/// `Busy` is transient and worth retrying.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InvalidateOutcome {
+    /// The page was resident and is now dropped; its frame is free.
+    Invalidated,
+    /// The page is not in the buffer — nothing to drop.
+    NotResident,
+    /// The page is resident but pinned, mid-I/O, or mid-eviction; retry
+    /// after the current user releases it.
+    Busy,
+}
+
+impl InvalidateOutcome {
+    /// Did the call actually drop the page?
+    pub fn is_invalidated(self) -> bool {
+        matches!(self, InvalidateOutcome::Invalidated)
+    }
+
+    /// Could a retry succeed where this call did not?
+    pub fn is_retryable(self) -> bool {
+        matches!(self, InvalidateOutcome::Busy)
+    }
+}
 
 /// Aggregate pool statistics.
 #[derive(Debug, Default)]
@@ -88,11 +115,15 @@ pub struct BufferPool<M: ReplacementManager> {
     table: PageTable,
     descs: Vec<BufferDesc>,
     data: Vec<Mutex<Box<[u8]>>>,
-    free: Mutex<Vec<FrameId>>,
-    /// Serializes victim selection + table rebinding (not the I/O).
-    /// Instrumented: misses are where lock contention concentrates once
-    /// BP-Wrapper removes it from the hit path.
-    miss_lock: InstrumentedLock<()>,
+    free: StripedFreeList,
+    /// Serialize victim selection + table rebinding (not the I/O), one
+    /// lock per page-table shard: misses on pages in different shards
+    /// run their whole slow path concurrently. Instrumented: misses are
+    /// where lock contention concentrates once BP-Wrapper removes it
+    /// from the hit path. A miss only ever holds the one lock its page
+    /// hashes to — no ordering between shard locks exists, so no
+    /// deadlock can.
+    miss_locks: Vec<InstrumentedLock<()>>,
     manager: M,
     storage: Arc<dyn Storage>,
     wal: Option<Arc<Wal>>,
@@ -102,17 +133,20 @@ pub struct BufferPool<M: ReplacementManager> {
 }
 
 impl<M: ReplacementManager> BufferPool<M> {
-    /// Build a pool of `frames` frames of `page_size` bytes each.
+    /// Build a pool of `frames` frames of `page_size` bytes each, with
+    /// one miss lock and one free-list stripe per page-table shard.
     pub fn new(frames: usize, page_size: usize, manager: M, storage: Arc<dyn Storage>) -> Self {
         assert!(frames >= 1);
+        let table = PageTable::new(frames / 4);
+        let shards = table.shards();
         BufferPool {
-            table: PageTable::new(frames / 4),
+            table,
             descs: (0..frames).map(|_| BufferDesc::new()).collect(),
             data: (0..frames)
                 .map(|_| Mutex::new(vec![0u8; page_size].into_boxed_slice()))
                 .collect(),
-            free: Mutex::new((0..frames as FrameId).rev().collect()),
-            miss_lock: InstrumentedLock::new((), Arc::new(LockStats::new())),
+            free: StripedFreeList::new(frames, shards),
+            miss_locks: Self::build_miss_locks(shards),
             manager,
             storage,
             wal: None,
@@ -120,6 +154,43 @@ impl<M: ReplacementManager> BufferPool<M> {
             page_size,
             retry: RetryPolicy::default(),
         }
+    }
+
+    fn build_miss_locks(shards: usize) -> Vec<InstrumentedLock<()>> {
+        (0..shards)
+            .map(|i| {
+                InstrumentedLock::with_wait_event(
+                    (),
+                    Arc::new(LockStats::new()),
+                    bpw_trace::EventKind::MissShardWait,
+                    i as u64,
+                )
+            })
+            .collect()
+    }
+
+    /// Override the miss-path partition width (builder style; call
+    /// before the first fetch). `1` restores the seed's single global
+    /// miss lock + free list — the coarse baseline the scaling
+    /// benchmark compares against. Values above the page-table shard
+    /// count are clamped to it (extra locks could never be indexed).
+    pub fn with_miss_shards(mut self, shards: usize) -> Self {
+        assert!(shards >= 1, "need at least one miss shard");
+        assert_eq!(
+            self.free.len(),
+            self.frames(),
+            "with_miss_shards must be called before any fetch"
+        );
+        let n = shards.min(self.table.shards());
+        self.miss_locks = Self::build_miss_locks(n);
+        self.free = StripedFreeList::new(self.frames(), n);
+        self
+    }
+
+    /// The shard lock index `page`'s miss path serializes on: the page
+    /// table's shard function, folded onto the miss-lock count.
+    fn miss_shard(&self, page: PageId) -> usize {
+        self.table.shard_index(page) % self.miss_locks.len()
     }
 
     /// Set the storage retry policy (builder style).
@@ -177,9 +248,42 @@ impl<M: ReplacementManager> BufferPool<M> {
         &self.manager
     }
 
-    /// Contention profile of the miss lock (victim selection + rebinding).
+    /// Aggregate contention profile of the miss path (victim selection
+    /// and rebinding), summed over every shard lock — the legacy
+    /// single-lock view.
     pub fn miss_lock_snapshot(&self) -> LockSnapshot {
-        self.miss_lock.stats().snapshot()
+        self.miss_lock_shard_snapshots()
+            .iter()
+            .fold(LockSnapshot::default(), |acc, s| acc.merge(s))
+    }
+
+    /// Number of miss-path shard locks.
+    pub fn miss_lock_shards(&self) -> usize {
+        self.miss_locks.len()
+    }
+
+    /// Per-shard miss-lock snapshots, in shard order.
+    pub fn miss_lock_shard_snapshots(&self) -> Vec<LockSnapshot> {
+        self.miss_locks
+            .iter()
+            .map(|l| l.stats().snapshot())
+            .collect()
+    }
+
+    /// Shard-aware miss-lock summary (totals + hottest shard).
+    pub fn miss_lock_summary(&self) -> LockShardSummary {
+        LockShardSummary::from_snapshots(&self.miss_lock_shard_snapshots())
+    }
+
+    /// Free-list pops served by a stripe other than the asker's home
+    /// (work-stealing rebalances).
+    pub fn free_list_steals(&self) -> u64 {
+        self.free.steals()
+    }
+
+    /// Frames parked on the free list's cold stack by frame repair.
+    pub fn free_list_cold_pushes(&self) -> u64 {
+        self.free.cold_pushes()
     }
 
     /// The storage device.
@@ -196,25 +300,28 @@ impl<M: ReplacementManager> BufferPool<M> {
         }
     }
 
-    /// Drop `page` from the buffer (e.g. relation truncation). The page
-    /// must not be pinned.
-    pub fn invalidate(&self, page: PageId) -> bool {
-        let _g = self.miss_lock.lock();
+    /// Drop `page` from the buffer (e.g. relation truncation),
+    /// distinguishing "nothing to drop" from "in use right now" so
+    /// callers know whether a retry can help. Serializes on the page's
+    /// own shard lock only.
+    pub fn invalidate(&self, page: PageId) -> InvalidateOutcome {
+        let shard = self.miss_shard(page);
+        let _g = self.miss_locks[shard].lock();
         let Some(frame) = self.table.get(page) else {
-            return false;
+            return InvalidateOutcome::NotResident;
         };
         {
             let mut s = self.descs[frame as usize].lock();
             if s.pins > 0 || s.io_in_progress || !(s.valid && s.tag == page) {
-                return false; // in use or stale: caller may retry
+                return InvalidateOutcome::Busy;
             }
             s.valid = false;
             s.dirty = false;
         }
         self.table.remove(page);
         self.manager.invalidate(frame);
-        self.free.lock().push(frame);
-        true
+        self.free.push(shard, frame);
+        InvalidateOutcome::Invalidated
     }
 
     /// Frame `f`'s descriptor (crate-internal: background writer).
@@ -285,7 +392,7 @@ impl<M: ReplacementManager> BufferPool<M> {
     /// state forgotten, frame on the free list — so no frame is ever
     /// wedged and a later fetch of `page` starts from scratch.
     fn repair_failed_frame(&self, page: PageId, frame: FrameId) {
-        let _g = self.miss_lock.lock();
+        let _g = self.miss_locks[self.miss_shard(page)].lock();
         {
             let mut s = self.descs[frame as usize].lock();
             debug_assert!(s.io_in_progress, "repair of a frame not in I/O");
@@ -299,7 +406,10 @@ impl<M: ReplacementManager> BufferPool<M> {
         }
         self.table.remove(page);
         self.manager.invalidate(frame);
-        self.free.lock().push(frame);
+        // Cold push: the frame just hosted a failing I/O; a plain LIFO
+        // push would hand it straight to the next miss, so one bad page
+        // could monopolize a single frame indefinitely.
+        self.free.push_cold(frame);
     }
 
     /// Number of valid resident pages (O(frames); tests).
@@ -310,7 +420,18 @@ impl<M: ReplacementManager> BufferPool<M> {
     /// Frames currently on the free list (never used or freed by
     /// [`invalidate`](Self::invalidate)).
     pub fn free_frames(&self) -> usize {
-        self.free.lock().len()
+        self.free.len()
+    }
+
+    /// Check that no two pages map to the same frame and every mapped
+    /// frame's descriptor agrees with the mapping (O(table); tests).
+    pub fn check_mapping_invariants(&self) {
+        let mut owner = vec![None::<PageId>; self.frames()];
+        self.table.for_each(|page, frame| {
+            if let Some(prev) = owner[frame as usize].replace(page) {
+                panic!("frame {frame} mapped by both page {prev} and page {page}");
+            }
+        });
     }
 }
 
@@ -357,15 +478,16 @@ impl<'p, M: ReplacementManager> PoolSession<'p, M> {
     /// (the caller retries), `Err` when storage failed after retries.
     fn fetch_miss(&mut self, page: PageId) -> io::Result<Option<PinnedPage<'p, M>>> {
         let pool = self.pool;
-        let mut guard = pool.miss_lock.lock();
+        let shard = pool.miss_shard(page);
+        let mut guard = pool.miss_locks[shard].lock();
         // Re-check: another thread may have loaded the page while we
-        // waited for the miss lock.
+        // waited for this shard's miss lock.
         if pool.table.get(page).is_some() {
             drop(guard);
             return Ok(None); // retry via the hit path
         }
         guard.cover_accesses(1);
-        let free = pool.free.lock().pop();
+        let free = pool.free.pop(shard);
         // Victim filter: pinned or in-I/O frames are rejected; the
         // accepted frame is atomically invalidated under its latch so no
         // new pin can slip in after selection.
@@ -610,8 +732,8 @@ mod tests {
         let mut s = pool.session();
         drop(s.fetch(1).unwrap());
         drop(s.fetch(2).unwrap());
-        assert!(pool.invalidate(1));
-        assert!(!pool.invalidate(1));
+        assert_eq!(pool.invalidate(1), InvalidateOutcome::Invalidated);
+        assert_eq!(pool.invalidate(1), InvalidateOutcome::NotResident);
         assert_eq!(pool.resident_count(), 1);
         drop(s.fetch(3).unwrap()); // takes the freed frame, no eviction
         assert_eq!(pool.resident_count(), 2);
@@ -781,11 +903,14 @@ mod tests {
             Arc::clone(&storage) as Arc<dyn crate::storage::Storage>,
         );
         let mut s = pool.session();
-        s.fetch(5).unwrap()
+        s.fetch(5)
+            .unwrap()
             .read(|d| assert_eq!(d[16], 0xAA, "committed write lost"));
-        s.fetch(6).unwrap()
+        s.fetch(6)
+            .unwrap()
             .read(|d| assert_eq!(d[17], 0xBB, "committed write lost"));
-        s.fetch(7).unwrap()
+        s.fetch(7)
+            .unwrap()
             .read(|d| assert_ne!(d[18], 0xCC, "uncommitted write must not survive"));
     }
 
@@ -958,15 +1083,15 @@ mod tests {
                     let mut s = pool.session();
                     for i in 0..200u64 {
                         let page = (i + t) % 16;
-                        match s.fetch(page) {
-                            Ok(p) => p.read(|d| {
+                        // Err means an injected fault; the next fetch retries.
+                        if let Ok(p) = s.fetch(page) {
+                            p.read(|d| {
                                 assert_eq!(
                                     u64::from_le_bytes(d[..8].try_into().unwrap()),
                                     page,
                                     "wrong bytes served"
                                 );
-                            }),
-                            Err(_) => {} // injected; next fetch retries
+                            });
                         }
                     }
                 });
@@ -1000,6 +1125,94 @@ mod tests {
         // Nothing lost: retry commits the same records.
         pool.commit_transaction().unwrap();
         assert_eq!(wal.flushed_lsn(), wal.append_lsn());
+    }
+
+    #[test]
+    fn invalidate_distinguishes_busy_from_absent() {
+        let pool = pool_2q(4);
+        let mut s = pool.session();
+        let pinned = s.fetch(8).unwrap();
+        assert_eq!(
+            pool.invalidate(8),
+            InvalidateOutcome::Busy,
+            "pinned page must report Busy, not NotResident"
+        );
+        assert!(pool.invalidate(8).is_retryable());
+        drop(pinned);
+        assert_eq!(pool.invalidate(8), InvalidateOutcome::Invalidated);
+        assert_eq!(pool.invalidate(8), InvalidateOutcome::NotResident);
+        assert!(!pool.invalidate(8).is_retryable());
+        assert_eq!(pool.invalidate(99), InvalidateOutcome::NotResident);
+    }
+
+    #[test]
+    fn failing_page_rotates_through_frames_not_one() {
+        // A page whose read always fails must not monopolize a single
+        // frame: repair parks the failed frame on the free list's cold
+        // stack, so the next attempt claims a different (regular-stripe)
+        // frame. The repair leaves the frame's tag as a remnant, which
+        // lets the test count distinct frames the bad page touched.
+        let frames = 4usize;
+        let disk = Arc::new(crate::storage::FaultyDisk::new(
+            Arc::new(SimDisk::instant()),
+            crate::storage::FaultPlan::default(),
+        ));
+        let pool = BufferPool::new(
+            frames,
+            128,
+            CoarseManager::new(TwoQ::new(frames)),
+            Arc::clone(&disk) as Arc<dyn Storage>,
+        )
+        .with_retry_policy(RetryPolicy::none());
+        let bad = 7u64;
+        disk.break_page_reads(bad);
+        let mut s = pool.session();
+        for _ in 0..frames - 1 {
+            s.fetch(bad).expect_err("broken page must error");
+        }
+        let touched = (0..frames)
+            .filter(|&f| pool.descs[f].snapshot().tag == bad)
+            .count();
+        assert!(
+            touched >= 2,
+            "bad page churned only {touched} frame(s); cold rotation broken"
+        );
+        assert_eq!(pool.free_list_cold_pushes(), frames as u64 - 1);
+        assert_eq!(pool.free_frames(), frames, "every failure fully repaired");
+    }
+
+    #[test]
+    fn miss_shards_partition_and_aggregate() {
+        let pool = pool_2q(16);
+        assert!(pool.miss_lock_shards() > 1, "default pool must shard");
+        let mut s = pool.session();
+        for p in 0..64u64 {
+            drop(s.fetch(p).unwrap());
+        }
+        let shards = pool.miss_lock_shard_snapshots();
+        let touched = shards.iter().filter(|s| s.acquisitions > 0).count();
+        assert!(touched > 1, "64 pages must spread over multiple shards");
+        let agg = pool.miss_lock_snapshot();
+        assert_eq!(
+            agg.acquisitions,
+            shards.iter().map(|s| s.acquisitions).sum::<u64>()
+        );
+        let summary = pool.miss_lock_summary();
+        assert_eq!(summary.shards, pool.miss_lock_shards());
+        assert_eq!(summary.total_acquisitions, agg.acquisitions);
+        pool.check_mapping_invariants();
+    }
+
+    #[test]
+    fn coarse_baseline_single_shard() {
+        let pool = pool_2q(8).with_miss_shards(1);
+        assert_eq!(pool.miss_lock_shards(), 1);
+        let mut s = pool.session();
+        for p in 0..32u64 {
+            drop(s.fetch(p).unwrap());
+        }
+        assert_eq!(pool.miss_lock_snapshot().acquisitions, 32);
+        assert_eq!(pool.free_frames() + pool.resident_count(), 8);
     }
 
     #[test]

@@ -57,7 +57,7 @@ fn invalidate_races_concurrent_pins_without_corruption() {
                     // always be refused.
                     if x % 7 == 0 {
                         assert!(
-                            !pool.invalidate(page),
+                            !pool.invalidate(page).is_invalidated(),
                             "invalidate succeeded on a pinned page"
                         );
                     }
@@ -74,7 +74,7 @@ fn invalidate_races_concurrent_pins_without_corruption() {
             sc.spawn(move || {
                 for round in 0..400u64 {
                     for page in 0..pages {
-                        if pool.invalidate(page) {
+                        if pool.invalidate(page).is_invalidated() {
                             invalidations.fetch_add(1, Ordering::Relaxed);
                         } else {
                             rejected.fetch_add(1, Ordering::Relaxed);
@@ -156,13 +156,17 @@ fn wal_recovery_after_crash_mid_transaction() {
             Arc::clone(storage) as Arc<dyn Storage>,
         );
         let mut s = pool.session();
-        s.fetch(10).unwrap()
+        s.fetch(10)
+            .unwrap()
             .read(|d| assert_eq!(d[32], 0x11, "committed write lost"));
-        s.fetch(11).unwrap()
+        s.fetch(11)
+            .unwrap()
             .read(|d| assert_eq!(d[32], 0x22, "committed write lost"));
-        s.fetch(12).unwrap()
+        s.fetch(12)
+            .unwrap()
             .read(|d| assert_ne!(d[32], 0x33, "torn transaction resurrected"));
-        s.fetch(13).unwrap()
+        s.fetch(13)
+            .unwrap()
             .read(|d| assert_ne!(d[32], 0x44, "torn transaction resurrected"));
     };
     verify(&storage);
@@ -212,9 +216,11 @@ fn wal_recovery_respects_forced_flush_boundary() {
         Arc::clone(&storage) as Arc<dyn Storage>,
     );
     let mut s = pool.session();
-    s.fetch(1).unwrap()
+    s.fetch(1)
+        .unwrap()
         .read(|d| assert_eq!(d[40], 0xA1, "force-flushed record must replay"));
-    s.fetch(4).unwrap()
+    s.fetch(4)
+        .unwrap()
         .read(|d| assert_ne!(d[40], 0xB2, "unflushed tail must not replay"));
 }
 

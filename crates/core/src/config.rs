@@ -22,6 +22,13 @@ pub struct WrapperConfig {
     /// policy metadata of queued accesses into the processor cache
     /// immediately before requesting the lock (§III-B).
     pub prefetching: bool,
+    /// Enable combining commit: a thread forced into a blocking
+    /// `Lock()` by a full queue instead *publishes* its batch to a
+    /// per-handle slot and returns, and whichever thread next holds the
+    /// lock applies published batches on the publishers' behalf.
+    /// Off by default — it trades commit latency for fewer lock
+    /// acquisitions and is only worthwhile under heavy skew.
+    pub combining: bool,
 }
 
 impl Default for WrapperConfig {
@@ -31,6 +38,7 @@ impl Default for WrapperConfig {
             batch_threshold: 32,
             batching: true,
             prefetching: true,
+            combining: false,
         }
     }
 }
@@ -43,6 +51,7 @@ impl WrapperConfig {
             batch_threshold: 1,
             batching: false,
             prefetching: false,
+            combining: false,
         }
     }
 
@@ -61,6 +70,7 @@ impl WrapperConfig {
             batch_threshold: 1,
             batching: false,
             prefetching: true,
+            combining: false,
         }
     }
 
@@ -85,6 +95,12 @@ impl WrapperConfig {
         self
     }
 
+    /// Enable or disable combining commit.
+    pub fn with_combining(mut self, on: bool) -> Self {
+        self.combining = on;
+        self
+    }
+
     /// Validate the parameter combination, panicking if inconsistent.
     pub fn validate(&self) {
         assert!(self.queue_size >= 1, "queue size must be at least 1");
@@ -98,6 +114,10 @@ impl WrapperConfig {
             assert_eq!(
                 self.queue_size, 1,
                 "non-batching configurations must use queue size 1"
+            );
+            assert!(
+                !self.combining,
+                "combining commit requires batching (there is no batch to publish)"
             );
         }
     }
@@ -139,6 +159,22 @@ mod tests {
         let c = c.with_batch_threshold(8);
         assert_eq!(c.batch_threshold, 8);
         c.validate();
+    }
+
+    #[test]
+    fn combining_is_opt_in() {
+        assert!(!WrapperConfig::default().combining);
+        let c = WrapperConfig::default().with_combining(true);
+        assert!(c.combining);
+        c.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "combining commit requires batching")]
+    fn combining_without_batching_panics() {
+        WrapperConfig::lock_per_access()
+            .with_combining(true)
+            .validate();
     }
 
     #[test]

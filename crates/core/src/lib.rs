@@ -51,6 +51,7 @@
 
 pub mod adaptive;
 pub mod baselines;
+pub mod combining;
 pub mod config;
 pub mod lock;
 pub mod prefetch;
@@ -61,6 +62,7 @@ pub mod wrapper;
 
 pub use adaptive::{AdaptiveConfig, AdaptiveHandle};
 pub use baselines::{ClockHitPath, PartitionedCache};
+pub use combining::{PublicationBoard, SlotId};
 pub use config::WrapperConfig;
 pub use lock::{InstrumentedLock, LockGuard};
 pub use prefetch::{prefetch_line, prefetch_span, Prefetcher};

@@ -12,6 +12,8 @@ use parking_lot::{Mutex, MutexGuard};
 pub struct InstrumentedLock<T> {
     inner: Mutex<T>,
     stats: Arc<LockStats>,
+    wait_kind: bpw_trace::EventKind,
+    wait_arg: u64,
 }
 
 /// RAII guard for [`InstrumentedLock`]. Reports hold time and the number
@@ -29,6 +31,25 @@ impl<T> InstrumentedLock<T> {
         InstrumentedLock {
             inner: Mutex::new(value),
             stats,
+            wait_kind: bpw_trace::EventKind::LockWait,
+            wait_arg: 1,
+        }
+    }
+
+    /// Wrap `value`, reporting contended waits as `kind` spans with
+    /// `arg` as the event argument (e.g. `MissShardWait` carrying the
+    /// shard index) instead of the generic `LockWait`.
+    pub fn with_wait_event(
+        value: T,
+        stats: Arc<LockStats>,
+        kind: bpw_trace::EventKind,
+        arg: u64,
+    ) -> Self {
+        InstrumentedLock {
+            inner: Mutex::new(value),
+            stats,
+            wait_kind: kind,
+            wait_arg: arg,
         }
     }
 
@@ -76,7 +97,7 @@ impl<T> InstrumentedLock<T> {
         let guard = self.inner.lock();
         let waited = wait_start.elapsed();
         self.stats.record_acquisition(true, waited);
-        bpw_trace::span_backdated(bpw_trace::EventKind::LockWait, waited.as_nanos() as u64, 1);
+        bpw_trace::span_backdated(self.wait_kind, waited.as_nanos() as u64, self.wait_arg);
         LockGuard {
             guard: Some(guard),
             stats: &self.stats,

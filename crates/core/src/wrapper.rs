@@ -20,10 +20,15 @@ use std::sync::Arc;
 use bpw_metrics::{Counter, LockStats};
 use bpw_replacement::{FrameId, MissOutcome, PageId, ReplacementPolicy};
 
+use crate::combining::{PublicationBoard, SlotId};
 use crate::config::WrapperConfig;
 use crate::lock::{InstrumentedLock, LockGuard};
 use crate::prefetch::Prefetcher;
-use crate::queue::AccessQueue;
+use crate::queue::{AccessEntry, AccessQueue};
+
+/// Publication slots a combining-enabled wrapper provides; handles
+/// beyond this many concurrent threads fall back to blocking commits.
+const COMBINING_SLOTS: usize = 64;
 
 /// Counters specific to the wrapper (beyond the lock statistics).
 #[derive(Debug, Default)]
@@ -37,6 +42,17 @@ pub struct WrapperCounters {
     pub stale_skipped: Counter,
     /// Commit rounds (batches) executed.
     pub batches: Counter,
+    /// Full-queue overflows turned into publications instead of
+    /// blocking `Lock()` calls (combining only).
+    pub published: Counter,
+    /// Published batches a thread took back and applied itself before
+    /// committing newer accesses (order preservation; combining only).
+    pub reclaimed: Counter,
+    /// Other threads' published batches applied while holding the lock
+    /// (combining only).
+    pub combined_batches: Counter,
+    /// Entries inside those combined batches (combining only).
+    pub combined_entries: Counter,
 }
 
 /// A replacement policy wrapped with the paper's batching and prefetching
@@ -47,6 +63,7 @@ pub struct BpWrapper<P: ReplacementPolicy> {
     config: WrapperConfig,
     prefetcher: Prefetcher,
     counters: WrapperCounters,
+    board: Option<PublicationBoard>,
 }
 
 impl<P: ReplacementPolicy> BpWrapper<P> {
@@ -68,6 +85,9 @@ impl<P: ReplacementPolicy> BpWrapper<P> {
             config,
             prefetcher,
             counters: WrapperCounters::default(),
+            board: config
+                .combining
+                .then(|| PublicationBoard::new(COMBINING_SLOTS)),
         }
     }
 
@@ -95,6 +115,7 @@ impl<P: ReplacementPolicy> BpWrapper<P> {
     /// Create a per-thread access handle with its own private FIFO queue.
     pub fn handle(&self) -> AccessHandle<'_, P> {
         AccessHandle {
+            slot: self.board.as_ref().and_then(PublicationBoard::register),
             wrapper: self,
             queue: AccessQueue::new(self.config.queue_size),
         }
@@ -104,6 +125,7 @@ impl<P: ReplacementPolicy> BpWrapper<P> {
     /// for threads that outlive a borrow scope.
     pub fn handle_arc(self: &std::sync::Arc<Self>) -> ArcAccessHandle<P> {
         ArcAccessHandle {
+            slot: self.board.as_ref().and_then(PublicationBoard::register),
             wrapper: std::sync::Arc::clone(self),
             queue: AccessQueue::new(self.config.queue_size),
         }
@@ -126,7 +148,13 @@ impl<P: ReplacementPolicy> BpWrapper<P> {
 
     /// The hit path of the paper's pseudo-code, against a caller-owned
     /// private queue.
-    fn hit_with_queue(&self, queue: &mut AccessQueue, page: PageId, frame: FrameId) {
+    fn hit_with_queue(
+        &self,
+        queue: &mut AccessQueue,
+        slot: Option<SlotId>,
+        page: PageId,
+        frame: FrameId,
+    ) {
         self.counters.accesses.incr();
         queue.push(page, frame);
         if !self.config.batching || queue.len() >= self.config.batch_threshold {
@@ -134,19 +162,50 @@ impl<P: ReplacementPolicy> BpWrapper<P> {
             if !self.config.batching {
                 // Lock-per-access baseline: a blocking Lock() every time.
                 let mut guard = self.lock.lock();
-                self.commit_locked(&mut guard, queue);
+                self.commit_locked(&mut guard, queue, slot);
                 return;
             }
             match self.lock.try_lock() {
-                Some(mut guard) => self.commit_locked(&mut guard, queue),
+                Some(mut guard) => self.commit_locked(&mut guard, queue, slot),
                 None => {
                     if queue.is_full() {
+                        // The paper blocks in Lock() here; combining
+                        // publishes the batch instead and lets the
+                        // current lock holder retire it.
+                        if self.try_publish(queue, slot) {
+                            return;
+                        }
                         let mut guard = self.lock.lock();
-                        self.commit_locked(&mut guard, queue);
+                        self.commit_locked(&mut guard, queue, slot);
                     }
                     // Otherwise: keep accumulating; try again at the next
                     // threshold crossing (i.e. the next access).
                 }
+            }
+        }
+    }
+
+    /// Combining overflow path: hand the full queue to this handle's
+    /// publication slot instead of blocking. Returns `true` when the
+    /// batch was published (the queue is then empty). Fails when
+    /// combining is off, the handle has no slot, or the slot still
+    /// holds an older undrained batch — publishing over it would let
+    /// the combiner apply batches of one thread out of order.
+    fn try_publish(&self, queue: &mut AccessQueue, slot: Option<SlotId>) -> bool {
+        let (Some(board), Some(slot)) = (self.board.as_ref(), slot) else {
+            return false;
+        };
+        let batch: Vec<AccessEntry> = queue.drain().collect();
+        match board.publish(slot, batch) {
+            Ok(()) => {
+                self.counters.published.incr();
+                true
+            }
+            Err(batch) => {
+                for e in batch {
+                    queue.push(e.page, e.frame);
+                }
+                false
             }
         }
     }
@@ -156,6 +215,7 @@ impl<P: ReplacementPolicy> BpWrapper<P> {
     fn miss_with_queue(
         &self,
         queue: &mut AccessQueue,
+        slot: Option<SlotId>,
         page: PageId,
         free: Option<FrameId>,
         evictable: &mut dyn FnMut(FrameId) -> bool,
@@ -163,7 +223,7 @@ impl<P: ReplacementPolicy> BpWrapper<P> {
         self.counters.accesses.incr();
         self.prefetcher.prefetch_for_commit(queue.entries());
         let mut guard = self.lock.lock();
-        self.commit_locked(&mut guard, queue);
+        self.commit_locked(&mut guard, queue, slot);
         let out = guard.record_miss(page, free, evictable);
         guard.cover_accesses(1);
         out
@@ -176,7 +236,7 @@ impl<P: ReplacementPolicy> BpWrapper<P> {
         self.prefetcher.prefetch_for_commit(queue.entries());
         match self.lock.try_lock() {
             Some(mut guard) => {
-                self.commit_locked(&mut guard, queue);
+                self.commit_locked(&mut guard, queue, None);
                 Ok(())
             }
             None => Err(()),
@@ -185,7 +245,7 @@ impl<P: ReplacementPolicy> BpWrapper<P> {
 
     /// Blocking commit of a caller-owned queue.
     pub(crate) fn blocking_commit(&self, queue: &mut AccessQueue) {
-        self.flush_queue(queue);
+        self.flush_queue(queue, None);
     }
 
     /// Miss path against a caller-owned queue.
@@ -196,7 +256,7 @@ impl<P: ReplacementPolicy> BpWrapper<P> {
         free: Option<FrameId>,
         evictable: &mut dyn FnMut(FrameId) -> bool,
     ) -> MissOutcome {
-        self.miss_with_queue(queue, page, free, evictable)
+        self.miss_with_queue(queue, None, page, free, evictable)
     }
 
     /// Hold the policy lock directly (tests: simulate a busy lock).
@@ -205,19 +265,37 @@ impl<P: ReplacementPolicy> BpWrapper<P> {
         self.lock.lock()
     }
 
-    /// Force-commit a queue's accesses (blocking).
-    fn flush_queue(&self, queue: &mut AccessQueue) {
-        if queue.is_empty() {
+    /// Force-commit a queue's accesses (blocking). Also reclaims and
+    /// applies this handle's published-but-undrained batch, if any.
+    fn flush_queue(&self, queue: &mut AccessQueue, slot: Option<SlotId>) {
+        let pending = match (self.board.as_ref(), slot) {
+            (Some(board), Some(slot)) => board.is_published(slot),
+            _ => false,
+        };
+        if queue.is_empty() && !pending {
             return;
         }
         self.prefetcher.prefetch_for_commit(queue.entries());
         let mut guard = self.lock.lock();
-        self.commit_locked(&mut guard, queue);
+        self.commit_locked(&mut guard, queue, slot);
     }
 
-    /// Apply every entry of `queue` to the policy, skipping entries whose
-    /// frame has been re-used for a different page since recording.
-    fn commit_locked(&self, guard: &mut LockGuard<'_, P>, queue: &mut AccessQueue) {
+    /// One critical section's worth of commit work: first this thread's
+    /// pending published batch (older accesses must land before newer
+    /// ones), then its queue, then — combining only — every other
+    /// thread's published batch.
+    fn commit_locked(
+        &self,
+        guard: &mut LockGuard<'_, P>,
+        queue: &mut AccessQueue,
+        slot: Option<SlotId>,
+    ) {
+        if let (Some(board), Some(slot)) = (self.board.as_ref(), slot) {
+            if let Some(batch) = board.take(slot) {
+                self.counters.reclaimed.incr();
+                self.apply_batch(guard, &batch);
+            }
+        }
         let n = queue.len() as u64;
         let span = bpw_trace::span_start();
         let mut applied = 0u64;
@@ -232,6 +310,50 @@ impl<P: ReplacementPolicy> BpWrapper<P> {
         self.counters.stale_skipped.add(n - applied);
         self.counters.batches.incr();
         bpw_trace::span_end(bpw_trace::EventKind::BatchCommit, span, n);
+        if let Some(board) = self.board.as_ref() {
+            self.combine_published(guard, board, slot);
+        }
+    }
+
+    /// Apply one published batch (same stale-skip rule as a queue
+    /// commit).
+    fn apply_batch(&self, guard: &mut LockGuard<'_, P>, entries: &[AccessEntry]) {
+        let n = entries.len() as u64;
+        let span = bpw_trace::span_start();
+        let mut applied = 0u64;
+        for entry in entries {
+            if guard.page_at(entry.frame) == Some(entry.page) {
+                guard.record_hit(entry.frame);
+                applied += 1;
+            }
+        }
+        guard.cover_accesses(n);
+        self.counters.committed.add(applied);
+        self.counters.stale_skipped.add(n - applied);
+        self.counters.batches.incr();
+        bpw_trace::span_end(bpw_trace::EventKind::BatchCommit, span, n);
+    }
+
+    /// Drain other threads' published batches while we hold the lock.
+    fn combine_published(
+        &self,
+        guard: &mut LockGuard<'_, P>,
+        board: &PublicationBoard,
+        own: Option<SlotId>,
+    ) {
+        let span = bpw_trace::span_start();
+        let mut entries = 0u64;
+        let mut batches = 0u64;
+        for batch in board.drain(own) {
+            entries += batch.len() as u64;
+            batches += 1;
+            self.apply_batch(guard, &batch);
+        }
+        if batches > 0 {
+            self.counters.combined_batches.add(batches);
+            self.counters.combined_entries.add(entries);
+            bpw_trace::span_end(bpw_trace::EventKind::CombinedCommit, span, entries);
+        }
     }
 }
 
@@ -241,13 +363,15 @@ impl<P: ReplacementPolicy> BpWrapper<P> {
 pub struct AccessHandle<'w, P: ReplacementPolicy> {
     wrapper: &'w BpWrapper<P>,
     queue: AccessQueue,
+    slot: Option<SlotId>,
 }
 
 impl<'w, P: ReplacementPolicy> AccessHandle<'w, P> {
     /// Record a buffer **hit** on `page` residing in `frame`
     /// (`replacement_for_page_hit` in the paper).
     pub fn record_hit(&mut self, page: PageId, frame: FrameId) {
-        self.wrapper.hit_with_queue(&mut self.queue, page, frame);
+        self.wrapper
+            .hit_with_queue(&mut self.queue, self.slot, page, frame);
     }
 
     /// Record a buffer **miss** on `page`
@@ -261,13 +385,13 @@ impl<'w, P: ReplacementPolicy> AccessHandle<'w, P> {
         evictable: &mut dyn FnMut(FrameId) -> bool,
     ) -> MissOutcome {
         self.wrapper
-            .miss_with_queue(&mut self.queue, page, free, evictable)
+            .miss_with_queue(&mut self.queue, self.slot, page, free, evictable)
     }
 
     /// Force-commit any queued accesses (blocking). Call when a thread
     /// finishes its work so no history is lost.
     pub fn flush(&mut self) {
-        self.wrapper.flush_queue(&mut self.queue);
+        self.wrapper.flush_queue(&mut self.queue, self.slot);
     }
 
     /// Number of accesses currently waiting in this thread's queue.
@@ -284,7 +408,12 @@ impl<'w, P: ReplacementPolicy> AccessHandle<'w, P> {
 impl<'w, P: ReplacementPolicy> Drop for AccessHandle<'w, P> {
     fn drop(&mut self) {
         // Never lose recorded history: commit leftovers on teardown.
+        // Flushing also reclaims any published batch, so the slot is
+        // empty by the time it is recycled.
         self.flush();
+        if let (Some(board), Some(slot)) = (self.wrapper.board.as_ref(), self.slot.take()) {
+            board.release(slot);
+        }
     }
 }
 
@@ -293,12 +422,14 @@ impl<'w, P: ReplacementPolicy> Drop for AccessHandle<'w, P> {
 pub struct ArcAccessHandle<P: ReplacementPolicy> {
     wrapper: std::sync::Arc<BpWrapper<P>>,
     queue: AccessQueue,
+    slot: Option<SlotId>,
 }
 
 impl<P: ReplacementPolicy> ArcAccessHandle<P> {
     /// See [`AccessHandle::record_hit`].
     pub fn record_hit(&mut self, page: PageId, frame: FrameId) {
-        self.wrapper.hit_with_queue(&mut self.queue, page, frame);
+        self.wrapper
+            .hit_with_queue(&mut self.queue, self.slot, page, frame);
     }
 
     /// See [`AccessHandle::record_miss`].
@@ -309,12 +440,12 @@ impl<P: ReplacementPolicy> ArcAccessHandle<P> {
         evictable: &mut dyn FnMut(FrameId) -> bool,
     ) -> MissOutcome {
         self.wrapper
-            .miss_with_queue(&mut self.queue, page, free, evictable)
+            .miss_with_queue(&mut self.queue, self.slot, page, free, evictable)
     }
 
     /// See [`AccessHandle::flush`].
     pub fn flush(&mut self) {
-        self.wrapper.flush_queue(&mut self.queue);
+        self.wrapper.flush_queue(&mut self.queue, self.slot);
     }
 
     /// Number of accesses currently waiting in this thread's queue.
@@ -331,6 +462,9 @@ impl<P: ReplacementPolicy> ArcAccessHandle<P> {
 impl<P: ReplacementPolicy> Drop for ArcAccessHandle<P> {
     fn drop(&mut self) {
         self.flush();
+        if let (Some(board), Some(slot)) = (self.wrapper.board.as_ref(), self.slot.take()) {
+            board.release(slot);
+        }
     }
 }
 
@@ -500,6 +634,127 @@ mod tests {
             t.join().unwrap()
         });
         assert_eq!(flusher, 0, "queue must be committed after blocking lock");
+    }
+
+    #[test]
+    fn combining_publishes_instead_of_blocking() {
+        let w = warmed(
+            4,
+            WrapperConfig::default()
+                .with_queue_size(2)
+                .with_batch_threshold(2)
+                .with_combining(true),
+        );
+        let held = w.lock.lock();
+        let base = w.lock_stats().snapshot().acquisitions;
+        let mut h = w.handle();
+        h.record_hit(0, 0);
+        h.record_hit(1, 1); // TryLock fails, queue full: publish, don't block
+        assert_eq!(h.queued(), 0, "full queue must be published");
+        assert_eq!(w.counters().published.get(), 1);
+        assert_eq!(
+            w.lock_stats().snapshot().acquisitions,
+            base,
+            "publishing must not acquire the lock"
+        );
+        drop(held);
+        // The thread's next commit must apply the older published batch
+        // before the newer queue, or its access order is corrupted.
+        h.record_hit(2, 2);
+        h.record_hit(3, 3);
+        assert_eq!(w.counters().reclaimed.get(), 1);
+        assert_eq!(
+            w.counters().committed.get() + w.counters().stale_skipped.get(),
+            4
+        );
+        w.with_locked(|p| assert_eq!(p.eviction_order(), vec![0, 1, 2, 3]));
+    }
+
+    #[test]
+    fn combiner_drains_other_threads_batches() {
+        let w = warmed(
+            4,
+            WrapperConfig::default()
+                .with_queue_size(2)
+                .with_batch_threshold(2)
+                .with_combining(true),
+        );
+        let held = w.lock.lock();
+        let mut publisher = w.handle();
+        publisher.record_hit(0, 0);
+        publisher.record_hit(1, 1); // published
+        drop(held);
+        let mut committer = w.handle();
+        committer.record_hit(2, 2);
+        committer.record_hit(3, 3); // commits own queue, then combines
+        assert_eq!(w.counters().combined_batches.get(), 1);
+        assert_eq!(w.counters().combined_entries.get(), 2);
+        assert_eq!(w.counters().committed.get(), 4);
+        w.with_locked(|p| assert_eq!(p.eviction_order(), vec![2, 3, 0, 1]));
+        // Nothing left for the publisher to reclaim.
+        publisher.flush();
+        assert_eq!(w.counters().reclaimed.get(), 0);
+    }
+
+    #[test]
+    fn combining_preserves_seq_run_detection() {
+        // The §III-A requirement, against an order-sensitive policy: a
+        // thread's contiguous scan must still be detected as one run
+        // even when part of it travels through a publication slot.
+        use bpw_replacement::SeqLru;
+        let w = BpWrapper::new(
+            SeqLru::new(32),
+            WrapperConfig::default()
+                .with_queue_size(4)
+                .with_batch_threshold(4)
+                .with_combining(true),
+        );
+        w.with_locked(|p| {
+            for i in 0..32u64 {
+                p.record_miss(i, Some(i as u32), &mut |_| true);
+            }
+        });
+        let warm_runs = w.with_locked(|p| p.detected_runs());
+        let held = w.lock_for_test();
+        let mut h = w.handle();
+        for p in 0..4u64 {
+            h.record_hit(p, p as u32); // overflows into a publication
+        }
+        assert_eq!(w.counters().published.get(), 1);
+        drop(held);
+        for p in 4..8u64 {
+            h.record_hit(p, p as u32); // commit: reclaimed batch first
+        }
+        let runs = w.with_locked(|p| p.detected_runs());
+        assert_eq!(
+            runs,
+            warm_runs + 1,
+            "published-then-reclaimed accesses must replay in FIFO order"
+        );
+    }
+
+    #[test]
+    fn concurrent_hits_all_accounted_with_combining() {
+        let w = warmed(64, WrapperConfig::default().with_combining(true));
+        std::thread::scope(|s| {
+            for t in 0..4 {
+                let w = &w;
+                s.spawn(move || {
+                    let mut h = w.handle();
+                    for i in 0..10_000u64 {
+                        let page = (t * 16 + i % 16) % 64;
+                        h.record_hit(page, page as u32);
+                    }
+                });
+            }
+        });
+        assert_eq!(w.counters().accesses.get(), 40_000);
+        assert_eq!(
+            w.counters().committed.get() + w.counters().stale_skipped.get(),
+            40_000,
+            "published batches must all be applied by drop time"
+        );
+        w.with_locked(|p| p.check_invariants());
     }
 
     #[test]

@@ -33,6 +33,7 @@ proptest! {
             batch_threshold: threshold,
             batching: true,
             prefetching,
+            combining: false,
         };
         let mut bare = CacheSim::new(kind.build(frames));
         let mut wrapped = WrappedCache::new(kind.build(frames), cfg);
@@ -77,6 +78,7 @@ proptest! {
             batch_threshold: threshold,
             batching: true,
             prefetching: false,
+            combining: false,
         };
         let frames = 16;
         let mut wrapped = WrappedCache::new(PolicyKind::Lru.build(frames), cfg);

@@ -501,6 +501,21 @@ impl crate::LockSnapshot {
     }
 }
 
+impl crate::LockShardSummary {
+    /// Render as a JSON object: shard count, summed counters, and the
+    /// hottest shard's cumulative wait.
+    pub fn to_json(&self) -> String {
+        let mut o = JsonObject::new();
+        o.field_u64("shards", self.shards as u64)
+            .field_u64("total_acquisitions", self.total_acquisitions)
+            .field_u64("total_contentions", self.total_contentions)
+            .field_u64("total_wait_ns", self.total_wait_ns)
+            .field_u64("total_hold_ns", self.total_hold_ns)
+            .field_u64("max_wait_ns", self.max_wait_ns);
+        o.finish()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -13,4 +13,4 @@ pub mod lock_stats;
 pub use counters::{Counter, MaxGauge};
 pub use histogram::Histogram;
 pub use json::{JsonError, JsonObject, JsonValue};
-pub use lock_stats::{LockSnapshot, LockStats};
+pub use lock_stats::{LockShardSummary, LockSnapshot, LockStats};

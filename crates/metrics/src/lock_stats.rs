@@ -103,7 +103,57 @@ impl LockStats {
     }
 }
 
+/// Aggregate view over a family of sharded locks (e.g. the buffer
+/// pool's per-shard miss locks): totals across shards plus the worst
+/// single shard's wait, which totals alone would hide.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LockShardSummary {
+    /// Number of shards aggregated.
+    pub shards: usize,
+    /// Acquisitions summed over all shards.
+    pub total_acquisitions: u64,
+    /// Contentions summed over all shards.
+    pub total_contentions: u64,
+    /// Wait time summed over all shards.
+    pub total_wait_ns: u64,
+    /// Hold time summed over all shards.
+    pub total_hold_ns: u64,
+    /// The largest per-shard cumulative wait (hotspot indicator).
+    pub max_wait_ns: u64,
+}
+
+impl LockShardSummary {
+    /// Aggregate a family of per-shard snapshots.
+    pub fn from_snapshots(shards: &[LockSnapshot]) -> Self {
+        let mut s = LockShardSummary {
+            shards: shards.len(),
+            ..Self::default()
+        };
+        for snap in shards {
+            s.total_acquisitions += snap.acquisitions;
+            s.total_contentions += snap.contentions;
+            s.total_wait_ns += snap.wait_ns;
+            s.total_hold_ns += snap.hold_ns;
+            s.max_wait_ns = s.max_wait_ns.max(snap.wait_ns);
+        }
+        s
+    }
+}
+
 impl LockSnapshot {
+    /// Element-wise sum with another snapshot (aggregating a lock
+    /// family into the legacy single-lock view).
+    pub fn merge(&self, other: &LockSnapshot) -> LockSnapshot {
+        LockSnapshot {
+            acquisitions: self.acquisitions + other.acquisitions,
+            contentions: self.contentions + other.contentions,
+            trylock_failures: self.trylock_failures + other.trylock_failures,
+            wait_ns: self.wait_ns + other.wait_ns,
+            hold_ns: self.hold_ns + other.hold_ns,
+            accesses_covered: self.accesses_covered + other.accesses_covered,
+        }
+    }
+
     /// Difference since an earlier snapshot.
     pub fn since(&self, earlier: &LockSnapshot) -> LockSnapshot {
         LockSnapshot {
@@ -188,6 +238,62 @@ mod tests {
         assert_eq!(d.contentions, 1);
         assert!((d.lock_time_per_access_ns() - 10.0).abs() < 1e-9);
         assert!((d.accesses_per_acquisition() - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn merge_sums_every_field() {
+        let a = LockSnapshot {
+            acquisitions: 1,
+            contentions: 2,
+            trylock_failures: 3,
+            wait_ns: 4,
+            hold_ns: 5,
+            accesses_covered: 6,
+        };
+        let b = LockSnapshot {
+            acquisitions: 10,
+            contentions: 20,
+            trylock_failures: 30,
+            wait_ns: 40,
+            hold_ns: 50,
+            accesses_covered: 60,
+        };
+        let m = a.merge(&b);
+        assert_eq!(m.acquisitions, 11);
+        assert_eq!(m.contentions, 22);
+        assert_eq!(m.trylock_failures, 33);
+        assert_eq!(m.wait_ns, 44);
+        assert_eq!(m.hold_ns, 55);
+        assert_eq!(m.accesses_covered, 66);
+    }
+
+    #[test]
+    fn shard_summary_totals_and_max() {
+        let shards = vec![
+            LockSnapshot {
+                acquisitions: 5,
+                contentions: 1,
+                wait_ns: 100,
+                hold_ns: 10,
+                ..Default::default()
+            },
+            LockSnapshot {
+                acquisitions: 7,
+                contentions: 2,
+                wait_ns: 900,
+                hold_ns: 20,
+                ..Default::default()
+            },
+            LockSnapshot::default(),
+        ];
+        let s = LockShardSummary::from_snapshots(&shards);
+        assert_eq!(s.shards, 3);
+        assert_eq!(s.total_acquisitions, 12);
+        assert_eq!(s.total_contentions, 3);
+        assert_eq!(s.total_wait_ns, 1000);
+        assert_eq!(s.total_hold_ns, 30);
+        assert_eq!(s.max_wait_ns, 900);
+        assert_eq!(LockShardSummary::from_snapshots(&[]).shards, 0);
     }
 
     #[test]

@@ -35,9 +35,9 @@ pub mod protocol;
 pub mod server;
 
 pub use backpressure::{AdmissionPolicy, AdmissionQueue, Admitted, Popped, WorkQueue};
+pub use bpw_bufferpool::{FaultPlan, FaultyDisk};
 pub use client::Client;
 pub use loadgen::{LoadConfig, LoadMode, LoadReport};
 pub use metrics::{OpKind, PoolCounters, ServerMetrics};
 pub use protocol::{Request, Response, MAX_FRAME};
-pub use bpw_bufferpool::{FaultPlan, FaultyDisk};
-pub use server::{build_manager, DynPool, Server, ServerConfig};
+pub use server::{build_manager, build_manager_with, DynPool, Server, ServerConfig};

@@ -245,9 +245,7 @@ fn drive_connection(
                 // throughput/error-rate comparisons stay honest.
                 let unfinished = cfg.requests_per_conn - i; // this one + the rest
                 tallies.errors.fetch_add(unfinished, Ordering::Relaxed);
-                tallies
-                    .sent
-                    .fetch_add(unfinished - 1, Ordering::Relaxed); // this one already counted
+                tallies.sent.fetch_add(unfinished - 1, Ordering::Relaxed); // this one already counted
                 return;
             }
         }

@@ -4,6 +4,7 @@
 //! ```text
 //! bpw-server serve   [--addr H:P] [--workers N] [--queue N] [--policy P]
 //!                    [--frames N] [--page-size B] [--pages N] [--manager SPEC]
+//!                    [--combining true] [--miss-shards N]
 //!                    [--faulty true] [--fault-seed S] [--fail-reads-ppm N]
 //!                    [--fail-writes-ppm N] [--spike-ppm N] [--spike-us U]
 //! bpw-server loadgen --addr H:P [--connections N] [--requests N]
@@ -137,6 +138,11 @@ fn server_config(flags: &HashMap<String, String>) -> Result<ServerConfig, String
         page_size: get(flags, "page-size", d.page_size)?,
         pages: get(flags, "pages", d.pages)?,
         manager: flags.get("manager").cloned().unwrap_or(d.manager),
+        combining: get(flags, "combining", d.combining)?,
+        miss_shards: match flags.get("miss-shards") {
+            Some(v) => Some(v.parse().map_err(|e| format!("--miss-shards {v:?}: {e}"))?),
+            None => None,
+        },
         fault_plan: fault_plan(flags)?,
     })
 }
@@ -355,7 +361,10 @@ fn cmd_chaos(flags: &HashMap<String, String>) -> Result<(), String> {
             ));
         }
         // Recovery: clear the faults and re-read; everything must be OK.
-        server.faulty_disk().expect("chaos has a disk").clear_faults();
+        server
+            .faulty_disk()
+            .expect("chaos has a disk")
+            .clear_faults();
         let mut client = bpw_server::Client::connect(server.addr()).map_err(|e| e.to_string())?;
         for page in 0..128u64 {
             match client.get(page).map_err(|e| e.to_string())? {
@@ -426,7 +435,7 @@ fn cmd_smoke(flags: &HashMap<String, String>) -> Result<(), String> {
     // 1. STATS parses and carries the new observability fields.
     let stats = client.stats().map_err(|e| e.to_string())?;
     let v = JsonValue::parse(&stats).map_err(|e| format!("STATS is not valid JSON: {e}"))?;
-    for key in ["ok", "replacement_lock", "miss_lock", "trace"] {
+    for key in ["ok", "replacement_lock", "miss_lock", "miss_locks", "trace"] {
         if v.get(key).is_none() {
             return Err(format!("STATS JSON is missing {key:?}: {stats}"));
         }

@@ -9,7 +9,7 @@
 use std::sync::Arc;
 use std::time::Instant;
 
-use bpw_metrics::{Counter, Histogram, JsonObject, LockSnapshot};
+use bpw_metrics::{Counter, Histogram, JsonObject, LockShardSummary, LockSnapshot};
 
 /// Which histogram a request's latency lands in.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -68,20 +68,26 @@ impl ServerMetrics {
 
     /// Total requests that received any reply.
     pub fn total(&self) -> u64 {
-        self.ok.get() + self.busy.get() + self.dropped.get() + self.errors.get()
+        self.ok.get()
+            + self.busy.get()
+            + self.dropped.get()
+            + self.errors.get()
             + self.io_errors.get()
     }
 
     /// Render everything as one JSON object. `pool` carries the buffer
     /// pool's counters, `lock` the replacement manager's lock
-    /// behaviour, `miss_lock` the pool's miss-path lock, and
-    /// `peak_queue_depth` the admission queue's high-water mark. The
-    /// `trace` sub-object reports the event-trace collector's health.
+    /// behaviour, `miss_lock` the aggregate over the pool's per-shard
+    /// miss locks (the legacy single-lock view), `miss_locks` the
+    /// shard-aware summary, and `peak_queue_depth` the admission
+    /// queue's high-water mark. The `trace` sub-object reports the
+    /// event-trace collector's health.
     pub fn to_json(
         &self,
         pool: &PoolCounters,
         lock: &LockSnapshot,
         miss_lock: &LockSnapshot,
+        miss_locks: &LockShardSummary,
         peak_queue_depth: u64,
     ) -> String {
         let mut trace = JsonObject::new();
@@ -107,8 +113,11 @@ impl ServerMetrics {
             .field_u64("pool_io_retries", pool.io_retries)
             .field_u64("pool_io_errors", pool.io_errors)
             .field_f64("pool_hit_ratio", pool.hit_ratio())
+            .field_u64("free_list_steals", pool.free_list_steals)
+            .field_u64("free_list_cold_pushes", pool.free_list_cold_pushes)
             .field_raw("replacement_lock", &lock.to_json())
             .field_raw("miss_lock", &miss_lock.to_json())
+            .field_raw("miss_locks", &miss_locks.to_json())
             .field_raw("trace", &trace.finish());
         o.finish()
     }
@@ -128,6 +137,10 @@ pub struct PoolCounters {
     pub io_retries: u64,
     /// Storage operations that failed after exhausting retries.
     pub io_errors: u64,
+    /// Free-list pops served by stealing from another stripe.
+    pub free_list_steals: u64,
+    /// Frames parked on the free list's cold stack by frame repair.
+    pub free_list_cold_pushes: u64,
 }
 
 impl PoolCounters {
@@ -160,13 +173,23 @@ mod tests {
             writebacks: 3,
             io_retries: 2,
             io_errors: 1,
+            free_list_steals: 4,
+            free_list_cold_pushes: 2,
         };
         let lock = LockSnapshot::default();
         let miss_lock = LockSnapshot {
             acquisitions: 10,
             ..LockSnapshot::default()
         };
-        let json = m.to_json(&pool, &lock, &miss_lock, 17);
+        let miss_locks = LockShardSummary {
+            shards: 16,
+            total_acquisitions: 10,
+            total_contentions: 1,
+            total_wait_ns: 300,
+            total_hold_ns: 900,
+            max_wait_ns: 250,
+        };
+        let json = m.to_json(&pool, &lock, &miss_lock, &miss_locks, 17);
 
         let v = JsonValue::parse(&json).expect("STATS must be valid JSON");
         assert_eq!(v.get("ok").and_then(JsonValue::as_u64), Some(2));
@@ -198,6 +221,26 @@ mod tests {
                 .and_then(|l| l.get("acquisitions"))
                 .and_then(JsonValue::as_u64),
             Some(10)
+        );
+        let sharded = v.get("miss_locks").expect("shard-aware miss-lock summary");
+        assert_eq!(sharded.get("shards").and_then(JsonValue::as_u64), Some(16));
+        assert_eq!(
+            sharded
+                .get("total_acquisitions")
+                .and_then(JsonValue::as_u64),
+            Some(10)
+        );
+        assert_eq!(
+            sharded.get("max_wait_ns").and_then(JsonValue::as_u64),
+            Some(250)
+        );
+        assert_eq!(
+            v.get("free_list_steals").and_then(JsonValue::as_u64),
+            Some(4)
+        );
+        assert_eq!(
+            v.get("free_list_cold_pushes").and_then(JsonValue::as_u64),
+            Some(2)
         );
         let trace = v.get("trace").expect("trace health sub-object");
         assert!(trace.get("enabled").is_some());

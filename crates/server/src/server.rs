@@ -55,6 +55,14 @@ pub struct ServerConfig {
     pub pages: u64,
     /// Manager spec, e.g. `"wrapped-2q"` (see [`build_manager`]).
     pub manager: String,
+    /// Enable BP-Wrapper's combining commit for `wrapped-*` managers:
+    /// threads publish full batches instead of blocking, and the lock
+    /// holder applies them. Off by default (paper-faithful baseline).
+    pub combining: bool,
+    /// Override the miss-path partition width (`Some(1)` restores the
+    /// seed's single global miss lock; `None` keeps the default of one
+    /// lock per page-table shard).
+    pub miss_shards: Option<usize>,
     /// When set, the simulated disk is wrapped in a [`FaultyDisk`]
     /// driven by this plan (chaos testing; see
     /// [`Server::faulty_disk`]).
@@ -72,6 +80,8 @@ impl Default for ServerConfig {
             page_size: 4096,
             pages: 1 << 20,
             manager: "wrapped-2q".into(),
+            combining: false,
+            miss_shards: None,
             fault_plan: None,
         }
     }
@@ -86,6 +96,16 @@ impl Default for ServerConfig {
 /// where `<policy>` is anything [`PolicyKind`] parses (`2q`, `lirs`,
 /// `lru`, `arc`, ...).
 pub fn build_manager(spec: &str, frames: usize) -> Result<Box<dyn ReplacementManager>, String> {
+    build_manager_with(spec, frames, WrapperConfig::default())
+}
+
+/// [`build_manager`] with an explicit [`WrapperConfig`] for `wrapped-*`
+/// specs (`clock` and `coarse-*` ignore it).
+pub fn build_manager_with(
+    spec: &str,
+    frames: usize,
+    wrapper: WrapperConfig,
+) -> Result<Box<dyn ReplacementManager>, String> {
     let spec = spec.trim().to_ascii_lowercase();
     if spec == "clock" {
         return Ok(Box::new(ClockManager::new(frames)));
@@ -96,10 +116,7 @@ pub fn build_manager(spec: &str, frames: usize) -> Result<Box<dyn ReplacementMan
     }
     if let Some(policy) = spec.strip_prefix("wrapped-") {
         let kind: PolicyKind = policy.parse()?;
-        return Ok(Box::new(WrappedManager::new(
-            kind.build(frames),
-            WrapperConfig::default(),
-        )));
+        return Ok(Box::new(WrappedManager::new(kind.build(frames), wrapper)));
     }
     Err(format!(
         "unknown manager spec {spec:?} (want clock, coarse-<policy>, or wrapped-<policy>)"
@@ -147,7 +164,8 @@ pub struct Server {
 impl Server {
     /// Bind, spawn the worker pool and acceptor, and return.
     pub fn start(config: ServerConfig) -> io::Result<Server> {
-        let manager = build_manager(&config.manager, config.frames)
+        let wrapper = WrapperConfig::default().with_combining(config.combining);
+        let manager = build_manager_with(&config.manager, config.frames, wrapper)
             .map_err(|e| io::Error::new(io::ErrorKind::InvalidInput, e))?;
         let mut faulty = None;
         let storage: Arc<dyn Storage> = match config.fault_plan {
@@ -158,12 +176,11 @@ impl Server {
             }
             None => Arc::new(SimDisk::instant()),
         };
-        let pool = Arc::new(BufferPool::new(
-            config.frames,
-            config.page_size,
-            manager,
-            storage,
-        ));
+        let mut pool = BufferPool::new(config.frames, config.page_size, manager, storage);
+        if let Some(shards) = config.miss_shards {
+            pool = pool.with_miss_shards(shards);
+        }
+        let pool = Arc::new(pool);
         let (admission, work) = admission_queue(config.queue_capacity, config.policy);
         let shared = Arc::new(Shared {
             pool,
@@ -492,12 +509,15 @@ fn stats_json(shared: &Shared) -> String {
         writebacks: stats.writebacks.load(Ordering::Relaxed),
         io_retries: stats.io_retries.load(Ordering::Relaxed),
         io_errors: stats.io_errors.load(Ordering::Relaxed),
+        free_list_steals: shared.pool.free_list_steals(),
+        free_list_cold_pushes: shared.pool.free_list_cold_pushes(),
     };
     let lock = shared.pool.manager().lock_snapshot();
     let miss_lock = shared.pool.miss_lock_snapshot();
+    let miss_locks = shared.pool.miss_lock_summary();
     shared
         .metrics
-        .to_json(&pool, &lock, &miss_lock, shared.depth.get())
+        .to_json(&pool, &lock, &miss_lock, &miss_locks, shared.depth.get())
 }
 
 /// Prometheus-style text exposition: the METRICS reply. Same sources
@@ -565,7 +585,48 @@ fn metrics_text(shared: &Shared) -> String {
         "replacement",
         &shared.pool.manager().lock_snapshot(),
     )
-    .lock_snapshot("bpw_lock", "miss", &shared.pool.miss_lock_snapshot())
+    .lock_snapshot("bpw_lock", "miss", &shared.pool.miss_lock_snapshot());
+    // Per-shard miss-lock series: where on the partition the miss path's
+    // remaining serialization concentrates.
+    let shard_snaps = shared.pool.miss_lock_shard_snapshots();
+    let labels: Vec<String> = (0..shard_snaps.len()).map(|i| i.to_string()).collect();
+    let acq: Vec<(&str, u64)> = labels
+        .iter()
+        .zip(&shard_snaps)
+        .map(|(l, s)| (l.as_str(), s.acquisitions))
+        .collect();
+    let wait: Vec<(&str, u64)> = labels
+        .iter()
+        .zip(&shard_snaps)
+        .map(|(l, s)| (l.as_str(), s.wait_ns))
+        .collect();
+    w.labeled_counter(
+        "bpw_miss_shard_acquisitions_total",
+        "Miss-path lock acquisitions by page-table shard.",
+        "shard",
+        &acq,
+    )
+    .labeled_counter(
+        "bpw_miss_shard_wait_ns_total",
+        "Nanoseconds waited on each shard's miss lock.",
+        "shard",
+        &wait,
+    )
+    .gauge(
+        "bpw_miss_lock_shards",
+        "Miss-path partition width (shard locks).",
+        shard_snaps.len() as f64,
+    )
+    .counter(
+        "bpw_free_list_steals_total",
+        "Free-list pops served by stealing from another stripe.",
+        shared.pool.free_list_steals(),
+    )
+    .counter(
+        "bpw_free_list_cold_pushes_total",
+        "Frames parked on the free list's cold stack by frame repair.",
+        shared.pool.free_list_cold_pushes(),
+    )
     .gauge(
         "bpw_trace_enabled",
         "1 when event tracing is recording.",

@@ -18,7 +18,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
 
 use bpw_server::{loadgen, Client, FaultPlan, Server, ServerConfig};
-use bpw_workloads::{zipf::splitmix64, PageStream, Workload, ZipfWorkload};
+use bpw_workloads::{zipf::splitmix64, PageStream, ZipfWorkload};
 
 const PAGES: u64 = 1024;
 const FRAMES: usize = 128;
@@ -124,7 +124,10 @@ fn chaos_run_returns_correct_bytes_or_err_io_and_recovers() {
         0,
         "GETs must return correct bytes or ERR_IO, never corruption"
     );
-    assert!(oks.load(Ordering::Relaxed) > 0, "some requests must succeed");
+    assert!(
+        oks.load(Ordering::Relaxed) > 0,
+        "some requests must succeed"
+    );
     // The persistently broken page guarantees at least one ERR_IO
     // reached a client (page 7 is hot under Zipf 0.86).
     assert!(
@@ -140,6 +143,15 @@ fn chaos_run_returns_correct_bytes_or_err_io_and_recovers() {
     assert!(
         stats.io_errors.load(Ordering::Relaxed) > 0,
         "exhausted retries must be counted"
+    );
+
+    // Every failed fetch routed its repaired frame to the free list's
+    // cold stack — persistently broken page 7 (hot under Zipf) must not
+    // monopolize a single frame by getting its last frame right back.
+    assert!(
+        server.pool().free_list_cold_pushes() >= 2,
+        "repeated failures on page 7 must park frames cold (got {})",
+        server.pool().free_list_cold_pushes()
     );
 
     // Criterion 2: no frame was wedged by any of the injected failures.

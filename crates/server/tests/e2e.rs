@@ -348,6 +348,9 @@ fn metrics_exposition_and_enriched_stats() {
     assert!(text.contains("bpw_get_latency_ns_count"));
     assert!(text.contains("bpw_lock_acquisitions_total{lock=\"replacement\"}"));
     assert!(text.contains("bpw_lock_acquisitions_total{lock=\"miss\"}"));
+    assert!(text.contains("bpw_miss_shard_acquisitions_total{shard=\"0\"}"));
+    assert!(text.contains("bpw_miss_lock_shards"));
+    assert!(text.contains("bpw_free_list_steals_total"));
     assert!(text.contains("bpw_trace_dropped_events_total"));
 
     let stats = client.stats().expect("STATS reply");
@@ -359,9 +362,76 @@ fn metrics_exposition_and_enriched_stats() {
             .is_some_and(|a| a >= 1),
         "64 cold fetches must acquire the miss lock: {stats}"
     );
+    let shards = v.get("miss_locks").expect("shard-aware miss-lock summary");
+    assert!(
+        shards
+            .get("shards")
+            .and_then(JsonValue::as_u64)
+            .is_some_and(|s| s >= 2),
+        "default pool must partition the miss path: {stats}"
+    );
+    // The aggregate view and the shard summary must agree.
+    assert_eq!(
+        shards.get("total_acquisitions").and_then(JsonValue::as_u64),
+        v.get("miss_lock")
+            .and_then(|l| l.get("acquisitions"))
+            .and_then(JsonValue::as_u64),
+    );
+    assert!(v.get("free_list_steals").is_some());
     assert!(v.get("trace").and_then(|t| t.get("enabled")).is_some());
 
     drop(client);
+    server.join();
+}
+
+/// A server with combining commit enabled serves the same traffic
+/// correctly: combining changes how batches reach the policy under
+/// contention, never what data clients see.
+#[test]
+fn combining_server_serves_correct_data() {
+    let server = Server::start(ServerConfig {
+        workers: 4,
+        queue_capacity: 128,
+        policy: AdmissionPolicy::Block,
+        frames: 128,
+        page_size: PAGE_SIZE,
+        pages: PAGES,
+        manager: "wrapped-lirs".into(),
+        combining: true,
+        ..ServerConfig::default()
+    })
+    .expect("combining server start");
+    let addr = server.addr();
+    std::thread::scope(|sc| {
+        for t in 0..4u64 {
+            sc.spawn(move || {
+                let mut client = Client::connect(addr).expect("connect");
+                let mut x = splitmix64(t ^ 0xC0B1);
+                for _ in 0..2_000u32 {
+                    x = splitmix64(x);
+                    let page = x % PAGES;
+                    match client.get(page).expect("transport") {
+                        Response::Ok(body) => {
+                            assert_eq!(
+                                u64::from_le_bytes(body[..8].try_into().unwrap()),
+                                page,
+                                "combining served wrong bytes"
+                            );
+                        }
+                        other => panic!("unexpected reply: {other:?}"),
+                    }
+                }
+            });
+        }
+    });
+    let stats = server.stats_json();
+    let v = JsonValue::parse(&stats).expect("STATS JSON");
+    assert!(
+        v.get("ok")
+            .and_then(JsonValue::as_u64)
+            .is_some_and(|ok| ok == 4 * 2_000),
+        "all requests must be OK: {stats}"
+    );
     server.join();
 }
 

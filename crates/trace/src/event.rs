@@ -45,11 +45,21 @@ pub enum EventKind {
     /// the frame involved was repaired and the error surfaced. Instant.
     /// Arg: page id.
     IoError,
+    /// A miss had to wait for its page-table shard's miss lock; the
+    /// span covers the wait. Arg: shard index.
+    MissShardWait,
+    /// A lock holder drained other threads' published overflow queues
+    /// in the same critical section (combining commit). Arg: entries
+    /// applied on behalf of other threads.
+    CombinedCommit,
+    /// A free-list stripe ran dry and a frame was stolen from another
+    /// stripe. Instant. Arg: stripe stolen from.
+    FreeListSteal,
 }
 
 impl EventKind {
     /// Every kind, in declaration order.
-    pub const ALL: [EventKind; 12] = [
+    pub const ALL: [EventKind; 15] = [
         EventKind::LockWait,
         EventKind::LockHold,
         EventKind::BatchCommit,
@@ -62,6 +72,9 @@ impl EventKind {
         EventKind::ServerReply,
         EventKind::IoRetry,
         EventKind::IoError,
+        EventKind::MissShardWait,
+        EventKind::CombinedCommit,
+        EventKind::FreeListSteal,
     ];
 
     /// Stable snake_case name (Chrome trace `name`, Prometheus label).
@@ -79,6 +92,9 @@ impl EventKind {
             EventKind::ServerReply => "server_reply",
             EventKind::IoRetry => "io_retry",
             EventKind::IoError => "io_error",
+            EventKind::MissShardWait => "miss_shard_wait",
+            EventKind::CombinedCommit => "combined_commit",
+            EventKind::FreeListSteal => "free_list_steal",
         }
     }
 
@@ -98,6 +114,9 @@ impl EventKind {
             EventKind::ServerReply => "status",
             EventKind::IoRetry => "page",
             EventKind::IoError => "page",
+            EventKind::MissShardWait => "shard",
+            EventKind::CombinedCommit => "entries",
+            EventKind::FreeListSteal => "stripe",
         }
     }
 
@@ -109,6 +128,7 @@ impl EventKind {
                 | EventKind::ServerEnqueue
                 | EventKind::IoRetry
                 | EventKind::IoError
+                | EventKind::FreeListSteal
         )
     }
 }

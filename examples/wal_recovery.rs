@@ -75,7 +75,8 @@ fn main() {
 
     // --- Phase 2: recovery --------------------------------------------
     let redo_before = storage.writes();
-    BufferPool::<WrappedManager<TwoQ>>::replay_wal_into_storage(&wal, &*storage).expect("recovery replay failed");
+    BufferPool::<WrappedManager<TwoQ>>::replay_wal_into_storage(&wal, &*storage)
+        .expect("recovery replay failed");
     println!(
         "\nphase 2 (recovery): {} redo writes from {} durable WAL bytes",
         storage.writes() - redo_before,
