@@ -236,13 +236,25 @@ mod tests {
         let disk = Arc::new(SimDisk::new(Duration::ZERO, Duration::from_millis(30)));
         let p = BufferPool::new(2, 64, CoarseManager::new(TwoQ::new(2)), disk);
         let mut s = p.session();
-        s.fetch(1).unwrap().write(|d| d[10] = 1);
+        let frame = {
+            let pin = s.fetch(1).unwrap();
+            pin.write(|d| d[10] = 1);
+            pin.frame()
+        };
         std::thread::scope(|sc| {
             let p = &p;
             let t = sc.spawn(move || p.flush_dirty_pages(usize::MAX));
-            // Give the bgwriter time to take its copy and start the
-            // 30 ms device write.
-            std::thread::sleep(Duration::from_millis(5));
+            // The bgwriter clears `dirty` under the latches when it takes
+            // its copy, *before* starting the 30 ms device write — wait
+            // for that observable point instead of guessing with a sleep.
+            let deadline = std::time::Instant::now() + Duration::from_secs(5);
+            while p.desc(frame).snapshot().dirty {
+                assert!(
+                    std::time::Instant::now() < deadline,
+                    "bgwriter never took its copy of the dirty frame"
+                );
+                std::thread::yield_now();
+            }
             let t0 = std::time::Instant::now();
             let mut s2 = p.session();
             s2.fetch(1).unwrap().write(|d| d[10] = 2);

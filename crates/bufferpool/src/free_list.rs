@@ -22,9 +22,16 @@
 //! `next` links live in one atomic array — a frame is on at most one
 //! stack at a time, so its link is owned by whichever stack holds it.
 
-use std::sync::atomic::{AtomicU32, AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicUsize, Ordering};
 
+// Head words and next links go through the dst shims: under the dst
+// harness every load/CAS on them is a schedule point, so the window
+// between reading a head and CASing it — where ABA lives — is
+// explorable. In normal builds the shims are the bare std atomics.
+use bpw_dst::shim::{AtomicU32, AtomicU64};
 use bpw_replacement::FrameId;
+
+use std::sync::atomic::AtomicU64 as StdAtomicU64;
 
 /// Empty-stack sentinel in the index half of a head word.
 const NIL: u32 = u32::MAX;
@@ -48,9 +55,9 @@ pub struct StripedFreeList {
     /// Frames currently on any stack (exact when quiescent).
     count: AtomicUsize,
     /// Pops satisfied by a stripe other than the caller's home.
-    steals: AtomicU64,
+    steals: StdAtomicU64,
     /// Frames parked on the cold stack.
-    cold_pushes: AtomicU64,
+    cold_pushes: StdAtomicU64,
 }
 
 impl StripedFreeList {
@@ -66,8 +73,8 @@ impl StripedFreeList {
             next: (0..frames).map(|_| AtomicU32::new(NIL)).collect(),
             stripes,
             count: AtomicUsize::new(0),
-            steals: AtomicU64::new(0),
-            cold_pushes: AtomicU64::new(0),
+            steals: StdAtomicU64::new(0),
+            cold_pushes: StdAtomicU64::new(0),
         };
         // Reverse order so low frame ids pop first, like the seed's Vec.
         for f in (0..frames as u32).rev() {
@@ -101,6 +108,27 @@ impl StripedFreeList {
         self.cold_pushes.load(Ordering::Relaxed)
     }
 
+    /// The ABA defence: every successful CAS bumps the head's tag.
+    ///
+    /// The `dst_mutation = "freelist"` mutant disables the bump — on
+    /// *both* CAS sites, not just pop's. Skipping only pop's bump is
+    /// provably undetectable: completing the ABA cycle (pop A, pop B,
+    /// push A) always includes a push, whose bump alone keeps the head
+    /// word from ever repeating. Disabling both recreates the classic
+    /// untagged Treiber stack, whose double-allocation the dst free-list
+    /// checker must catch.
+    #[inline]
+    fn bump(tag: u32) -> u32 {
+        #[cfg(not(dst_mutation = "freelist"))]
+        {
+            tag.wrapping_add(1)
+        }
+        #[cfg(dst_mutation = "freelist")]
+        {
+            tag
+        }
+    }
+
     fn push_stack(&self, stack: usize, frame: u32) {
         let head = &self.heads[stack];
         loop {
@@ -110,13 +138,17 @@ impl StripedFreeList {
             if head
                 .compare_exchange_weak(
                     old,
-                    pack(tag.wrapping_add(1), frame),
+                    pack(Self::bump(tag), frame),
                     Ordering::AcqRel,
                     Ordering::Acquire,
                 )
                 .is_ok()
             {
                 self.count.fetch_add(1, Ordering::AcqRel);
+                bpw_dst::record(|| bpw_dst::Op::FreePush {
+                    frame,
+                    cold: stack == self.stripes,
+                });
                 return;
             }
         }
@@ -137,13 +169,14 @@ impl StripedFreeList {
             if head
                 .compare_exchange_weak(
                     old,
-                    pack(tag.wrapping_add(1), next),
+                    pack(Self::bump(tag), next),
                     Ordering::AcqRel,
                     Ordering::Acquire,
                 )
                 .is_ok()
             {
                 self.count.fetch_sub(1, Ordering::AcqRel);
+                bpw_dst::record(|| bpw_dst::Op::FreePop { frame: idx });
                 return Some(idx);
             }
         }

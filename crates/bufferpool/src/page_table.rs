@@ -57,18 +57,23 @@ impl PageTable {
         }
     }
 
-    /// Look up the frame caching `page`, if mapped.
+    /// Look up the frame caching `page`, if mapped. The yield point
+    /// makes every lookup a schedule decision under the dst harness
+    /// (the bucket lock itself is never held across a yield).
     pub fn get(&self, page: PageId) -> Option<FrameId> {
+        bpw_dst::yield_point();
         self.shard(page).read().get(&page).copied()
     }
 
     /// Map `page` to `frame`. Returns the previous mapping, if any.
     pub fn insert(&self, page: PageId, frame: FrameId) -> Option<FrameId> {
+        bpw_dst::yield_point();
         self.shard(page).write().insert(page, frame)
     }
 
     /// Remove the mapping for `page`. Returns the frame it mapped to.
     pub fn remove(&self, page: PageId) -> Option<FrameId> {
+        bpw_dst::yield_point();
         self.shard(page).write().remove(&page)
     }
 

@@ -305,11 +305,26 @@ impl<M: ReplacementManager> BufferPool<M> {
     /// callers know whether a retry can help. Serializes on the page's
     /// own shard lock only.
     pub fn invalidate(&self, page: PageId) -> InvalidateOutcome {
+        let out = self.invalidate_inner(page);
+        bpw_dst::record(|| bpw_dst::Op::Invalidate {
+            page,
+            outcome: match out {
+                InvalidateOutcome::Invalidated => 0,
+                InvalidateOutcome::NotResident => 1,
+                InvalidateOutcome::Busy => 2,
+            },
+        });
+        out
+    }
+
+    fn invalidate_inner(&self, page: PageId) -> InvalidateOutcome {
         let shard = self.miss_shard(page);
         let _g = self.miss_locks[shard].lock();
+        bpw_dst::yield_point();
         let Some(frame) = self.table.get(page) else {
             return InvalidateOutcome::NotResident;
         };
+        bpw_dst::yield_point();
         {
             let mut s = self.descs[frame as usize].lock();
             if s.pins > 0 || s.io_in_progress || !(s.valid && s.tag == page) {
@@ -449,11 +464,20 @@ impl<'p, M: ReplacementManager> PoolSession<'p, M> {
     /// returned to the free list) and the fetch may simply be retried.
     pub fn fetch(&mut self, page: PageId) -> io::Result<PinnedPage<'p, M>> {
         loop {
-            // Fast path: concurrent hash lookup + pin.
+            // Fast path: concurrent hash lookup + pin. The yield between
+            // lookup and pin is where eviction/invalidation can rebind
+            // the frame under the dst harness.
+            bpw_dst::yield_point();
             if let Some(frame) = self.pool.table.get(page) {
+                bpw_dst::yield_point();
                 if self.pool.descs[frame as usize].try_pin(page) {
                     self.pool.stats.hits.fetch_add(1, Ordering::Relaxed);
                     self.handle.on_hit(page, frame);
+                    bpw_dst::record(|| bpw_dst::Op::FetchDone {
+                        page,
+                        frame,
+                        hit: true,
+                    });
                     return Ok(PinnedPage {
                         pool: self.pool,
                         frame,
@@ -463,14 +487,14 @@ impl<'p, M: ReplacementManager> PoolSession<'p, M> {
                 // Mapping present but unpinnable: I/O in progress or a
                 // stale mapping mid-eviction. Yield and retry. (A failed
                 // I/O removes the mapping, so this cannot spin forever.)
-                std::thread::yield_now();
+                bpw_dst::yield_now();
                 continue;
             }
             // Miss path.
             if let Some(pinned) = self.fetch_miss(page)? {
                 return Ok(pinned);
             }
-            std::thread::yield_now();
+            bpw_dst::yield_now();
         }
     }
 
@@ -480,6 +504,7 @@ impl<'p, M: ReplacementManager> PoolSession<'p, M> {
         let pool = self.pool;
         let shard = pool.miss_shard(page);
         let mut guard = pool.miss_locks[shard].lock();
+        bpw_dst::yield_point();
         // Re-check: another thread may have loaded the page while we
         // waited for this shard's miss lock.
         if pool.table.get(page).is_some() {
@@ -539,6 +564,11 @@ impl<'p, M: ReplacementManager> PoolSession<'p, M> {
         pool.table.insert(page, frame);
         // I/O happens outside the miss lock: other misses proceed.
         drop(guard);
+        // The frame is now mapped with io_in_progress set and the shard
+        // lock released — the window where concurrent fetchers of the
+        // same page spin on the unpinnable mapping and invalidate must
+        // report Busy.
+        bpw_dst::yield_point();
         let io_span = bpw_trace::span_start();
         let io_result = (|| -> io::Result<()> {
             let mut data = pool.data[frame as usize].lock();
@@ -564,11 +594,17 @@ impl<'p, M: ReplacementManager> PoolSession<'p, M> {
             pool.repair_failed_frame(page, frame);
             return Err(e);
         }
+        bpw_dst::yield_point();
         pool.descs[frame as usize].lock().io_in_progress = false;
         // Count the miss only now that it has completed: a retry after
         // NoEvictableFrame or an I/O failure must not count twice.
         pool.stats.misses.fetch_add(1, Ordering::Relaxed);
         bpw_trace::span_end(bpw_trace::EventKind::MissIo, io_span, page);
+        bpw_dst::record(|| bpw_dst::Op::FetchDone {
+            page,
+            frame,
+            hit: false,
+        });
         Ok(Some(PinnedPage { pool, frame, page }))
     }
 
@@ -642,6 +678,7 @@ impl<'p, M: ReplacementManager> std::fmt::Debug for PinnedPage<'p, M> {
 
 impl<'p, M: ReplacementManager> Drop for PinnedPage<'p, M> {
     fn drop(&mut self) {
+        bpw_dst::yield_point();
         self.pool.descs[self.frame as usize].unpin();
     }
 }
@@ -943,15 +980,24 @@ mod tests {
         let pool = Arc::new(pool_2q(frames));
         let mut s = pool.session();
         let held: Vec<_> = (0..frames as u64).map(|p| s.fetch(p).unwrap()).collect();
+        let base = pool.miss_lock_snapshot().acquisitions;
         let pool2 = Arc::clone(&pool);
         let t = std::thread::spawn(move || {
             let mut s = pool2.session();
             // Spins through NoEvictableFrame until a pin drops below.
             drop(s.fetch(100).unwrap());
         });
-        // Let the fetcher accumulate a good number of failed miss
-        // attempts before releasing a frame.
-        std::thread::sleep(Duration::from_millis(50));
+        // Each failed attempt takes page 100's miss shard lock once;
+        // wait until several such acquisitions are on the books instead
+        // of sleeping a fixed interval.
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        while pool.miss_lock_snapshot().acquisitions < base + 3 {
+            assert!(
+                std::time::Instant::now() < deadline,
+                "fetcher never retried the miss path"
+            );
+            std::thread::yield_now();
+        }
         drop(held);
         t.join().unwrap();
         let st = pool.stats();

@@ -17,9 +17,13 @@
 //! `Lock()` calls.
 
 use std::ptr;
-use std::sync::atomic::{AtomicPtr, Ordering};
+use std::sync::atomic::Ordering;
 
-use parking_lot::Mutex;
+// The slot array and the registration list go through the dst shims:
+// under the harness every pointer swap/CAS on a slot — publish, owner
+// reclaim, combiner drain — is a schedule point, so the races between
+// them are explorable. In normal builds these are the bare primitives.
+use bpw_dst::shim::{AtomicPtr, Mutex};
 
 use crate::queue::AccessEntry;
 

@@ -61,6 +61,7 @@ impl<T> InstrumentedLock<T> {
     /// The paper's `TryLock()`: a non-blocking attempt. A failure is
     /// cheap and recorded; the caller keeps accumulating accesses.
     pub fn try_lock(&self) -> Option<LockGuard<'_, T>> {
+        bpw_dst::yield_point();
         match self.inner.try_lock() {
             Some(guard) => {
                 self.stats
@@ -83,6 +84,29 @@ impl<T> InstrumentedLock<T> {
     /// immediately free this counts as a *contention* — the metric the
     /// paper reports per million accesses.
     pub fn lock(&self) -> LockGuard<'_, T> {
+        // Under the dst harness a virtual thread must never block its OS
+        // thread while holding the scheduler token: spin on try_lock with
+        // a voluntary yield instead, so the holder gets scheduled. This
+        // lock is the one lock in the system deliberately held *across*
+        // yield points (the whole point is exploring what happens while
+        // it is busy).
+        if bpw_dst::in_task() {
+            let mut contended = false;
+            loop {
+                if let Some(guard) = self.inner.try_lock() {
+                    self.stats
+                        .record_acquisition(contended, std::time::Duration::ZERO);
+                    return LockGuard {
+                        guard: Some(guard),
+                        stats: &self.stats,
+                        acquired_at: Instant::now(),
+                        accesses: 0,
+                    };
+                }
+                contended = true;
+                bpw_dst::yield_now();
+            }
+        }
         if let Some(guard) = self.inner.try_lock() {
             self.stats
                 .record_acquisition(false, std::time::Duration::ZERO);
@@ -180,24 +204,37 @@ mod tests {
 
     #[test]
     fn contention_detected_across_threads() {
-        let lock = Arc::new(InstrumentedLock::new(0u64, Arc::new(LockStats::new())));
-        let l2 = Arc::clone(&lock);
-        let (tx, rx) = std::sync::mpsc::channel();
-        let holder = std::thread::spawn(move || {
-            let _g = l2.lock();
-            tx.send(()).unwrap();
-            std::thread::sleep(std::time::Duration::from_millis(30));
-        });
-        rx.recv().unwrap();
-        {
-            let _g = lock.lock(); // must block: counted as contention
+        // Provoking a *blocking* acquisition needs the holder to keep
+        // the lock until this thread has reached lock() — a moment that
+        // is unobservable from outside. Instead of one fixed sleep
+        // (flaky on a loaded CI machine), retry the scenario with an
+        // escalating, deadline-bounded hold until contention lands.
+        let mut hold = std::time::Duration::from_millis(2);
+        for _ in 0..6 {
+            let lock = Arc::new(InstrumentedLock::new(0u64, Arc::new(LockStats::new())));
+            let l2 = Arc::clone(&lock);
+            let (tx, rx) = std::sync::mpsc::channel();
+            let holder = std::thread::spawn(move || {
+                let _g = l2.lock();
+                tx.send(()).unwrap();
+                std::thread::sleep(hold);
+            });
+            rx.recv().unwrap();
+            {
+                let _g = lock.lock(); // blocks iff the holder still holds
+            }
+            holder.join().unwrap();
+            let snap = lock.stats().snapshot();
+            assert_eq!(snap.acquisitions, 2);
+            if snap.contentions == 1 {
+                assert!(snap.wait_ns > 0);
+                assert!(snap.hold_ns > 0);
+                return;
+            }
+            assert_eq!(snap.contentions, 0);
+            hold *= 4; // 2ms, 8ms, 32ms, ... ~2s worst case
         }
-        holder.join().unwrap();
-        let snap = lock.stats().snapshot();
-        assert_eq!(snap.acquisitions, 2);
-        assert_eq!(snap.contentions, 1);
-        assert!(snap.wait_ns > 0);
-        assert!(snap.hold_ns > 0);
+        panic!("could not provoke a blocking acquisition with holds up to ~2s");
     }
 
     #[test]

@@ -155,8 +155,10 @@ impl<P: ReplacementPolicy> BpWrapper<P> {
         page: PageId,
         frame: FrameId,
     ) {
+        bpw_dst::yield_point();
         self.counters.accesses.incr();
         queue.push(page, frame);
+        bpw_dst::record(|| bpw_dst::Op::RecordHit { page, frame });
         if !self.config.batching || queue.len() >= self.config.batch_threshold {
             self.prefetcher.prefetch_for_commit(queue.entries());
             if !self.config.batching {
@@ -196,9 +198,11 @@ impl<P: ReplacementPolicy> BpWrapper<P> {
             return false;
         };
         let batch: Vec<AccessEntry> = queue.drain().collect();
+        let len = batch.len() as u32;
         match board.publish(slot, batch) {
             Ok(()) => {
                 self.counters.published.incr();
+                bpw_dst::record(|| bpw_dst::Op::PublishBatch { len });
                 true
             }
             Err(batch) => {
@@ -220,11 +224,18 @@ impl<P: ReplacementPolicy> BpWrapper<P> {
         free: Option<FrameId>,
         evictable: &mut dyn FnMut(FrameId) -> bool,
     ) -> MissOutcome {
+        bpw_dst::yield_point();
         self.counters.accesses.incr();
         self.prefetcher.prefetch_for_commit(queue.entries());
         let mut guard = self.lock.lock();
         self.commit_locked(&mut guard, queue, slot);
         let out = guard.record_miss(page, free, evictable);
+        bpw_dst::record(|| bpw_dst::Op::MissApply {
+            page,
+            free,
+            frame: out.frame(),
+            victim: out.victim(),
+        });
         guard.cover_accesses(1);
         out
     }
@@ -290,26 +301,52 @@ impl<P: ReplacementPolicy> BpWrapper<P> {
         queue: &mut AccessQueue,
         slot: Option<SlotId>,
     ) {
+        // Reclaim-before-commit (§III-A): this thread's published batch
+        // holds *older* accesses than its queue, so it must be applied
+        // first or the thread's program order is reordered. The
+        // `dst_mutation = "combining"` mutant defers the reclaimed batch
+        // until after the queue commit — exactly the ordering bug the
+        // dst commit-order checker must catch.
+        #[cfg(dst_mutation = "combining")]
+        let mut deferred: Option<Vec<AccessEntry>> = None;
         if let (Some(board), Some(slot)) = (self.board.as_ref(), slot) {
             if let Some(batch) = board.take(slot) {
                 self.counters.reclaimed.incr();
+                bpw_dst::record(|| bpw_dst::Op::ReclaimBatch {
+                    len: batch.len() as u32,
+                });
+                #[cfg(not(dst_mutation = "combining"))]
                 self.apply_batch(guard, &batch);
+                #[cfg(dst_mutation = "combining")]
+                {
+                    deferred = Some(batch);
+                }
             }
         }
         let n = queue.len() as u64;
         let span = bpw_trace::span_start();
         let mut applied = 0u64;
         for entry in queue.drain() {
-            if guard.page_at(entry.frame) == Some(entry.page) {
+            let hit = guard.page_at(entry.frame) == Some(entry.page);
+            if hit {
                 guard.record_hit(entry.frame);
                 applied += 1;
             }
+            bpw_dst::record(|| bpw_dst::Op::CommitHit {
+                page: entry.page,
+                frame: entry.frame,
+                applied: hit,
+            });
         }
         guard.cover_accesses(n);
         self.counters.committed.add(applied);
         self.counters.stale_skipped.add(n - applied);
         self.counters.batches.incr();
         bpw_trace::span_end(bpw_trace::EventKind::BatchCommit, span, n);
+        #[cfg(dst_mutation = "combining")]
+        if let Some(batch) = deferred {
+            self.apply_batch(guard, &batch);
+        }
         if let Some(board) = self.board.as_ref() {
             self.combine_published(guard, board, slot);
         }
@@ -322,10 +359,16 @@ impl<P: ReplacementPolicy> BpWrapper<P> {
         let span = bpw_trace::span_start();
         let mut applied = 0u64;
         for entry in entries {
-            if guard.page_at(entry.frame) == Some(entry.page) {
+            let hit = guard.page_at(entry.frame) == Some(entry.page);
+            if hit {
                 guard.record_hit(entry.frame);
                 applied += 1;
             }
+            bpw_dst::record(|| bpw_dst::Op::CommitHit {
+                page: entry.page,
+                frame: entry.frame,
+                applied: hit,
+            });
         }
         guard.cover_accesses(n);
         self.counters.committed.add(applied);
@@ -347,6 +390,9 @@ impl<P: ReplacementPolicy> BpWrapper<P> {
         for batch in board.drain(own) {
             entries += batch.len() as u64;
             batches += 1;
+            bpw_dst::record(|| bpw_dst::Op::CombineBatch {
+                len: batch.len() as u32,
+            });
             self.apply_batch(guard, &batch);
         }
         if batches > 0 {
@@ -629,7 +675,18 @@ mod tests {
                 h.record_hit(2, 2);
                 h.queued()
             });
-            std::thread::sleep(std::time::Duration::from_millis(20));
+            // The spawned hit try-locks at the threshold, fails (we
+            // hold the lock), and falls through to a blocking Lock().
+            // Wait for that observable failure — the second recorded
+            // one — rather than sleeping a fixed interval.
+            let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+            while w.lock_stats().snapshot().trylock_failures < 2 {
+                assert!(
+                    std::time::Instant::now() < deadline,
+                    "spawned hit never attempted the lock"
+                );
+                std::thread::yield_now();
+            }
             drop(held);
             t.join().unwrap()
         });

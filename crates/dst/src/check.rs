@@ -1,0 +1,322 @@
+//! History checkers. Because the scheduler serializes virtual threads,
+//! a run's history is a true linearization of the recorded operations;
+//! these checkers validate the harness's three core invariants over it.
+//! (The third invariant — serial-replay equivalence against a fresh
+//! policy instance — lives in the test crates, which know the concrete
+//! policy types; this crate stays dependency-free.)
+
+use std::collections::{HashMap, VecDeque};
+
+use crate::history::{Event, Op};
+
+/// Summary returned by [`check_commit_order`].
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct CommitReport {
+    pub records: u64,
+    pub commits: u64,
+    pub stale_commits: u64,
+    pub publishes: u64,
+    pub reclaims: u64,
+    pub combines: u64,
+}
+
+/// Checker (a): the combining commit preserves per-thread program order
+/// and commits each recorded access **exactly once**, no matter which
+/// thread (recorder, combiner, or flusher) performs the commit.
+///
+/// Attribution: commits do not carry the recording task (a combiner
+/// commits other threads' batches), so ownership is derived from the
+/// `RecordHit` stream. Tests must give each virtual thread a disjoint
+/// page set; the checker enforces this precondition.
+///
+/// Panics with a precise message on the first violation.
+pub fn check_commit_order(events: &[Event]) -> CommitReport {
+    let mut owner: HashMap<u64, usize> = HashMap::new();
+    let mut queues: HashMap<usize, VecDeque<(u64, u32)>> = HashMap::new();
+    let mut report = CommitReport {
+        records: 0,
+        commits: 0,
+        stale_commits: 0,
+        publishes: 0,
+        reclaims: 0,
+        combines: 0,
+    };
+    for ev in events {
+        match ev.op {
+            Op::RecordHit { page, frame } => {
+                let prev = *owner.entry(page).or_insert(ev.task);
+                assert_eq!(
+                    prev, ev.task,
+                    "checker precondition violated: page {page} recorded by \
+                     task {prev} and task {}; give each task a disjoint page set",
+                    ev.task
+                );
+                queues.entry(ev.task).or_default().push_back((page, frame));
+                report.records += 1;
+            }
+            Op::CommitHit {
+                page,
+                frame,
+                applied,
+            } => {
+                let t = *owner
+                    .get(&page)
+                    .unwrap_or_else(|| panic!("commit of page {page} that was never recorded"));
+                let front = queues
+                    .get_mut(&t)
+                    .and_then(|q| q.pop_front())
+                    .unwrap_or_else(|| {
+                        panic!(
+                            "task {t}: commit of ({page},{frame}) but no recorded \
+                             access is outstanding — committed more than once?"
+                        )
+                    });
+                assert_eq!(
+                    front,
+                    (page, frame),
+                    "program order violated for task {t}: committed ({page},{frame}) \
+                     but its next outstanding recorded access was {front:?}"
+                );
+                report.commits += 1;
+                if !applied {
+                    report.stale_commits += 1;
+                }
+            }
+            Op::PublishBatch { .. } => report.publishes += 1,
+            Op::ReclaimBatch { .. } => report.reclaims += 1,
+            Op::CombineBatch { .. } => report.combines += 1,
+            _ => {}
+        }
+    }
+    for (t, q) in &queues {
+        assert!(
+            q.is_empty(),
+            "task {t}: {} recorded accesses were never committed (lost batch); \
+             first lost: {:?}",
+            q.len(),
+            q.front()
+        );
+    }
+    assert_eq!(report.records, report.commits);
+    report
+}
+
+/// Summary returned by [`check_free_list`].
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct FreeListReport {
+    pub pops: u64,
+    pub pushes: u64,
+    pub cold_pushes: u64,
+    pub free_at_end: u32,
+}
+
+/// Checker (b): the striped free list never double-allocates a frame
+/// and never loses one, across home-stripe, steal, and cold paths.
+///
+/// `initially_free` is the set of frames sitting on the free list when
+/// recording started (for a fresh pool: all frames). Replays every
+/// push/pop in linearization order against a reference set.
+pub fn check_free_list(events: &[Event], frames: u32, initially_free: bool) -> FreeListReport {
+    let mut free = vec![initially_free; frames as usize];
+    let mut report = FreeListReport {
+        pops: 0,
+        pushes: 0,
+        cold_pushes: 0,
+        free_at_end: 0,
+    };
+    for ev in events {
+        match ev.op {
+            Op::FreePop { frame } => {
+                let slot = free.get_mut(frame as usize).unwrap_or_else(|| {
+                    panic!("pop of out-of-range frame {frame} (frames={frames})")
+                });
+                assert!(
+                    *slot,
+                    "double allocation: task {} popped frame {frame} while it \
+                     was already allocated (ABA?)",
+                    ev.task
+                );
+                *slot = false;
+                report.pops += 1;
+            }
+            Op::FreePush { frame, cold } => {
+                let slot = free.get_mut(frame as usize).unwrap_or_else(|| {
+                    panic!("push of out-of-range frame {frame} (frames={frames})")
+                });
+                assert!(
+                    !*slot,
+                    "duplicate free: task {} pushed frame {frame} while it was \
+                     already on the free list",
+                    ev.task
+                );
+                *slot = true;
+                report.pushes += 1;
+                if cold {
+                    report.cold_pushes += 1;
+                }
+            }
+            _ => {}
+        }
+    }
+    report.free_at_end = free.iter().filter(|&&f| f).count() as u32;
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(task: usize, op: Op) -> Event {
+        Event { task, op }
+    }
+
+    #[test]
+    fn commit_order_accepts_interleaved_batches() {
+        let events = vec![
+            ev(0, Op::RecordHit { page: 1, frame: 0 }),
+            ev(1, Op::RecordHit { page: 10, frame: 1 }),
+            ev(0, Op::RecordHit { page: 2, frame: 2 }),
+            // Task 1 commits its own access, then combines task 0's
+            // batch — program order per task, any interleaving across.
+            ev(
+                1,
+                Op::CommitHit {
+                    page: 10,
+                    frame: 1,
+                    applied: true,
+                },
+            ),
+            ev(
+                1,
+                Op::CommitHit {
+                    page: 1,
+                    frame: 0,
+                    applied: true,
+                },
+            ),
+            ev(
+                1,
+                Op::CommitHit {
+                    page: 2,
+                    frame: 2,
+                    applied: false,
+                },
+            ),
+        ];
+        let report = check_commit_order(&events);
+        assert_eq!(report.records, 3);
+        assert_eq!(report.commits, 3);
+        assert_eq!(report.stale_commits, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "program order violated")]
+    fn commit_order_rejects_reordered_commits() {
+        let events = vec![
+            ev(0, Op::RecordHit { page: 1, frame: 0 }),
+            ev(0, Op::RecordHit { page: 2, frame: 1 }),
+            ev(
+                0,
+                Op::CommitHit {
+                    page: 2,
+                    frame: 1,
+                    applied: true,
+                },
+            ),
+            ev(
+                0,
+                Op::CommitHit {
+                    page: 1,
+                    frame: 0,
+                    applied: true,
+                },
+            ),
+        ];
+        check_commit_order(&events);
+    }
+
+    #[test]
+    #[should_panic(expected = "never committed")]
+    fn commit_order_rejects_lost_batch() {
+        let events = vec![ev(0, Op::RecordHit { page: 1, frame: 0 })];
+        check_commit_order(&events);
+    }
+
+    #[test]
+    #[should_panic(expected = "more than once")]
+    fn commit_order_rejects_double_commit() {
+        let events = vec![
+            ev(0, Op::RecordHit { page: 1, frame: 0 }),
+            ev(
+                0,
+                Op::CommitHit {
+                    page: 1,
+                    frame: 0,
+                    applied: true,
+                },
+            ),
+            ev(
+                0,
+                Op::CommitHit {
+                    page: 1,
+                    frame: 0,
+                    applied: true,
+                },
+            ),
+        ];
+        check_commit_order(&events);
+    }
+
+    #[test]
+    fn free_list_accepts_balanced_traffic() {
+        let events = vec![
+            ev(0, Op::FreePop { frame: 0 }),
+            ev(1, Op::FreePop { frame: 1 }),
+            ev(
+                0,
+                Op::FreePush {
+                    frame: 0,
+                    cold: true,
+                },
+            ),
+            ev(1, Op::FreePop { frame: 0 }),
+        ];
+        let report = check_free_list(&events, 2, true);
+        assert_eq!(report.pops, 3);
+        assert_eq!(report.cold_pushes, 1);
+        assert_eq!(report.free_at_end, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "double allocation")]
+    fn free_list_rejects_double_allocation() {
+        let events = vec![
+            ev(0, Op::FreePop { frame: 0 }),
+            ev(1, Op::FreePop { frame: 0 }),
+        ];
+        check_free_list(&events, 2, true);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate free")]
+    fn free_list_rejects_duplicate_free() {
+        let events = vec![
+            ev(0, Op::FreePop { frame: 0 }),
+            ev(
+                0,
+                Op::FreePush {
+                    frame: 0,
+                    cold: false,
+                },
+            ),
+            ev(
+                1,
+                Op::FreePush {
+                    frame: 0,
+                    cold: false,
+                },
+            ),
+        ];
+        check_free_list(&events, 2, true);
+    }
+}

@@ -1,0 +1,138 @@
+//! bpw-dst: a deterministic-simulation test framework in the spirit of
+//! loom and shuttle, vendored and offline-friendly.
+//!
+//! The model: a test spawns N *virtual threads* (real OS threads that
+//! are serialized by a token-passing scheduler so exactly one runs at a
+//! time). Instrumented code calls [`yield_point`] at every interesting
+//! shared-memory access; each yield point is a point where the seeded
+//! scheduler may switch tasks. Given the same seed, the schedule — and
+//! therefore the entire execution, including the recorded operation
+//! history — is byte-identical across runs, so any failure replays
+//! exactly from its printed seed.
+//!
+//! Three layers:
+//!
+//! * [`sched`] (only under `feature = "dst"`): the scheduler itself —
+//!   [`Sim`] builds and runs a simulation, [`RunOutcome`] carries the
+//!   schedule, history and verdict.
+//! * [`shim`]: drop-in `Mutex` / atomic types that compile to the bare
+//!   std primitives normally and to yield-instrumented versions under
+//!   the feature.
+//! * [`history`] + [`check`]: the operation vocabulary recorded by the
+//!   instrumented crates and the checkers that validate a history
+//!   (program order / exactly-once commit, free-list conservation).
+//!
+//! Production code calls only the free functions below ([`yield_point`],
+//! [`yield_now`], [`record`], [`in_task`]); with the feature off they
+//! are empty `#[inline]` stubs.
+
+pub mod check;
+pub mod history;
+#[cfg(feature = "dst")]
+pub mod sched;
+pub mod shim;
+
+pub use history::{Event, Op};
+#[cfg(feature = "dst")]
+pub use sched::{Mode, RunOutcome, Sim};
+
+/// A schedule decision point. Under an active simulation the scheduler
+/// may suspend the calling virtual thread here and run another; outside
+/// a simulation (or with the feature off) it is free.
+#[inline(always)]
+pub fn yield_point() {
+    #[cfg(feature = "dst")]
+    sched::yield_point();
+}
+
+/// A *voluntary* yield: the caller cannot make progress right now (it
+/// is spinning on a try-lock or waiting for another thread's side
+/// effect). Under a simulation this forces a reschedule and, under PCT
+/// priority schedules, demotes the caller so the thread it is waiting
+/// on eventually outranks it — without this, a priority-ordered
+/// schedule could livelock on a spin loop. Outside a simulation it is
+/// `std::thread::yield_now`.
+#[inline]
+pub fn yield_now() {
+    #[cfg(feature = "dst")]
+    if sched::in_task() {
+        sched::yield_now_task();
+        return;
+    }
+    std::thread::yield_now();
+}
+
+/// Record an operation into the running simulation's history. The
+/// closure is only evaluated inside a simulation; with the feature off
+/// this compiles to nothing.
+#[inline(always)]
+pub fn record<F: FnOnce() -> Op>(f: F) {
+    #[cfg(feature = "dst")]
+    sched::record_op_with(f);
+    #[cfg(not(feature = "dst"))]
+    let _ = f;
+}
+
+/// True only on a virtual thread of an active simulation.
+#[inline(always)]
+pub fn in_task() -> bool {
+    #[cfg(feature = "dst")]
+    {
+        sched::in_task()
+    }
+    #[cfg(not(feature = "dst"))]
+    {
+        false
+    }
+}
+
+/// The seed corpus for a dst test: `n` defaults to `default_n` and can
+/// be raised for deeper exploration with `DST_SEEDS=N`. Seeds are mixed
+/// from `base` so different tests explore different schedule spaces
+/// even for the same index.
+pub fn seed_corpus(base: u64, default_n: u64) -> Vec<u64> {
+    let n = std::env::var("DST_SEEDS")
+        .ok()
+        .and_then(|s| s.parse::<u64>().ok())
+        .unwrap_or(default_n);
+    (0..n)
+        .map(|i| splitmix64(base ^ i.wrapping_mul(0x9E37_79B9_7F4A_7C15)))
+        .collect()
+}
+
+/// SplitMix64: the harness PRNG. Public so tests can derive per-task
+/// deterministic streams from the run seed.
+pub fn splitmix64(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn seed_corpus_is_deterministic_and_sized() {
+        // DST_SEEDS overrides the default size (that is its job), so the
+        // expected length must honour it — otherwise a soak run
+        // (DST_SEEDS=500) would fail this very test.
+        let expected = std::env::var("DST_SEEDS")
+            .ok()
+            .and_then(|s| s.parse::<usize>().ok())
+            .unwrap_or(10);
+        let a = super::seed_corpus(7, 10);
+        let b = super::seed_corpus(7, 10);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), expected);
+        let c = super::seed_corpus(8, 10);
+        assert_ne!(a, c, "different bases must explore different seeds");
+    }
+
+    #[test]
+    fn facade_is_safe_outside_simulation() {
+        super::yield_point();
+        super::yield_now();
+        super::record(|| super::Op::FreePop { frame: 0 });
+        assert!(!super::in_task());
+    }
+}

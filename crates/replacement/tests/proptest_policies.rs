@@ -13,6 +13,34 @@ fn trace(universe: u64, len: usize) -> impl Strategy<Value = Vec<u64>> {
     prop::collection::vec(0..universe, 1..=len)
 }
 
+/// Named replay of a case proptest once shrank to (frames = 2, trace
+/// below): a tiny cache with a heavily colliding 64-page trace caught a
+/// policy whose internal structure drifted out of sync with the
+/// simulator's page table. Kept as a plain test instead of a
+/// `.proptest-regressions` file so the case is visible, documented, and
+/// runs everywhere by name.
+#[test]
+fn regression_consistency_frames2_colliding_trace() {
+    let frames = 2usize;
+    let pages: [u64; 125] = [
+        0, 0, 29, 53, 0, 29, 53, 59, 59, 57, 14, 19, 50, 58, 27, 17, 49, 16, 53, 45, 49, 34, 49,
+        17, 21, 11, 60, 55, 55, 22, 57, 3, 60, 8, 34, 19, 40, 40, 43, 7, 61, 19, 38, 42, 56, 40,
+        52, 6, 4, 17, 0, 54, 1, 60, 15, 43, 41, 50, 40, 33, 45, 62, 6, 54, 45, 2, 54, 5, 4, 9, 13,
+        49, 22, 5, 20, 52, 44, 0, 32, 33, 5, 14, 53, 5, 57, 21, 32, 50, 56, 52, 29, 35, 43, 34, 16,
+        59, 40, 1, 48, 59, 61, 13, 18, 30, 42, 49, 13, 3, 39, 29, 56, 50, 34, 22, 44, 31, 38, 59,
+        11, 49, 49, 34, 56, 49, 32,
+    ];
+    for kind in PolicyKind::ALL {
+        let mut sim = CacheSim::new(kind.build(frames));
+        for &p in &pages {
+            sim.access(p);
+        }
+        sim.check_consistency();
+        assert!(sim.resident_count() <= frames, "{kind}");
+        assert_eq!(sim.stats().total(), pages.len() as u64);
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
 

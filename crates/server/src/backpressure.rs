@@ -252,22 +252,36 @@ mod tests {
             let aq = aq.clone();
             thread::spawn(move || aq.submit(2))
         };
-        // The producer is stuck until we pop.
-        thread::sleep(Duration::from_millis(20));
-        assert!(!producer.is_finished());
+        // The producer must stay stuck until we pop: give it a bounded
+        // window to (wrongly) finish, then require it did not.
+        assert!(
+            !crate::poll::poll_until(Duration::from_millis(20), || producer.is_finished()),
+            "submit must block while the queue is full"
+        );
         match wq.pop(Duration::from_millis(100)) {
             Popped::Item(1) => {}
             other => panic!("expected Item(1), got {other:?}"),
         }
+        // Popping freed capacity; the producer must now complete — FIFO
+        // order proves it waited rather than jumping the queue.
         assert_eq!(producer.join().unwrap(), Admitted::Queued);
+        match wq.pop(Duration::from_secs(5)) {
+            Popped::Item(2) => {}
+            other => panic!("expected Item(2), got {other:?}"),
+        }
     }
 
     #[test]
     fn expired_requests_are_classified_at_dequeue() {
         let (aq, wq) =
             admission_queue::<u32>(8, AdmissionPolicy::DeadlineDrop(Duration::from_millis(5)));
+        let submitted = std::time::Instant::now();
         assert_eq!(aq.submit(7), Admitted::Queued);
-        thread::sleep(Duration::from_millis(15));
+        // Wait on the condition itself (queue time past the deadline),
+        // not a fixed sleep that merely implies it.
+        crate::poll::wait_for(Duration::from_secs(5), "deadline exceeded", || {
+            submitted.elapsed() > Duration::from_millis(6)
+        });
         match wq.pop(Duration::from_millis(10)) {
             Popped::Expired(7) => {}
             other => panic!("expected Expired(7), got {other:?}"),

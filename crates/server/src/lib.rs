@@ -31,6 +31,7 @@ pub mod backpressure;
 pub mod client;
 pub mod loadgen;
 pub mod metrics;
+pub mod poll;
 pub mod protocol;
 pub mod server;
 
@@ -39,5 +40,6 @@ pub use bpw_bufferpool::{FaultPlan, FaultyDisk};
 pub use client::Client;
 pub use loadgen::{LoadConfig, LoadMode, LoadReport};
 pub use metrics::{OpKind, PoolCounters, ServerMetrics};
+pub use poll::{poll_until, wait_for};
 pub use protocol::{Request, Response, MAX_FRAME};
 pub use server::{build_manager, build_manager_with, DynPool, Server, ServerConfig};

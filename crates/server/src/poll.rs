@@ -1,0 +1,71 @@
+//! Deadline-bounded condition polling for tests.
+//!
+//! CI machines are slow and noisy: a test that sleeps a fixed interval
+//! and then asserts some cross-thread effect has happened is a flake
+//! waiting for a loaded runner. These helpers replace every such sleep
+//! with "poll the condition until it holds or a generous deadline
+//! passes" — fast on a fast machine, correct on a slow one.
+
+use std::time::{Duration, Instant};
+
+/// Poll `cond` until it returns true or `timeout` elapses. Returns
+/// whether the condition held. Polls densely (spin + yield) for the
+/// first millisecond, then backs off to short sleeps so a long wait
+/// does not burn a core.
+pub fn poll_until(timeout: Duration, mut cond: impl FnMut() -> bool) -> bool {
+    let start = Instant::now();
+    loop {
+        if cond() {
+            return true;
+        }
+        if start.elapsed() >= timeout {
+            return cond();
+        }
+        if start.elapsed() < Duration::from_millis(1) {
+            std::thread::yield_now();
+        } else {
+            std::thread::sleep(Duration::from_micros(500));
+        }
+    }
+}
+
+/// Like [`poll_until`] but panics with `what` when the deadline passes
+/// — for conditions that must eventually hold.
+pub fn wait_for(timeout: Duration, what: &str, cond: impl FnMut() -> bool) {
+    assert!(
+        poll_until(timeout, cond),
+        "condition not reached within {timeout:?}: {what}"
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::Arc;
+
+    #[test]
+    fn immediate_condition_returns_fast() {
+        let t0 = Instant::now();
+        assert!(poll_until(Duration::from_secs(5), || true));
+        assert!(t0.elapsed() < Duration::from_secs(1));
+    }
+
+    #[test]
+    fn deadline_bounds_a_false_condition() {
+        let t0 = Instant::now();
+        assert!(!poll_until(Duration::from_millis(10), || false));
+        assert!(t0.elapsed() >= Duration::from_millis(10));
+    }
+
+    #[test]
+    fn observes_cross_thread_effects() {
+        let flag = Arc::new(AtomicBool::new(false));
+        let f2 = Arc::clone(&flag);
+        let t = std::thread::spawn(move || f2.store(true, Ordering::Release));
+        wait_for(Duration::from_secs(5), "flag set", || {
+            flag.load(Ordering::Acquire)
+        });
+        t.join().unwrap();
+    }
+}

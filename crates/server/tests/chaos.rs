@@ -175,6 +175,14 @@ fn chaos_run_returns_correct_bytes_or_err_io_and_recovers() {
     client.shutdown().expect("shutdown");
     drop(client); // close the socket so join() can reap its connection thread
     server.join();
+    // Deadline-bounded check (not a single racy attempt): the listener
+    // must stop accepting once join returns.
+    assert!(
+        bpw_server::poll_until(Duration::from_secs(5), || {
+            std::net::TcpStream::connect_timeout(&addr, Duration::from_millis(200)).is_err()
+        }),
+        "listener should be closed after join"
+    );
 }
 
 #[test]
