@@ -1,0 +1,170 @@
+//! Outbound byte buffering for nonblocking sockets.
+//!
+//! A readiness loop can't `write_all`: the kernel accepts what fits in
+//! the socket buffer and returns `WouldBlock` for the rest. [`WriteBuf`]
+//! queues response bytes (coalescing every response generated in one
+//! wakeup into a single write attempt) and drains across short writes,
+//! reporting progress so the loop knows when to register — and when to
+//! drop — write interest.
+
+use std::io::{self, Write};
+
+/// What one [`WriteBuf::flush`] attempt achieved.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FlushProgress {
+    /// Bytes the kernel accepted this call.
+    pub written: usize,
+    /// The buffer is empty; write interest can be dropped.
+    pub done: bool,
+    /// Write syscalls that accepted only part of what was offered —
+    /// each one is a point where a blocking server would have stalled
+    /// the whole connection thread.
+    pub short_writes: u64,
+}
+
+/// A draining outbound buffer.
+#[derive(Debug, Default)]
+pub struct WriteBuf {
+    buf: Vec<u8>,
+    pos: usize,
+}
+
+impl WriteBuf {
+    /// An empty buffer.
+    pub fn new() -> WriteBuf {
+        WriteBuf::default()
+    }
+
+    /// Queue bytes (one response frame, typically) for the next flush.
+    pub fn push(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Bytes queued and not yet accepted by the kernel.
+    pub fn pending(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Nothing left to write.
+    pub fn is_empty(&self) -> bool {
+        self.pending() == 0
+    }
+
+    /// Write as much as the socket will take. `WouldBlock` is progress
+    /// information, not an error; real transport errors surface as
+    /// `Err` so the caller can close the connection.
+    pub fn flush(&mut self, w: &mut impl Write) -> io::Result<FlushProgress> {
+        let mut progress = FlushProgress {
+            written: 0,
+            done: false,
+            short_writes: 0,
+        };
+        while self.pos < self.buf.len() {
+            let offered = self.buf.len() - self.pos;
+            match w.write(&self.buf[self.pos..]) {
+                Ok(0) => {
+                    return Err(io::Error::new(
+                        io::ErrorKind::WriteZero,
+                        "socket accepted zero bytes",
+                    ))
+                }
+                Ok(n) => {
+                    self.pos += n;
+                    progress.written += n;
+                    if n < offered {
+                        progress.short_writes += 1;
+                    }
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(e),
+            }
+        }
+        if self.pos == self.buf.len() {
+            self.buf.clear();
+            self.pos = 0;
+            progress.done = true;
+        } else if self.pos > 64 * 1024 {
+            // Reclaim the drained prefix once it is large enough to
+            // matter, without shifting bytes on every partial write.
+            self.buf.drain(..self.pos);
+            self.pos = 0;
+        }
+        Ok(progress)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A writer that accepts at most `cap` bytes per call and blocks
+    /// after `limit` total bytes — a socket buffer in miniature.
+    struct Throttled {
+        sunk: Vec<u8>,
+        cap: usize,
+        limit: usize,
+    }
+
+    impl Write for Throttled {
+        fn write(&mut self, data: &[u8]) -> io::Result<usize> {
+            if self.sunk.len() >= self.limit {
+                return Err(io::Error::new(io::ErrorKind::WouldBlock, "full"));
+            }
+            let n = data.len().min(self.cap).min(self.limit - self.sunk.len());
+            self.sunk.extend_from_slice(&data[..n]);
+            Ok(n)
+        }
+        fn flush(&mut self) -> io::Result<()> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn drains_across_short_writes_and_wouldblock() {
+        let mut wb = WriteBuf::new();
+        wb.push(b"hello ");
+        wb.push(b"world");
+        assert_eq!(wb.pending(), 11);
+
+        let mut w = Throttled {
+            sunk: Vec::new(),
+            cap: 4,
+            limit: 7,
+        };
+        let p = wb.flush(&mut w).unwrap();
+        assert!(!p.done);
+        assert_eq!(p.written, 7);
+        assert!(p.short_writes >= 1, "4-byte cap must register short writes");
+        assert_eq!(wb.pending(), 4);
+
+        // "Socket buffer" empties; the rest goes out.
+        w.limit = usize::MAX;
+        let p = wb.flush(&mut w).unwrap();
+        assert!(p.done);
+        assert_eq!(w.sunk, b"hello world");
+        assert!(wb.is_empty());
+
+        // Flushing an empty buffer is a cheap no-op reporting done.
+        assert!(wb.flush(&mut w).unwrap().done);
+    }
+
+    #[test]
+    fn transport_errors_surface() {
+        struct Broken;
+        impl Write for Broken {
+            fn write(&mut self, _: &[u8]) -> io::Result<usize> {
+                Err(io::Error::new(io::ErrorKind::BrokenPipe, "peer gone"))
+            }
+            fn flush(&mut self) -> io::Result<()> {
+                Ok(())
+            }
+        }
+        let mut wb = WriteBuf::new();
+        wb.push(b"x");
+        assert_eq!(
+            wb.flush(&mut Broken).unwrap_err().kind(),
+            io::ErrorKind::BrokenPipe
+        );
+    }
+}

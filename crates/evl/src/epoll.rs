@@ -1,0 +1,319 @@
+//! Safe wrappers over the raw epoll surface: an [`Epoll`] instance with
+//! token-based registration, an [`Interest`] builder covering level- and
+//! edge-triggered delivery, and a [`WakeFd`] (eventfd) for cross-thread
+//! wakeups.
+
+use std::io;
+use std::os::unix::io::{AsRawFd, RawFd};
+use std::time::Duration;
+
+use crate::sys::{
+    sys_close, sys_epoll_add, sys_epoll_create, sys_epoll_del, sys_epoll_mod, sys_epoll_wait,
+    sys_eventfd, sys_read, sys_write, EpollEvent, EPOLLERR, EPOLLET, EPOLLHUP, EPOLLIN, EPOLLOUT,
+    EPOLLRDHUP,
+};
+
+/// What a registration wants to hear about.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Interest {
+    readable: bool,
+    writable: bool,
+    edge: bool,
+}
+
+impl Interest {
+    /// Readable only, level-triggered.
+    pub const READ: Interest = Interest {
+        readable: true,
+        writable: false,
+        edge: false,
+    };
+    /// Writable only, level-triggered.
+    pub const WRITE: Interest = Interest {
+        readable: false,
+        writable: true,
+        edge: false,
+    };
+    /// Readable and writable, level-triggered.
+    pub const READ_WRITE: Interest = Interest {
+        readable: true,
+        writable: true,
+        edge: false,
+    };
+    /// Neither direction: registration stays alive (hangups are still
+    /// reported) but delivers no read/write events — how the loop parks
+    /// a connection it is flow-controlling.
+    pub const NONE: Interest = Interest {
+        readable: false,
+        writable: false,
+        edge: false,
+    };
+
+    /// Switch to edge-triggered delivery: one event per readiness
+    /// *transition*, so the consumer must drain to `WouldBlock` before
+    /// waiting again.
+    pub fn edge_triggered(mut self) -> Interest {
+        self.edge = true;
+        self
+    }
+
+    fn bits(self) -> u32 {
+        // RDHUP is always on: a peer's half-close should wake the loop
+        // even when the connection is parked.
+        let mut bits = EPOLLRDHUP;
+        if self.readable {
+            bits |= EPOLLIN;
+        }
+        if self.writable {
+            bits |= EPOLLOUT;
+        }
+        if self.edge {
+            bits |= EPOLLET;
+        }
+        bits
+    }
+}
+
+/// One delivered readiness event.
+#[derive(Debug, Clone, Copy)]
+pub struct Ready {
+    /// The token the fd was registered with.
+    pub token: u64,
+    /// The fd can be read (or accepted) without blocking.
+    pub readable: bool,
+    /// The fd can be written without blocking.
+    pub writable: bool,
+    /// Error or hangup condition; the owner should read to EOF / close.
+    pub hangup: bool,
+}
+
+impl Ready {
+    fn from_event(ev: EpollEvent) -> Ready {
+        // `ev` is a by-value copy: field reads from the (possibly
+        // packed) struct are safe here.
+        let bits = ev.events;
+        Ready {
+            token: ev.data,
+            readable: bits & (EPOLLIN | EPOLLRDHUP) != 0,
+            writable: bits & EPOLLOUT != 0,
+            hangup: bits & (EPOLLERR | EPOLLHUP) != 0,
+        }
+    }
+}
+
+/// An epoll instance plus a reusable event buffer.
+pub struct Epoll {
+    epfd: RawFd,
+    buf: Vec<EpollEvent>,
+}
+
+impl Epoll {
+    /// Create an instance able to deliver up to `capacity` events per
+    /// [`wait`](Self::wait).
+    pub fn new(capacity: usize) -> io::Result<Epoll> {
+        Ok(Epoll {
+            epfd: sys_epoll_create()?,
+            buf: vec![EpollEvent::ZERO; capacity.max(1)],
+        })
+    }
+
+    /// Register `fd` under `token`.
+    pub fn add(&self, fd: &impl AsRawFd, token: u64, interest: Interest) -> io::Result<()> {
+        sys_epoll_add(self.epfd, fd.as_raw_fd(), interest.bits(), token)
+    }
+
+    /// Change `fd`'s interest set (token may change too).
+    pub fn modify(&self, fd: &impl AsRawFd, token: u64, interest: Interest) -> io::Result<()> {
+        sys_epoll_mod(self.epfd, fd.as_raw_fd(), interest.bits(), token)
+    }
+
+    /// Deregister `fd`.
+    pub fn delete(&self, fd: &impl AsRawFd) -> io::Result<()> {
+        sys_epoll_del(self.epfd, fd.as_raw_fd())
+    }
+
+    /// Block up to `timeout` (None = forever) and return the ready set.
+    /// A signal or timeout yields an empty slice, not an error.
+    pub fn wait(
+        &mut self,
+        timeout: Option<Duration>,
+    ) -> io::Result<impl Iterator<Item = Ready> + '_> {
+        let ms = match timeout {
+            None => -1,
+            Some(t) => t.as_millis().min(i32::MAX as u128) as i32,
+        };
+        let n = sys_epoll_wait(self.epfd, &mut self.buf, ms)?;
+        Ok(self.buf[..n].iter().map(|&ev| Ready::from_event(ev)))
+    }
+}
+
+impl Drop for Epoll {
+    fn drop(&mut self) {
+        sys_close(self.epfd);
+    }
+}
+
+/// A cross-thread wakeup channel: any thread [`notify`](Self::notify)s,
+/// the loop sees the fd readable and [`drain`](Self::drain)s it back to
+/// quiescent. Backed by a nonblocking eventfd, so notify never blocks
+/// and coalesces arbitrarily many signals into one wakeup.
+pub struct WakeFd {
+    fd: RawFd,
+}
+
+impl WakeFd {
+    /// Create the eventfd.
+    pub fn new() -> io::Result<WakeFd> {
+        Ok(WakeFd { fd: sys_eventfd()? })
+    }
+
+    /// Wake the loop (callable from any thread, lock-free).
+    pub fn notify(&self) {
+        // An eventfd write only blocks at u64::MAX - 1 pending signals;
+        // treat that (and any other failure) as "the loop is already
+        // very awake".
+        let _ = sys_write(self.fd, &1u64.to_ne_bytes());
+    }
+
+    /// Consume all pending notifications; returns how many were folded
+    /// together (0 when the wake was spurious).
+    pub fn drain(&self) -> u64 {
+        let mut buf = [0u8; 8];
+        match sys_read(self.fd, &mut buf) {
+            Ok(8) => u64::from_ne_bytes(buf),
+            _ => 0,
+        }
+    }
+}
+
+impl AsRawFd for WakeFd {
+    fn as_raw_fd(&self) -> RawFd {
+        self.fd
+    }
+}
+
+impl Drop for WakeFd {
+    fn drop(&mut self) {
+        sys_close(self.fd);
+    }
+}
+
+// Safety: WakeFd is just an fd; eventfd reads/writes are thread-safe.
+unsafe impl Send for WakeFd {}
+unsafe impl Sync for WakeFd {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ready_tokens(epoll: &mut Epoll, timeout: Duration) -> Vec<u64> {
+        epoll
+            .wait(Some(timeout))
+            .unwrap()
+            .map(|r| r.token)
+            .collect()
+    }
+
+    #[test]
+    fn level_triggered_stays_ready_until_drained() {
+        let mut epoll = Epoll::new(8).unwrap();
+        let wake = WakeFd::new().unwrap();
+        epoll.add(&wake, 42, Interest::READ).unwrap();
+
+        wake.notify();
+        assert_eq!(ready_tokens(&mut epoll, Duration::from_secs(5)), vec![42]);
+        // Level-triggered: still ready until the eventfd is drained.
+        assert_eq!(ready_tokens(&mut epoll, Duration::from_secs(5)), vec![42]);
+        assert_eq!(wake.drain(), 1);
+        assert!(ready_tokens(&mut epoll, Duration::from_millis(10)).is_empty());
+    }
+
+    #[test]
+    fn edge_triggered_fires_once_per_transition() {
+        let mut epoll = Epoll::new(8).unwrap();
+        let wake = WakeFd::new().unwrap();
+        epoll
+            .add(&wake, 7, Interest::READ.edge_triggered())
+            .unwrap();
+
+        wake.notify();
+        wake.notify();
+        assert_eq!(ready_tokens(&mut epoll, Duration::from_secs(5)), vec![7]);
+        // Edge-triggered and not drained: no second event for the same
+        // readiness edge.
+        assert!(ready_tokens(&mut epoll, Duration::from_millis(20)).is_empty());
+        // Both notifies coalesced into one counter value.
+        assert_eq!(wake.drain(), 2);
+        // A fresh write is a fresh edge.
+        wake.notify();
+        assert_eq!(ready_tokens(&mut epoll, Duration::from_secs(5)), vec![7]);
+    }
+
+    #[test]
+    fn interest_none_silences_a_ready_fd() {
+        let mut epoll = Epoll::new(8).unwrap();
+        let wake = WakeFd::new().unwrap();
+        epoll.add(&wake, 1, Interest::READ).unwrap();
+        wake.notify();
+        assert_eq!(ready_tokens(&mut epoll, Duration::from_secs(5)), vec![1]);
+        // Park it: still registered, but no events delivered.
+        epoll.modify(&wake, 1, Interest::NONE).unwrap();
+        assert!(ready_tokens(&mut epoll, Duration::from_millis(20)).is_empty());
+        // Unpark: the level-triggered readiness resurfaces immediately.
+        epoll.modify(&wake, 1, Interest::READ).unwrap();
+        assert_eq!(ready_tokens(&mut epoll, Duration::from_secs(5)), vec![1]);
+        epoll.delete(&wake).unwrap();
+        wake.notify();
+        assert!(ready_tokens(&mut epoll, Duration::from_millis(20)).is_empty());
+    }
+
+    #[test]
+    fn tcp_sockets_report_read_write_and_hangup() {
+        use std::io::Write;
+        use std::net::{TcpListener, TcpStream};
+
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        listener.set_nonblocking(true).unwrap();
+        let mut epoll = Epoll::new(8).unwrap();
+        epoll.add(&listener, 1, Interest::READ).unwrap();
+
+        // A connect makes the listener readable (accept won't block).
+        let mut client = TcpStream::connect(listener.local_addr().unwrap()).unwrap();
+        assert_eq!(ready_tokens(&mut epoll, Duration::from_secs(5)), vec![1]);
+        let (server_side, _) = listener.accept().unwrap();
+        server_side.set_nonblocking(true).unwrap();
+        epoll.add(&server_side, 2, Interest::READ_WRITE).unwrap();
+
+        // Idle socket with write interest: writable, not readable.
+        let evs: Vec<Ready> = epoll
+            .wait(Some(Duration::from_secs(5)))
+            .unwrap()
+            .filter(|r| r.token == 2)
+            .collect();
+        assert!(evs.iter().any(|r| r.writable && !r.readable));
+
+        // Bytes from the peer: readable.
+        client.write_all(b"ping").unwrap();
+        client.flush().unwrap();
+        let saw_readable = |epoll: &mut Epoll| {
+            epoll
+                .wait(Some(Duration::from_secs(5)))
+                .unwrap()
+                .any(|r| r.token == 2 && r.readable)
+        };
+        assert!(saw_readable(&mut epoll));
+
+        // Peer hangup: readable (EOF) — and RDHUP even if parked.
+        epoll.modify(&server_side, 2, Interest::NONE).unwrap();
+        drop(client);
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        let mut saw_hup = false;
+        while std::time::Instant::now() < deadline && !saw_hup {
+            saw_hup = epoll
+                .wait(Some(Duration::from_millis(100)))
+                .unwrap()
+                .any(|r| r.token == 2 && (r.readable || r.hangup));
+        }
+        assert!(saw_hup, "peer close must surface despite Interest::NONE");
+    }
+}

@@ -1,0 +1,170 @@
+//! Raw syscall surface for the event loop.
+//!
+//! The workspace builds offline with no crates.io registry, so there is
+//! no `libc` crate to lean on. Every binary already links the platform
+//! C library, though, so the epoll and eventfd entry points are declared
+//! here directly — exactly the symbols the loop needs and nothing more.
+//! All wrappers translate `-1` returns into [`io::Error::last_os_error`]
+//! so callers stay in ordinary `io::Result` land.
+
+use std::io;
+use std::os::unix::io::RawFd;
+
+/// `epoll_event.events` bit: the fd is readable.
+pub const EPOLLIN: u32 = 0x001;
+/// `epoll_event.events` bit: the fd is writable.
+pub const EPOLLOUT: u32 = 0x004;
+/// `epoll_event.events` bit: error condition.
+pub const EPOLLERR: u32 = 0x008;
+/// `epoll_event.events` bit: hangup (peer closed both directions).
+pub const EPOLLHUP: u32 = 0x010;
+/// `epoll_event.events` bit: peer closed its write half.
+pub const EPOLLRDHUP: u32 = 0x2000;
+/// `epoll_event.events` bit: edge-triggered delivery.
+pub const EPOLLET: u32 = 1 << 31;
+
+const EPOLL_CTL_ADD: i32 = 1;
+const EPOLL_CTL_DEL: i32 = 2;
+const EPOLL_CTL_MOD: i32 = 3;
+
+const EPOLL_CLOEXEC: i32 = 0o2000000;
+const EFD_CLOEXEC: i32 = 0o2000000;
+const EFD_NONBLOCK: i32 = 0o4000;
+
+/// The kernel's `struct epoll_event`. On x86-64 the kernel ABI packs it
+/// (no padding between `events` and `data`); elsewhere it has natural
+/// alignment — mirror glibc's definition.
+#[repr(C)]
+#[cfg_attr(target_arch = "x86_64", repr(packed))]
+#[derive(Clone, Copy)]
+pub struct EpollEvent {
+    /// Readiness bit set (`EPOLLIN` | ...).
+    pub events: u32,
+    /// Caller-owned token, returned verbatim with each event.
+    pub data: u64,
+}
+
+impl EpollEvent {
+    /// A zeroed event (buffer filler before `epoll_wait`).
+    pub const ZERO: EpollEvent = EpollEvent { events: 0, data: 0 };
+}
+
+extern "C" {
+    fn epoll_create1(flags: i32) -> i32;
+    fn epoll_ctl(epfd: i32, op: i32, fd: i32, event: *mut EpollEvent) -> i32;
+    fn epoll_wait(epfd: i32, events: *mut EpollEvent, maxevents: i32, timeout_ms: i32) -> i32;
+    fn eventfd(initval: u32, flags: i32) -> i32;
+    fn close(fd: i32) -> i32;
+    fn read(fd: i32, buf: *mut u8, count: usize) -> isize;
+    fn write(fd: i32, buf: *const u8, count: usize) -> isize;
+}
+
+fn cvt(ret: i32) -> io::Result<i32> {
+    if ret < 0 {
+        Err(io::Error::last_os_error())
+    } else {
+        Ok(ret)
+    }
+}
+
+/// `epoll_create1(EPOLL_CLOEXEC)`.
+pub fn sys_epoll_create() -> io::Result<RawFd> {
+    cvt(unsafe { epoll_create1(EPOLL_CLOEXEC) })
+}
+
+/// Register `fd` with interest `events` and token `data`.
+pub fn sys_epoll_add(epfd: RawFd, fd: RawFd, events: u32, data: u64) -> io::Result<()> {
+    let mut ev = EpollEvent { events, data };
+    cvt(unsafe { epoll_ctl(epfd, EPOLL_CTL_ADD, fd, &mut ev) }).map(drop)
+}
+
+/// Change `fd`'s interest set.
+pub fn sys_epoll_mod(epfd: RawFd, fd: RawFd, events: u32, data: u64) -> io::Result<()> {
+    let mut ev = EpollEvent { events, data };
+    cvt(unsafe { epoll_ctl(epfd, EPOLL_CTL_MOD, fd, &mut ev) }).map(drop)
+}
+
+/// Deregister `fd`.
+pub fn sys_epoll_del(epfd: RawFd, fd: RawFd) -> io::Result<()> {
+    let mut ev = EpollEvent::ZERO;
+    cvt(unsafe { epoll_ctl(epfd, EPOLL_CTL_DEL, fd, &mut ev) }).map(drop)
+}
+
+/// Wait up to `timeout_ms` (-1 = forever) for readiness; fills `buf`
+/// from the front and returns how many entries are valid. `EINTR` is
+/// reported as zero events rather than an error — the loop just goes
+/// around again.
+pub fn sys_epoll_wait(epfd: RawFd, buf: &mut [EpollEvent], timeout_ms: i32) -> io::Result<usize> {
+    let n = unsafe { epoll_wait(epfd, buf.as_mut_ptr(), buf.len() as i32, timeout_ms) };
+    if n < 0 {
+        let err = io::Error::last_os_error();
+        if err.kind() == io::ErrorKind::Interrupted {
+            return Ok(0);
+        }
+        return Err(err);
+    }
+    Ok(n as usize)
+}
+
+/// A nonblocking `eventfd(0)`.
+pub fn sys_eventfd() -> io::Result<RawFd> {
+    cvt(unsafe { eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK) })
+}
+
+/// Best-effort close (fd tables are process-local; errors are ignored
+/// the way `std` ignores them in `Drop`).
+pub fn sys_close(fd: RawFd) {
+    unsafe {
+        close(fd);
+    }
+}
+
+/// Raw `read`; the caller owns nonblocking/EAGAIN handling.
+pub fn sys_read(fd: RawFd, buf: &mut [u8]) -> io::Result<usize> {
+    let n = unsafe { read(fd, buf.as_mut_ptr(), buf.len()) };
+    if n < 0 {
+        Err(io::Error::last_os_error())
+    } else {
+        Ok(n as usize)
+    }
+}
+
+/// Raw `write`; the caller owns nonblocking/EAGAIN handling.
+pub fn sys_write(fd: RawFd, buf: &[u8]) -> io::Result<usize> {
+    let n = unsafe { write(fd, buf.as_ptr(), buf.len()) };
+    if n < 0 {
+        Err(io::Error::last_os_error())
+    } else {
+        Ok(n as usize)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn epoll_event_matches_kernel_abi() {
+        // x86-64 packs the struct to 12 bytes; everywhere else it is 16.
+        if cfg!(target_arch = "x86_64") {
+            assert_eq!(std::mem::size_of::<EpollEvent>(), 12);
+        } else {
+            assert_eq!(std::mem::size_of::<EpollEvent>(), 16);
+        }
+    }
+
+    #[test]
+    fn eventfd_round_trips_a_wake() {
+        let fd = sys_eventfd().unwrap();
+        // Nothing written yet: nonblocking read reports WouldBlock.
+        let mut buf = [0u8; 8];
+        assert_eq!(
+            sys_read(fd, &mut buf).unwrap_err().kind(),
+            io::ErrorKind::WouldBlock
+        );
+        assert_eq!(sys_write(fd, &1u64.to_ne_bytes()).unwrap(), 8);
+        assert_eq!(sys_read(fd, &mut buf).unwrap(), 8);
+        assert_eq!(u64::from_ne_bytes(buf), 1);
+        sys_close(fd);
+    }
+}

@@ -47,6 +47,57 @@ impl Counter {
     }
 }
 
+/// An up/down gauge for population counts (open connections, in-flight
+/// requests): increments on entry, decrements on exit, and remembers
+/// its high-water mark.
+#[derive(Debug, Default)]
+pub struct Gauge {
+    value: CachePadded<AtomicU64>,
+    peak: CachePadded<AtomicU64>,
+}
+
+impl Gauge {
+    /// New gauge at zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// One more member in the population.
+    #[inline]
+    pub fn incr(&self) {
+        let now = self.value.fetch_add(1, Ordering::Relaxed) + 1;
+        self.peak.fetch_max(now, Ordering::Relaxed);
+    }
+
+    /// One fewer. Saturates at zero rather than wrapping, so a stray
+    /// double-decrement corrupts one reading, not every later one.
+    #[inline]
+    pub fn decr(&self) {
+        let mut cur = self.value.load(Ordering::Relaxed);
+        while cur > 0 {
+            match self.value.compare_exchange_weak(
+                cur,
+                cur - 1,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return,
+                Err(seen) => cur = seen,
+            }
+        }
+    }
+
+    /// Current population.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+
+    /// Largest population ever observed.
+    pub fn peak(&self) -> u64 {
+        self.peak.load(Ordering::Relaxed)
+    }
+}
+
 /// A gauge tracking a maximum observed value.
 #[derive(Debug, Default)]
 pub struct MaxGauge {
@@ -103,6 +154,22 @@ mod tests {
             h.join().unwrap();
         }
         assert_eq!(c.get(), 40_000);
+    }
+
+    #[test]
+    fn gauge_tracks_population_and_peak() {
+        let g = Gauge::new();
+        g.incr();
+        g.incr();
+        g.incr();
+        g.decr();
+        assert_eq!(g.get(), 2);
+        assert_eq!(g.peak(), 3);
+        g.decr();
+        g.decr();
+        g.decr(); // extra decrement saturates instead of wrapping
+        assert_eq!(g.get(), 0);
+        assert_eq!(g.peak(), 3);
     }
 
     #[test]

@@ -31,6 +31,26 @@ impl Client {
     /// Send `req` and wait for its reply.
     pub fn call(&mut self, req: &Request) -> io::Result<Response> {
         protocol::write_frame(&mut self.writer, &req.encode())?;
+        self.read_response()
+    }
+
+    /// Send every request back-to-back in one kernel write, then read
+    /// the replies — which the server returns strictly in request
+    /// order, whichever frontend is serving. One round trip instead of
+    /// `reqs.len()`, which is the entire point of pipelining.
+    pub fn call_pipelined(&mut self, reqs: &[Request]) -> io::Result<Vec<Response>> {
+        for req in reqs {
+            protocol::write_frame_unflushed(&mut self.writer, &req.encode())?;
+        }
+        io::Write::flush(&mut self.writer)?;
+        let mut out = Vec::with_capacity(reqs.len());
+        for _ in reqs {
+            out.push(self.read_response()?);
+        }
+        Ok(out)
+    }
+
+    fn read_response(&mut self) -> io::Result<Response> {
         if !protocol::read_frame(&mut self.reader, &mut self.buf)? {
             return Err(io::Error::new(
                 io::ErrorKind::UnexpectedEof,

@@ -1,0 +1,600 @@
+//! The readiness event-loop frontend: one thread multiplexing every
+//! client connection over epoll (via `bpw-evl`), with request
+//! pipelining and batched writes.
+//!
+//! ## Why it exists
+//!
+//! The threaded frontend spends a thread per connection; tens of
+//! thousands of mostly-idle connections means tens of thousands of
+//! stacks and a scheduler meltdown long before BP-Wrapper's lock-free
+//! batching becomes the bottleneck. Here, socket I/O is owned by a
+//! single loop thread; decoded requests still flow through the same
+//! admission queue to the same worker pool (each worker holding its
+//! long-lived `PoolSession`), so overload policy and every replacement
+//! scheme behave identically in both modes.
+//!
+//! ## Per-connection state machine
+//!
+//! Bytes arrive in arbitrary fragments and are fed to an incremental
+//! [`FrameDecoder`]; each complete frame gets the connection's next
+//! **sequence number**. Data requests are offered (never blockingly
+//! submitted) to the admission queue and executed by workers, which may
+//! finish out of order; control requests (`STATS`/`METRICS`/`SHUTDOWN`)
+//! are answered inline by the loop thread. Completed responses park in
+//! a per-connection reorder buffer and are released strictly in
+//! sequence order — the pipelining contract is "responses in request
+//! order", byte-identical to what the threaded frontend produces.
+//!
+//! ## Flow control without blocking
+//!
+//! The loop thread must never wait on anything. Three valves:
+//!
+//! * **Pipeline cap** — at most `max_pipeline` requests in flight per
+//!   connection; past that the connection's read interest is dropped
+//!   (level-triggered epoll makes re-arming free).
+//! * **Stall buffer** — under `Block`/`DeadlineDrop`, a full admission
+//!   queue hands the request back ([`Offered::Full`]); it parks in
+//!   arrival order and is re-offered when a completion signals that a
+//!   worker freed capacity. The request keeps its original admission
+//!   time, so deadlines measure true staleness.
+//! * **Write buffer** — responses coalesce into one [`WriteBuf`] per
+//!   connection, flushed once per wakeup; a short write registers write
+//!   interest instead of spinning.
+
+use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::io::{self, Read};
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::Ordering;
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use bpw_evl::{Epoll, Interest, Ready, WakeFd, WriteBuf};
+
+use crate::backpressure::{AdmissionQueue, Offered};
+use crate::metrics::OpKind;
+use crate::protocol::{FrameDecoder, Request, Response};
+use crate::server::{metrics_text, stats_json, Job, ReplyTo, Shared};
+
+const TOK_LISTENER: u64 = 0;
+const TOK_WAKE: u64 = 1;
+const FIRST_CONN_TOKEN: u64 = 2;
+
+/// Socket-read budget per connection per wakeup: large enough to drain
+/// a deep pipeline burst in one pass, small enough that one firehose
+/// connection cannot starve the rest (level-triggered epoll re-delivers
+/// whatever is left).
+const READ_CHUNK: usize = 16 * 1024;
+const MAX_READS_PER_WAKEUP: usize = 8;
+
+/// Worker-to-loop completion channel: finished responses accumulate
+/// under a mutex (held for a push or a swap, never across I/O) and the
+/// eventfd wakes the loop — once per batch, not per response, because
+/// only the first push into an empty queue notifies.
+pub(crate) struct Completions {
+    queue: Mutex<Vec<(u64, u64, Response)>>,
+    wake: WakeFd,
+}
+
+impl Completions {
+    pub(crate) fn new() -> io::Result<Completions> {
+        Ok(Completions {
+            queue: Mutex::new(Vec::new()),
+            wake: WakeFd::new()?,
+        })
+    }
+
+    /// Deliver a worker's response for `(token, seq)`.
+    pub(crate) fn push(&self, token: u64, seq: u64, resp: Response) {
+        let was_empty = {
+            let mut q = self.queue.lock().expect("completions lock");
+            let was_empty = q.is_empty();
+            q.push((token, seq, resp));
+            was_empty
+        };
+        if was_empty {
+            self.wake.notify();
+        }
+    }
+
+    fn drain(&self) -> Vec<(u64, u64, Response)> {
+        std::mem::take(&mut *self.queue.lock().expect("completions lock"))
+    }
+}
+
+/// One multiplexed client connection.
+struct Conn {
+    stream: TcpStream,
+    decoder: FrameDecoder,
+    wbuf: WriteBuf,
+    /// Sequence number the next decoded frame will get.
+    next_seq: u64,
+    /// Sequence number of the next response to put on the wire.
+    next_to_send: u64,
+    /// Completed responses waiting for their turn (reorder buffer).
+    pending: BTreeMap<u64, Response>,
+    /// Admission time and op kind of data requests, by seq — consumed
+    /// when the response is written (metrics + reply trace).
+    meta: HashMap<u64, (OpKind, Instant)>,
+    /// Data requests handed to workers and not yet completed.
+    inflight: usize,
+    /// Decoded data requests a full admission queue handed back.
+    stalled: VecDeque<(u64, Request, Instant)>,
+    /// Peer closed its write half; serve what was received, then close.
+    peer_eof: bool,
+    /// Fatal frame/decode error: the seq of the final (ERR) response.
+    /// Nothing past it is read or answered; close once it is written.
+    close_after: Option<u64>,
+    /// Interest currently registered with epoll, to skip no-op MODs.
+    registered: (bool, bool),
+}
+
+impl Conn {
+    fn new(stream: TcpStream) -> Conn {
+        Conn {
+            stream,
+            decoder: FrameDecoder::new(),
+            wbuf: WriteBuf::new(),
+            next_seq: 0,
+            next_to_send: 0,
+            pending: BTreeMap::new(),
+            meta: HashMap::new(),
+            inflight: 0,
+            stalled: VecDeque::new(),
+            peer_eof: false,
+            close_after: None,
+            registered: (true, false),
+        }
+    }
+
+    /// All work this connection will ever produce has been written.
+    fn drained(&self) -> bool {
+        self.inflight == 0
+            && self.stalled.is_empty()
+            && self.pending.is_empty()
+            && self.wbuf.is_empty()
+    }
+
+    /// Should the loop keep reading from this socket?
+    fn wants_read(&self, max_pipeline: usize) -> bool {
+        !self.peer_eof
+            && self.close_after.is_none()
+            && self.stalled.is_empty()
+            && self.inflight < max_pipeline
+    }
+}
+
+/// Everything the loop owns; lives on the loop thread's stack.
+struct EventLoop {
+    epoll: Epoll,
+    listener: Option<TcpListener>,
+    conns: HashMap<u64, Conn>,
+    next_token: u64,
+    shared: Arc<Shared>,
+    admission: AdmissionQueue<Job>,
+    completions: Arc<Completions>,
+    max_pipeline: usize,
+}
+
+/// Run the loop until a stop is requested *and* every connection has
+/// gone away — the same lifetime the threaded frontend's acceptor plus
+/// connection threads have collectively.
+pub(crate) fn run(
+    listener: TcpListener,
+    shared: Arc<Shared>,
+    admission: AdmissionQueue<Job>,
+    completions: Arc<Completions>,
+    max_pipeline: usize,
+) {
+    let epoll = Epoll::new(512).expect("epoll_create");
+    epoll
+        .add(&listener, TOK_LISTENER, Interest::READ)
+        .expect("register listener");
+    epoll
+        .add(&completions.wake, TOK_WAKE, Interest::READ)
+        .expect("register wake fd");
+    let mut el = EventLoop {
+        epoll,
+        listener: Some(listener),
+        conns: HashMap::new(),
+        next_token: FIRST_CONN_TOKEN,
+        shared,
+        admission,
+        completions,
+        max_pipeline,
+    };
+
+    let mut ready_buf: Vec<Ready> = Vec::new();
+    let mut scratch = vec![0u8; READ_CHUNK];
+    // Tokens with possible new output/stall/close work this wakeup.
+    let mut dirty: Vec<u64> = Vec::new();
+
+    loop {
+        ready_buf.clear();
+        match el.epoll.wait(Some(Duration::from_millis(50))) {
+            Ok(events) => ready_buf.extend(events),
+            Err(e) => panic!("epoll_wait failed: {e}"),
+        }
+        let woke = Instant::now();
+        let stop = el.shared.stop.load(Ordering::SeqCst);
+        if stop {
+            if let Some(l) = el.listener.take() {
+                let _ = el.epoll.delete(&l);
+                // Dropping closes the listening socket; racing connects
+                // get refused exactly as when the threaded acceptor dies.
+            }
+        }
+
+        dirty.clear();
+        let mut woke_for_completions = false;
+        for &ev in &ready_buf {
+            match ev.token {
+                TOK_WAKE => {
+                    el.completions.wake.drain();
+                    woke_for_completions = true;
+                }
+                TOK_LISTENER => el.accept_ready(stop),
+                token => {
+                    if el.conns.contains_key(&token) {
+                        el.conn_event(token, ev, &mut scratch);
+                        dirty.push(token);
+                    }
+                }
+            }
+        }
+
+        // Route completed work to its reorder buffer. A completion also
+        // means a worker freed queue capacity, so every connection with
+        // stalled requests becomes eligible for a retry.
+        let done = el.completions.drain();
+        if !done.is_empty() || woke_for_completions {
+            for token in el
+                .conns
+                .iter()
+                .filter(|(_, c)| !c.stalled.is_empty())
+                .map(|(&t, _)| t)
+            {
+                dirty.push(token);
+            }
+        }
+        for (token, seq, resp) in done {
+            if let Some(conn) = el.conns.get_mut(&token) {
+                conn.inflight -= 1;
+                conn.pending.insert(seq, resp);
+                dirty.push(token);
+            }
+            // else: the connection died mid-request; the worker's
+            // effort is discarded, its frames already unpinned.
+        }
+
+        dirty.sort_unstable();
+        dirty.dedup();
+        for &token in &dirty {
+            el.service(token);
+        }
+
+        if !ready_buf.is_empty() {
+            el.shared.metrics.epoll_wakeups.incr();
+            el.shared
+                .metrics
+                .ready_per_wakeup
+                .record(ready_buf.len() as u64);
+            bpw_trace::span_backdated(
+                bpw_trace::EventKind::EpollWakeup,
+                woke.elapsed().as_nanos() as u64,
+                ready_buf.len() as u64,
+            );
+        }
+
+        if el.shared.stop.load(Ordering::SeqCst) && el.listener.is_none() && el.conns.is_empty() {
+            break;
+        }
+    }
+}
+
+impl EventLoop {
+    /// Accept until the backlog is dry. During shutdown the listener is
+    /// gone, so `stop` here only covers the race where a connect landed
+    /// in the backlog just before the flag flipped: accept and drop.
+    fn accept_ready(&mut self, stop: bool) {
+        loop {
+            let Some(listener) = self.listener.as_ref() else {
+                return;
+            };
+            match listener.accept() {
+                Ok((stream, _)) if stop => drop(stream),
+                Ok((stream, _)) => {
+                    stream.set_nodelay(true).ok();
+                    if stream.set_nonblocking(true).is_err() {
+                        continue;
+                    }
+                    let token = self.next_token;
+                    self.next_token += 1;
+                    if self.epoll.add(&stream, token, Interest::READ).is_err() {
+                        continue;
+                    }
+                    self.conns.insert(token, Conn::new(stream));
+                    self.shared.metrics.connections_open.incr();
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => return,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(_) => return,
+            }
+        }
+    }
+
+    /// One readiness event for a connection.
+    fn conn_event(&mut self, token: u64, ev: Ready, scratch: &mut [u8]) {
+        if ev.hangup {
+            // ERR/HUP: both directions are gone; nothing more can be
+            // read or written. In-flight completions get discarded.
+            self.close(token);
+            return;
+        }
+        if ev.readable {
+            self.read_ready(token, scratch);
+        }
+        // Writability is handled in `service` (flush runs every wakeup
+        // for dirty connections); the event only needs to mark dirty.
+    }
+
+    /// Pull bytes, feed the decoder, dispatch complete frames.
+    fn read_ready(&mut self, token: u64, scratch: &mut [u8]) {
+        let Some(conn) = self.conns.get_mut(&token) else {
+            return;
+        };
+        if !conn.wants_read(self.max_pipeline) {
+            return;
+        }
+        for _ in 0..MAX_READS_PER_WAKEUP {
+            match conn.stream.read(scratch) {
+                Ok(0) => {
+                    conn.peer_eof = true;
+                    break;
+                }
+                Ok(n) => {
+                    conn.decoder.push(&scratch[..n]);
+                    if n < scratch.len() {
+                        break;
+                    }
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    self.close(token);
+                    return;
+                }
+            }
+        }
+        self.dispatch_frames(token);
+    }
+
+    /// Decode buffered bytes into requests until the decoder runs dry,
+    /// a fatal frame error poisons the stream, or flow control says
+    /// stop handing out work.
+    fn dispatch_frames(&mut self, token: u64) {
+        loop {
+            let Some(conn) = self.conns.get_mut(&token) else {
+                return;
+            };
+            if conn.close_after.is_some() {
+                return;
+            }
+            match conn.decoder.next_frame() {
+                Ok(None) => return,
+                Ok(Some(body)) => {
+                    let seq = conn.next_seq;
+                    conn.next_seq += 1;
+                    match Request::decode(&body) {
+                        Ok(req) => self.dispatch_request(token, seq, req),
+                        Err(e) => {
+                            // Same contract as the threaded frontend:
+                            // answer ERR, then drop the connection —
+                            // after every earlier response has gone out
+                            // in order.
+                            self.shared.metrics.errors.incr();
+                            conn.pending.insert(seq, Response::Err(e.to_string()));
+                            conn.close_after = Some(seq);
+                            return;
+                        }
+                    }
+                }
+                Err(e) => {
+                    self.shared.metrics.errors.incr();
+                    let seq = conn.next_seq;
+                    conn.next_seq += 1;
+                    conn.pending.insert(seq, Response::Err(e.to_string()));
+                    conn.close_after = Some(seq);
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Route one decoded request: control inline, data to the workers.
+    fn dispatch_request(&mut self, token: u64, seq: u64, req: Request) {
+        let resp = match &req {
+            Request::Stats => Some(Response::Ok(stats_json(&self.shared).into_bytes())),
+            Request::Metrics => Some(Response::Ok(metrics_text(&self.shared).into_bytes())),
+            Request::Shutdown => {
+                // Flag first: a client that has seen the OK must observe
+                // `stop_requested()` as true. The listener itself is
+                // closed by the main loop on its next pass.
+                self.shared.stop.store(true, Ordering::SeqCst);
+                Some(Response::Ok(Vec::new()))
+            }
+            _ => None,
+        };
+        let Some(conn) = self.conns.get_mut(&token) else {
+            return;
+        };
+        if let Some(resp) = resp {
+            conn.pending.insert(seq, resp);
+            return;
+        }
+        let admitted = Instant::now();
+        if conn.stalled.is_empty() {
+            self.offer(token, seq, req, admitted);
+        } else {
+            // Order guarantee: nothing may overtake an already-stalled
+            // request on its way into the queue.
+            conn.stalled.push_back((seq, req, admitted));
+        }
+    }
+
+    /// Offer a data request to the admission queue (non-blocking).
+    fn offer(&mut self, token: u64, seq: u64, req: Request, admitted: Instant) {
+        let kind = match &req {
+            Request::Get { .. } => OpKind::Get,
+            Request::Put { .. } => OpKind::Put,
+            Request::Scan { .. } => OpKind::Scan,
+            _ => unreachable!("control requests are dispatched inline"),
+        };
+        bpw_trace::instant(bpw_trace::EventKind::ServerEnqueue, req.opcode() as u64);
+        let job = Job {
+            req,
+            admitted,
+            reply: ReplyTo::Loop {
+                completions: Arc::clone(&self.completions),
+                token,
+                seq,
+            },
+        };
+        let Some(conn) = self.conns.get_mut(&token) else {
+            return;
+        };
+        match self.admission.offer_at(job, admitted) {
+            Offered::Queued => {
+                conn.inflight += 1;
+                conn.meta.insert(seq, (kind, admitted));
+                self.shared
+                    .metrics
+                    .pipeline_depth
+                    .record(conn.inflight as u64);
+            }
+            Offered::Shed => {
+                // Counted at reply-write via `meta`, exactly like a
+                // threaded connection counting its BUSY.
+                conn.meta.insert(seq, (kind, admitted));
+                conn.pending.insert(seq, Response::Busy);
+            }
+            Offered::Full(job) => {
+                conn.stalled.push_back((seq, job.req, admitted));
+            }
+            Offered::Closed => {
+                conn.meta.insert(seq, (kind, admitted));
+                conn.pending
+                    .insert(seq, Response::Err("server is shutting down".into()));
+            }
+        }
+    }
+
+    /// Post-event work for one connection: retry stalled offers, move
+    /// in-order responses to the write buffer, flush, re-arm interest,
+    /// and close if finished.
+    fn service(&mut self, token: u64) {
+        // Re-offer stalled requests in arrival order; stop at the first
+        // that still finds the queue full.
+        while let Some(conn) = self.conns.get_mut(&token) {
+            let Some((seq, req, admitted)) = conn.stalled.pop_front() else {
+                break;
+            };
+            let before = conn.stalled.len();
+            self.offer(token, seq, req, admitted);
+            let Some(conn) = self.conns.get_mut(&token) else {
+                return;
+            };
+            if conn.stalled.len() > before {
+                // `offer` pushed it back: queue still full. Preserve
+                // order — it must go back to the *front*.
+                let stuck = conn.stalled.pop_back().expect("just pushed");
+                conn.stalled.push_front(stuck);
+                break;
+            }
+        }
+        // A drained stall buffer may have unblocked decoded-but-parked
+        // frames sitting in the decoder.
+        self.dispatch_frames(token);
+
+        let Some(conn) = self.conns.get_mut(&token) else {
+            return;
+        };
+        // Release the reorder buffer strictly in sequence order.
+        while let Some(resp) = conn.pending.remove(&conn.next_to_send) {
+            let seq = conn.next_to_send;
+            conn.next_to_send += 1;
+            let mut frame = Vec::with_capacity(5);
+            let body = resp.encode();
+            frame.extend_from_slice(&(body.len() as u32).to_le_bytes());
+            frame.extend_from_slice(&body);
+            conn.wbuf.push(&frame);
+            if let Some((kind, admitted)) = conn.meta.remove(&seq) {
+                let status = match &resp {
+                    Response::Ok(_) => 0u64,
+                    Response::Busy => 1,
+                    Response::Dropped => 2,
+                    Response::Err(_) => 3,
+                    Response::IoError(_) => 4,
+                };
+                bpw_trace::span_backdated(
+                    bpw_trace::EventKind::ServerReply,
+                    admitted.elapsed().as_nanos() as u64,
+                    status,
+                );
+                let m = &self.shared.metrics;
+                match resp {
+                    Response::Ok(_) => m.record_ok(kind, admitted),
+                    Response::Busy => m.busy.incr(),
+                    Response::Dropped => m.dropped.incr(),
+                    Response::Err(_) => m.errors.incr(),
+                    Response::IoError(_) => m.io_errors.incr(),
+                }
+            }
+            if conn.close_after == Some(seq) {
+                break;
+            }
+        }
+        // One coalesced flush per wakeup.
+        match conn.wbuf.flush(&mut conn.stream) {
+            Ok(progress) => {
+                self.shared.metrics.short_writes.add(progress.short_writes);
+            }
+            Err(_) => {
+                self.close(token);
+                return;
+            }
+        }
+
+        let Some(conn) = self.conns.get_mut(&token) else {
+            return;
+        };
+        let err_done = conn
+            .close_after
+            .is_some_and(|s| conn.next_to_send > s && conn.wbuf.is_empty());
+        let eof_done = conn.peer_eof && conn.decoder.buffered() == 0 && conn.drained();
+        if err_done || eof_done {
+            self.close(token);
+            return;
+        }
+        // Re-arm epoll interest to match what this connection needs.
+        let want = (conn.wants_read(self.max_pipeline), !conn.wbuf.is_empty());
+        if want != conn.registered {
+            let interest = match want {
+                (true, true) => Interest::READ_WRITE,
+                (true, false) => Interest::READ,
+                (false, true) => Interest::WRITE,
+                (false, false) => Interest::NONE,
+            };
+            if self.epoll.modify(&conn.stream, token, interest).is_ok() {
+                conn.registered = want;
+            }
+        }
+    }
+
+    /// Tear a connection down: deregister, drop, account.
+    fn close(&mut self, token: u64) {
+        if let Some(conn) = self.conns.remove(&token) {
+            let _ = self.epoll.delete(&conn.stream);
+            self.shared.metrics.connections_open.decr();
+        }
+    }
+}

@@ -29,6 +29,7 @@
 
 pub mod backpressure;
 pub mod client;
+mod eventloop;
 pub mod loadgen;
 pub mod metrics;
 pub mod poll;
@@ -42,4 +43,4 @@ pub use loadgen::{LoadConfig, LoadMode, LoadReport};
 pub use metrics::{OpKind, PoolCounters, ServerMetrics};
 pub use poll::{poll_until, wait_for};
 pub use protocol::{Request, Response, MAX_FRAME};
-pub use server::{build_manager, build_manager_with, DynPool, Server, ServerConfig};
+pub use server::{build_manager, build_manager_with, DynPool, FrontendMode, Server, ServerConfig};

@@ -55,6 +55,10 @@ pub struct LoadConfig {
     pub seed: u64,
     /// PUT payload length (capped by the server's page size).
     pub put_len: usize,
+    /// Requests each connection keeps in flight: 1 is strict
+    /// request/reply; above 1 the driver writes a whole batch before
+    /// reading any reply (the client side of request pipelining).
+    pub pipeline: usize,
 }
 
 impl Default for LoadConfig {
@@ -68,6 +72,7 @@ impl Default for LoadConfig {
             },
             seed: 0x10AD,
             put_len: 16,
+            pipeline: 1,
         }
     }
 }
@@ -203,10 +208,14 @@ fn drive_connection(
         LoadMode::Closed { .. } => None,
     };
     let start = Instant::now();
+    let pipeline = cfg.pipeline.max(1);
 
-    for i in 0..cfg.requests_per_conn {
+    let mut i = 0u64;
+    let mut reqs: Vec<crate::protocol::Request> = Vec::with_capacity(pipeline);
+    while i < cfg.requests_per_conn {
         // Open loop: request i is *due* at start + i*interval; latency is
-        // measured from that intended point even if we fell behind.
+        // measured from that intended point even if we fell behind. A
+        // pipelined batch is paced and measured from its first request.
         let measure_from = match per_conn_interval {
             Some(interval) => {
                 let due = start + interval.mul_f64(i as f64);
@@ -219,36 +228,49 @@ fn drive_connection(
             None => Instant::now(),
         };
 
-        let page = stream.next_page();
-        coin = splitmix64(coin);
-        let result = if coin < write_threshold {
-            client.put(page, put_payload(page, cfg.put_len, cfg.seed))
-        } else {
-            client.get(page)
-        };
-        tallies.sent.fetch_add(1, Ordering::Relaxed);
-        match result {
-            Ok(resp) => {
-                latency.record(measure_from.elapsed().as_nanos() as u64);
-                match resp {
-                    Response::Ok(_) => tallies.ok.fetch_add(1, Ordering::Relaxed),
-                    Response::Busy => tallies.busy.fetch_add(1, Ordering::Relaxed),
-                    Response::Dropped => tallies.dropped.fetch_add(1, Ordering::Relaxed),
-                    Response::Err(_) => tallies.errors.fetch_add(1, Ordering::Relaxed),
-                    Response::IoError(_) => tallies.io_errors.fetch_add(1, Ordering::Relaxed),
-                };
+        let batch = pipeline.min((cfg.requests_per_conn - i) as usize);
+        reqs.clear();
+        for _ in 0..batch {
+            let page = stream.next_page();
+            coin = splitmix64(coin);
+            reqs.push(if coin < write_threshold {
+                crate::protocol::Request::Put {
+                    page,
+                    data: put_payload(page, cfg.put_len, cfg.seed),
+                }
+            } else {
+                crate::protocol::Request::Get { page }
+            });
+        }
+        tallies.sent.fetch_add(batch as u64, Ordering::Relaxed);
+        match client.call_pipelined(&reqs) {
+            Ok(resps) => {
+                for resp in resps {
+                    latency.record(measure_from.elapsed().as_nanos() as u64);
+                    match resp {
+                        Response::Ok(_) => tallies.ok.fetch_add(1, Ordering::Relaxed),
+                        Response::Busy => tallies.busy.fetch_add(1, Ordering::Relaxed),
+                        Response::Dropped => tallies.dropped.fetch_add(1, Ordering::Relaxed),
+                        Response::Err(_) => tallies.errors.fetch_add(1, Ordering::Relaxed),
+                        Response::IoError(_) => tallies.io_errors.fetch_add(1, Ordering::Relaxed),
+                    };
+                }
             }
             Err(_) => {
                 // Connection is broken; stop this driver — but charge its
                 // remaining requests (like the connect-failure path does)
                 // so `sent == connections * requests_per_conn` and
                 // throughput/error-rate comparisons stay honest.
-                let unfinished = cfg.requests_per_conn - i; // this one + the rest
+                let unfinished = cfg.requests_per_conn - i; // this batch + the rest
                 tallies.errors.fetch_add(unfinished, Ordering::Relaxed);
-                tallies.sent.fetch_add(unfinished - 1, Ordering::Relaxed); // this one already counted
+                // This round's batch is already in `sent`.
+                tallies
+                    .sent
+                    .fetch_add(unfinished - batch as u64, Ordering::Relaxed);
                 return;
             }
         }
+        i += batch as u64;
 
         if let LoadMode::Closed { think } = cfg.mode {
             if !think.is_zero() && stream.at_transaction_boundary() {

@@ -9,7 +9,7 @@
 use std::sync::Arc;
 use std::time::Instant;
 
-use bpw_metrics::{Counter, Histogram, JsonObject, LockShardSummary, LockSnapshot};
+use bpw_metrics::{Counter, Gauge, Histogram, JsonObject, LockShardSummary, LockSnapshot};
 
 /// Which histogram a request's latency lands in.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -46,6 +46,21 @@ pub struct ServerMetrics {
     pub errors: Counter,
     /// Requests answered `ERR_IO` (storage failed after retries).
     pub io_errors: Counter,
+    /// Client connections currently open (both frontends track this;
+    /// the peak is the fan-in high-water mark).
+    pub connections_open: Gauge,
+    /// Event-loop wakeups (`epoll_wait` returns). Zero under the
+    /// threaded frontend.
+    pub epoll_wakeups: Counter,
+    /// Ready fds delivered per wakeup — how much work each syscall
+    /// amortizes. Zero-sample under the threaded frontend.
+    pub ready_per_wakeup: Histogram,
+    /// In-flight pipelined requests on a connection, observed at each
+    /// admission. Depth 1 is strict request/reply.
+    pub pipeline_depth: Histogram,
+    /// Nonblocking writes that accepted only part of the buffer — each
+    /// one is a stall a blocking connection thread would have eaten.
+    pub short_writes: Counter,
 }
 
 impl ServerMetrics {
@@ -102,6 +117,12 @@ impl ServerMetrics {
             .field_u64("dropped", self.dropped.get())
             .field_u64("errors", self.errors.get())
             .field_u64("io_errors", self.io_errors.get())
+            .field_u64("connections_open", self.connections_open.get())
+            .field_u64("connections_peak", self.connections_open.peak())
+            .field_u64("epoll_wakeups", self.epoll_wakeups.get())
+            .field_u64("short_writes", self.short_writes.get())
+            .field_raw("pipeline_depth", &self.pipeline_depth.to_json())
+            .field_raw("ready_per_wakeup", &self.ready_per_wakeup.to_json())
             .field_u64("peak_queue_depth", peak_queue_depth)
             .field_raw("get_ns", &self.get_ns.to_json())
             .field_raw("put_ns", &self.put_ns.to_json())
@@ -167,6 +188,14 @@ mod tests {
         m.record_ok(OpKind::Put, Instant::now());
         m.busy.incr();
         m.io_errors.incr();
+        m.connections_open.incr();
+        m.connections_open.incr();
+        m.connections_open.decr();
+        m.epoll_wakeups.add(7);
+        m.ready_per_wakeup.record(3);
+        m.pipeline_depth.record(4);
+        m.pipeline_depth.record(9);
+        m.short_writes.add(2);
         let pool = PoolCounters {
             hits: 90,
             misses: 10,
@@ -241,6 +270,37 @@ mod tests {
         assert_eq!(
             v.get("free_list_cold_pushes").and_then(JsonValue::as_u64),
             Some(2)
+        );
+        // Event-loop observability: gauges, counters, and histograms
+        // round-trip with their exact wire names.
+        assert_eq!(
+            v.get("connections_open").and_then(JsonValue::as_u64),
+            Some(1)
+        );
+        assert_eq!(
+            v.get("connections_peak").and_then(JsonValue::as_u64),
+            Some(2)
+        );
+        assert_eq!(v.get("epoll_wakeups").and_then(JsonValue::as_u64), Some(7));
+        assert_eq!(v.get("short_writes").and_then(JsonValue::as_u64), Some(2));
+        assert_eq!(
+            v.get("pipeline_depth")
+                .and_then(|h| h.get("count"))
+                .and_then(JsonValue::as_u64),
+            Some(2)
+        );
+        assert!(
+            v.get("pipeline_depth")
+                .and_then(|h| h.get("max"))
+                .and_then(JsonValue::as_u64)
+                .is_some_and(|max| max >= 9),
+            "pipeline depth histogram must carry its max: {json}"
+        );
+        assert_eq!(
+            v.get("ready_per_wakeup")
+                .and_then(|h| h.get("count"))
+                .and_then(JsonValue::as_u64),
+            Some(1)
         );
         let trace = v.get("trace").expect("trace health sub-object");
         assert!(trace.get("enabled").is_some());

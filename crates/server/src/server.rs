@@ -30,8 +30,47 @@ use crossbeam::channel::{self, Sender};
 use crate::backpressure::{
     admission_queue, AdmissionPolicy, AdmissionQueue, Admitted, Popped, WorkQueue,
 };
+use crate::eventloop::{self, Completions};
 use crate::metrics::{OpKind, PoolCounters, ServerMetrics};
 use crate::protocol::{self, fnv1a, Request, Response};
+
+/// Which concurrency model serves client sockets.
+///
+/// Both frontends speak the same protocol over the same worker pool and
+/// admission queue; only the socket-handling strategy differs, so the
+/// choice is a deployment knob rather than a behaviour change.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FrontendMode {
+    /// One thread per connection, blocking I/O, strict request/reply.
+    #[default]
+    Threaded,
+    /// One readiness event loop (epoll) multiplexing every connection,
+    /// with request pipelining and batched writes.
+    EventLoop,
+}
+
+impl std::fmt::Display for FrontendMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            FrontendMode::Threaded => "threaded",
+            FrontendMode::EventLoop => "eventloop",
+        })
+    }
+}
+
+impl std::str::FromStr for FrontendMode {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "threaded" => Ok(FrontendMode::Threaded),
+            "eventloop" | "event-loop" | "evl" => Ok(FrontendMode::EventLoop),
+            other => Err(format!(
+                "unknown frontend mode {other:?} (want threaded or eventloop)"
+            )),
+        }
+    }
+}
 
 /// A buffer pool whose synchronization scheme was chosen at runtime.
 pub type DynPool = BufferPool<Box<dyn ReplacementManager>>;
@@ -67,6 +106,11 @@ pub struct ServerConfig {
     /// driven by this plan (chaos testing; see
     /// [`Server::faulty_disk`]).
     pub fault_plan: Option<FaultPlan>,
+    /// How client sockets are served (`--mode threaded|eventloop`).
+    pub mode: FrontendMode,
+    /// Event-loop mode only: requests a single connection may have in
+    /// flight before the loop stops reading from it.
+    pub max_pipeline: usize,
 }
 
 impl Default for ServerConfig {
@@ -83,6 +127,8 @@ impl Default for ServerConfig {
             combining: false,
             miss_shards: None,
             fault_plan: None,
+            mode: FrontendMode::Threaded,
+            max_pipeline: 64,
         }
     }
 }
@@ -124,24 +170,54 @@ pub fn build_manager_with(
 }
 
 /// One queued request: the decoded message, when it was admitted, and
-/// where the connection thread is waiting for the reply.
-struct Job {
-    req: Request,
-    admitted: Instant,
-    reply: Sender<Response>,
+/// where the reply goes.
+pub(crate) struct Job {
+    pub(crate) req: Request,
+    pub(crate) admitted: Instant,
+    pub(crate) reply: ReplyTo,
+}
+
+/// Where a worker delivers a finished [`Response`]: a blocked
+/// connection thread (threaded frontend) or the event loop's completion
+/// queue, tagged with the connection token and pipeline sequence number
+/// so the loop can put it back in request order.
+pub(crate) enum ReplyTo {
+    Channel(Sender<Response>),
+    Loop {
+        completions: Arc<Completions>,
+        token: u64,
+        seq: u64,
+    },
+}
+
+impl ReplyTo {
+    pub(crate) fn send(self, resp: Response) {
+        match self {
+            ReplyTo::Channel(tx) => {
+                // The receiver may have given up (connection died); the
+                // work is simply discarded.
+                let _ = tx.send(resp);
+            }
+            ReplyTo::Loop {
+                completions,
+                token,
+                seq,
+            } => completions.push(token, seq, resp),
+        }
+    }
 }
 
 /// Shared state every thread of the server sees. Deliberately does NOT
 /// hold the admission queue's sender side: workers carry this struct,
 /// and a worker owning a sender to its own queue would keep the channel
 /// connected forever and deadlock shutdown.
-struct Shared {
-    pool: Arc<DynPool>,
-    metrics: Arc<ServerMetrics>,
-    stop: Arc<AtomicBool>,
-    pages: u64,
+pub(crate) struct Shared {
+    pub(crate) pool: Arc<DynPool>,
+    pub(crate) metrics: Arc<ServerMetrics>,
+    pub(crate) stop: Arc<AtomicBool>,
+    pub(crate) pages: u64,
     /// Queue-depth high-water mark (mirrors the admission queue's gauge).
-    depth: Arc<bpw_metrics::MaxGauge>,
+    pub(crate) depth: Arc<bpw_metrics::MaxGauge>,
 }
 
 /// A running page service. Dropping without [`join`](Self::join) leaks
@@ -205,14 +281,29 @@ impl Server {
         let listener = TcpListener::bind(&config.addr)?;
         let addr = listener.local_addr()?;
         let conns: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
-        let acceptor = {
-            let shared = Arc::clone(&shared);
-            let conns = Arc::clone(&conns);
-            let admission = admission.clone();
-            thread::Builder::new()
-                .name("bpw-acceptor".into())
-                .spawn(move || accept_loop(&listener, &shared, &admission, &conns))
-                .expect("spawn acceptor")
+        let acceptor = match config.mode {
+            FrontendMode::Threaded => {
+                let shared = Arc::clone(&shared);
+                let conns = Arc::clone(&conns);
+                let admission = admission.clone();
+                thread::Builder::new()
+                    .name("bpw-acceptor".into())
+                    .spawn(move || accept_loop(&listener, &shared, &admission, &conns))
+                    .expect("spawn acceptor")
+            }
+            FrontendMode::EventLoop => {
+                listener.set_nonblocking(true)?;
+                let completions = Arc::new(Completions::new()?);
+                let shared = Arc::clone(&shared);
+                let admission = admission.clone();
+                let max_pipeline = config.max_pipeline.max(1);
+                thread::Builder::new()
+                    .name("bpw-evl-loop".into())
+                    .spawn(move || {
+                        eventloop::run(listener, shared, admission, completions, max_pipeline)
+                    })
+                    .expect("spawn event loop")
+            }
         };
 
         Ok(Server {
@@ -297,7 +388,7 @@ impl Server {
 }
 
 /// Flag a stop and poke the acceptor awake with a throwaway connection.
-fn request_stop(stop: &AtomicBool, addr: SocketAddr) {
+pub(crate) fn request_stop(stop: &AtomicBool, addr: SocketAddr) {
     stop.store(true, Ordering::SeqCst);
     if let Ok(s) = TcpStream::connect_timeout(&addr, Duration::from_millis(200)) {
         drop(s);
@@ -321,7 +412,9 @@ fn accept_loop(
         let handle = thread::Builder::new()
             .name("bpw-conn".into())
             .spawn(move || {
+                shared.metrics.connections_open.incr();
                 let _ = serve_connection(stream, &shared, &admission, addr);
+                shared.metrics.connections_open.decr();
             })
             .expect("spawn connection thread");
         conns.lock().expect("conns lock").push(handle);
@@ -381,7 +474,7 @@ fn serve_connection(
         let resp = match admission.submit(Job {
             req,
             admitted,
-            reply: reply_tx,
+            reply: ReplyTo::Channel(reply_tx),
         }) {
             Admitted::Queued => reply_rx
                 .recv()
@@ -426,10 +519,10 @@ fn worker_loop(shared: &Shared, work: &WorkQueue<Job>) {
                     job.req.opcode() as u64,
                 );
                 let resp = execute(&mut session, shared, &job.req);
-                let _ = job.reply.send(resp);
+                job.reply.send(resp);
             }
             Popped::Expired(job) => {
-                let _ = job.reply.send(Response::Dropped);
+                job.reply.send(Response::Dropped);
             }
             Popped::Timeout => {
                 // Idle: commit any deferred BP-Wrapper bookkeeping so the
@@ -501,7 +594,7 @@ fn execute(
     }
 }
 
-fn stats_json(shared: &Shared) -> String {
+pub(crate) fn stats_json(shared: &Shared) -> String {
     let stats = shared.pool.stats();
     let pool = PoolCounters {
         hits: stats.hits.load(Ordering::Relaxed),
@@ -522,7 +615,7 @@ fn stats_json(shared: &Shared) -> String {
 
 /// Prometheus-style text exposition: the METRICS reply. Same sources
 /// as `stats_json`, plus the trace collector's own health counters.
-fn metrics_text(shared: &Shared) -> String {
+pub(crate) fn metrics_text(shared: &Shared) -> String {
     let m = &shared.metrics;
     let stats = shared.pool.stats();
     let mut w = bpw_trace::PromWriter::new();
@@ -554,6 +647,36 @@ fn metrics_text(shared: &Shared) -> String {
         "bpw_queue_wait_ns",
         "Time queued before a worker picked the request up.",
         &m.queue_wait_ns,
+    )
+    .gauge(
+        "bpw_connections_open",
+        "Client connections currently open.",
+        m.connections_open.get() as f64,
+    )
+    .gauge(
+        "bpw_connections_peak",
+        "Open-connection high-water mark.",
+        m.connections_open.peak() as f64,
+    )
+    .counter(
+        "bpw_epoll_wakeups_total",
+        "Event-loop wakeups (epoll_wait returns with work).",
+        m.epoll_wakeups.get(),
+    )
+    .counter(
+        "bpw_short_writes_total",
+        "Nonblocking writes that accepted only part of the buffer.",
+        m.short_writes.get(),
+    )
+    .histogram(
+        "bpw_pipeline_depth",
+        "In-flight pipelined requests per connection, observed at admission.",
+        &m.pipeline_depth,
+    )
+    .histogram(
+        "bpw_ready_events_per_wakeup",
+        "Ready fds delivered per epoll wakeup.",
+        &m.ready_per_wakeup,
     )
     .counter(
         "bpw_pool_hits_total",

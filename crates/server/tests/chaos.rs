@@ -17,19 +17,20 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
 
-use bpw_server::{loadgen, Client, FaultPlan, Server, ServerConfig};
+use bpw_server::{loadgen, Client, FaultPlan, FrontendMode, Server, ServerConfig};
 use bpw_workloads::{zipf::splitmix64, PageStream, ZipfWorkload};
 
 const PAGES: u64 = 1024;
 const FRAMES: usize = 128;
 const PAGE_SIZE: usize = 256;
 
-fn chaos_server() -> Server {
+fn chaos_server(mode: FrontendMode) -> Server {
     Server::start(ServerConfig {
         workers: 4,
         frames: FRAMES,
         page_size: PAGE_SIZE,
         pages: PAGES,
+        mode,
         fault_plan: Some(FaultPlan {
             seed: 0xC4A0_5EED,
             // A steady drizzle of transient faults: 5% of reads, 2% of
@@ -60,9 +61,8 @@ fn assert_no_stuck_frames(server: &Server) {
     );
 }
 
-#[test]
-fn chaos_run_returns_correct_bytes_or_err_io_and_recovers() {
-    let server = chaos_server();
+fn chaos_run_returns_correct_bytes_or_err_io_and_recovers(mode: FrontendMode) {
+    let server = chaos_server(mode);
     let addr = server.addr();
     let disk = server
         .faulty_disk()
@@ -185,15 +185,21 @@ fn chaos_run_returns_correct_bytes_or_err_io_and_recovers() {
     );
 }
 
-#[test]
-fn chaos_loadgen_accounting_stays_exact_under_faults() {
+fn chaos_loadgen_accounting_stays_exact_under_faults(mode: FrontendMode) {
     // The load generator's books must balance even when some replies are
-    // ERR_IO: every request lands in exactly one tally bucket.
-    let server = chaos_server();
+    // ERR_IO: every request lands in exactly one tally bucket. Under the
+    // event loop the clients also pipeline, so ERR_IO replies interleave
+    // with OKs inside a batch and must still sequence correctly.
+    let server = chaos_server(mode);
     let cfg = bpw_server::LoadConfig {
         connections: 4,
         requests_per_conn: 1000,
         write_fraction: 0.2,
+        pipeline: if mode == FrontendMode::EventLoop {
+            8
+        } else {
+            1
+        },
         ..bpw_server::LoadConfig::default()
     };
     let workload = ZipfWorkload::new(PAGES, 0.86, 8);
@@ -207,3 +213,27 @@ fn chaos_loadgen_accounting_stays_exact_under_faults() {
     assert_no_stuck_frames(&server);
     server.join();
 }
+
+macro_rules! both_frontends {
+    ($($name:ident),* $(,)?) => {
+        mod threaded {
+            use super::*;
+            $(#[test]
+            fn $name() {
+                super::$name(FrontendMode::Threaded);
+            })*
+        }
+        mod eventloop_mode {
+            use super::*;
+            $(#[test]
+            fn $name() {
+                super::$name(FrontendMode::EventLoop);
+            })*
+        }
+    };
+}
+
+both_frontends!(
+    chaos_run_returns_correct_bytes_or_err_io_and_recovers,
+    chaos_loadgen_accounting_stays_exact_under_faults,
+);

@@ -2,14 +2,25 @@
 //! clients, and the acceptance checks from the issue — zero loss under
 //! the block policy, last-write-wins content correctness, and STATS
 //! that parse with non-zero tail latencies.
+//!
+//! Every scenario runs against BOTH frontends (`mod threaded`,
+//! `mod eventloop_mode`): the concurrency model is a deployment knob,
+//! so the observable protocol behaviour must be identical. The
+//! event-loop-specific scenarios (pipelining order, slowloris,
+//! mid-request disconnect) also run under both, because the threaded
+//! frontend must tolerate pipelined clients even though it never
+//! admits more than one request at a time.
 
 use std::collections::HashMap;
+use std::io::Write as _;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
 use std::time::Duration;
 
 use bpw_metrics::JsonValue;
 use bpw_server::{
-    loadgen, AdmissionPolicy, Client, LoadConfig, LoadMode, Request, Response, Server, ServerConfig,
+    loadgen, AdmissionPolicy, Client, FrontendMode, LoadConfig, LoadMode, Request, Response,
+    Server, ServerConfig,
 };
 use bpw_workloads::{zipf::splitmix64, PageStream, Workload, ZipfWorkload};
 
@@ -18,7 +29,11 @@ const REQUESTS_PER_CLIENT: u64 = 12_500; // x8 clients = 100k total
 const PAGES: u64 = 1024;
 const PAGE_SIZE: usize = 64;
 
-fn test_server(policy: AdmissionPolicy, manager: &str, queue: usize) -> Server {
+/// The global trace collector is shared by every test in this binary;
+/// tests that toggle it must not overlap.
+static TRACE_GATE: Mutex<()> = Mutex::new(());
+
+fn test_server(policy: AdmissionPolicy, manager: &str, queue: usize, mode: FrontendMode) -> Server {
     Server::start(ServerConfig {
         workers: 4,
         queue_capacity: queue,
@@ -27,6 +42,7 @@ fn test_server(policy: AdmissionPolicy, manager: &str, queue: usize) -> Server {
         page_size: PAGE_SIZE,
         pages: PAGES,
         manager: manager.into(),
+        mode,
         ..ServerConfig::default()
     })
     .expect("server start")
@@ -38,9 +54,8 @@ fn test_server(policy: AdmissionPolicy, manager: &str, queue: usize) -> Server {
 /// the last PUT to that page (threads own disjoint page sets, so
 /// last-write-wins is deterministic), and the final STATS must parse
 /// with a non-zero p99.
-#[test]
-fn block_policy_100k_zipf_requests_zero_loss_and_correct_contents() {
-    let server = test_server(AdmissionPolicy::Block, "wrapped-2q", 128);
+fn block_policy_100k_zipf_requests_zero_loss_and_correct_contents(mode: FrontendMode) {
+    let server = test_server(AdmissionPolicy::Block, "wrapped-2q", 128, mode);
     let addr = server.addr();
     let workload = ZipfWorkload::new(PAGES, 0.86, 8);
     let ok_replies = AtomicU64::new(0);
@@ -138,12 +153,12 @@ fn block_policy_100k_zipf_requests_zero_loss_and_correct_contents() {
 
 /// A zero-millisecond deadline drops every data request at dequeue —
 /// and the reply is DROPPED, not a hang or a connection error.
-#[test]
-fn zero_deadline_drops_every_request() {
+fn zero_deadline_drops_every_request(mode: FrontendMode) {
     let server = test_server(
         AdmissionPolicy::DeadlineDrop(Duration::ZERO),
         "coarse-lru",
         64,
+        mode,
     );
     let mut client = Client::connect(server.addr()).expect("connect");
     let mut dropped = 0;
@@ -164,9 +179,8 @@ fn zero_deadline_drops_every_request() {
 
 /// Under shed, every request is answered either OK or BUSY — nothing is
 /// lost silently, and BUSY replies arrive promptly instead of blocking.
-#[test]
-fn shed_policy_answers_ok_or_busy() {
-    let server = test_server(AdmissionPolicy::Shed, "wrapped-lirs", 2);
+fn shed_policy_answers_ok_or_busy(mode: FrontendMode) {
+    let server = test_server(AdmissionPolicy::Shed, "wrapped-lirs", 2, mode);
     let addr = server.addr();
     let ok = AtomicU64::new(0);
     let busy = AtomicU64::new(0);
@@ -195,9 +209,8 @@ fn shed_policy_answers_ok_or_busy() {
 
 /// SCAN's checksum equals the FNV-1a chain over the same pages fetched
 /// one GET at a time.
-#[test]
-fn scan_checksum_matches_individual_gets() {
-    let server = test_server(AdmissionPolicy::Block, "clock", 64);
+fn scan_checksum_matches_individual_gets(mode: FrontendMode) {
+    let server = test_server(AdmissionPolicy::Block, "clock", 64, mode);
     let mut client = Client::connect(server.addr()).expect("connect");
     // Dirty a page in the range so the checksum covers written data too.
     let mut body = vec![0xA5u8; 32];
@@ -227,9 +240,8 @@ fn scan_checksum_matches_individual_gets() {
 
 /// Requests outside the configured page universe get ERR, and the
 /// connection stays usable afterwards.
-#[test]
-fn out_of_range_requests_error_cleanly() {
-    let server = test_server(AdmissionPolicy::Block, "wrapped-2q", 64);
+fn out_of_range_requests_error_cleanly(mode: FrontendMode) {
+    let server = test_server(AdmissionPolicy::Block, "wrapped-2q", 64, mode);
     let mut client = Client::connect(server.addr()).expect("connect");
     assert!(matches!(client.get(PAGES).unwrap(), Response::Err(_)));
     assert!(matches!(
@@ -251,9 +263,8 @@ fn out_of_range_requests_error_cleanly() {
 
 /// The load generator against a live server: closed-loop requests are
 /// all answered under block, and the report's accounting adds up.
-#[test]
-fn loadgen_closed_loop_round_trips() {
-    let server = test_server(AdmissionPolicy::Block, "wrapped-2q", 128);
+fn loadgen_closed_loop_round_trips(mode: FrontendMode) {
+    let server = test_server(AdmissionPolicy::Block, "wrapped-2q", 128, mode);
     let workload = ZipfWorkload::new(PAGES, 0.86, 8);
     let cfg = LoadConfig {
         connections: 4,
@@ -281,9 +292,8 @@ fn loadgen_closed_loop_round_trips() {
 /// Open-loop pacing sends the full schedule even when the rate is
 /// higher than the server can absorb, and measures from intended
 /// arrival (latency >= actual service time).
-#[test]
-fn loadgen_open_loop_sends_full_schedule() {
-    let server = test_server(AdmissionPolicy::Block, "coarse-2q", 64);
+fn loadgen_open_loop_sends_full_schedule(mode: FrontendMode) {
+    let server = test_server(AdmissionPolicy::Block, "coarse-2q", 64, mode);
     let workload = ZipfWorkload::new(PAGES, 0.86, 8);
     let cfg = LoadConfig {
         connections: 2,
@@ -302,9 +312,8 @@ fn loadgen_open_loop_sends_full_schedule() {
 
 /// A client SHUTDOWN request stops the acceptor: the running server
 /// answers OK, then refuses (or never accepts) new connections.
-#[test]
-fn client_shutdown_request_stops_accepting() {
-    let server = test_server(AdmissionPolicy::Block, "wrapped-2q", 64);
+fn client_shutdown_request_stops_accepting(mode: FrontendMode) {
+    let server = test_server(AdmissionPolicy::Block, "wrapped-2q", 64, mode);
     let addr = server.addr();
     let mut client = Client::connect(addr).expect("connect");
     assert!(matches!(client.shutdown().unwrap(), Response::Ok(_)));
@@ -322,24 +331,12 @@ fn client_shutdown_request_stops_accepting() {
     );
 }
 
-/// Dimension check promised by the workload contract: every generated
-/// page id stays inside the universe the server was configured with.
-#[test]
-fn workload_pages_fit_the_server_universe() {
-    let workload = ZipfWorkload::new(PAGES, 0.86, 8);
-    assert!(workload.page_universe() <= PAGES);
-    let mut stream = PageStream::for_thread(&workload, 0, 1);
-    for _ in 0..10_000 {
-        assert!(stream.next_page() < PAGES);
-    }
-}
-
 /// METRICS returns a well-formed Prometheus-style exposition covering
-/// request counters, both instrumented locks, and the trace collector's
-/// health; STATS carries the matching JSON sub-objects.
-#[test]
-fn metrics_exposition_and_enriched_stats() {
-    let server = test_server(AdmissionPolicy::Block, "wrapped-2q", 64);
+/// request counters, both instrumented locks, the event-loop series,
+/// and the trace collector's health; STATS carries the matching JSON
+/// sub-objects.
+fn metrics_exposition_and_enriched_stats(mode: FrontendMode) {
+    let server = test_server(AdmissionPolicy::Block, "wrapped-2q", 64, mode);
     let mut client = Client::connect(server.addr()).expect("connect");
     for page in 0..64u64 {
         assert!(matches!(client.get(page).unwrap(), Response::Ok(_)));
@@ -356,6 +353,13 @@ fn metrics_exposition_and_enriched_stats() {
     assert!(text.contains("bpw_miss_lock_shards"));
     assert!(text.contains("bpw_free_list_steals_total"));
     assert!(text.contains("bpw_trace_dropped_events_total"));
+    // Event-loop observability is always exposed (zero-valued under the
+    // threaded frontend) so dashboards don't need mode-aware queries.
+    assert!(text.contains("bpw_connections_open"));
+    assert!(text.contains("bpw_epoll_wakeups_total"));
+    assert!(text.contains("bpw_short_writes_total"));
+    assert!(text.contains("bpw_pipeline_depth_count"));
+    assert!(text.contains("bpw_ready_events_per_wakeup_count"));
 
     let stats = client.stats().expect("STATS reply");
     let v = JsonValue::parse(&stats).expect("STATS JSON");
@@ -383,6 +387,28 @@ fn metrics_exposition_and_enriched_stats() {
     );
     assert!(v.get("free_list_steals").is_some());
     assert!(v.get("trace").and_then(|t| t.get("enabled")).is_some());
+    // Connection gauge: this client is the open connection.
+    assert!(
+        v.get("connections_open")
+            .and_then(JsonValue::as_u64)
+            .is_some_and(|c| c >= 1),
+        "the asking client must be counted open: {stats}"
+    );
+    if mode == FrontendMode::EventLoop {
+        assert!(
+            v.get("epoll_wakeups")
+                .and_then(JsonValue::as_u64)
+                .is_some_and(|w| w > 0),
+            "the loop must have woken for this traffic: {stats}"
+        );
+        assert!(
+            v.get("pipeline_depth")
+                .and_then(|h| h.get("count"))
+                .and_then(JsonValue::as_u64)
+                .is_some_and(|c| c > 0),
+            "every admitted request observes pipeline depth: {stats}"
+        );
+    }
 
     drop(client);
     server.join();
@@ -391,8 +417,7 @@ fn metrics_exposition_and_enriched_stats() {
 /// A server with combining commit enabled serves the same traffic
 /// correctly: combining changes how batches reach the policy under
 /// contention, never what data clients see.
-#[test]
-fn combining_server_serves_correct_data() {
+fn combining_server_serves_correct_data(mode: FrontendMode) {
     let server = Server::start(ServerConfig {
         workers: 4,
         queue_capacity: 128,
@@ -402,6 +427,7 @@ fn combining_server_serves_correct_data() {
         pages: PAGES,
         manager: "wrapped-lirs".into(),
         combining: true,
+        mode,
         ..ServerConfig::default()
     })
     .expect("combining server start");
@@ -440,24 +466,29 @@ fn combining_server_serves_correct_data() {
 }
 
 /// With tracing enabled, a served request leaves enqueue/dequeue/reply
-/// events in the collector.
-#[test]
-fn traced_requests_leave_server_events() {
+/// events in the collector — and, under the event loop, wakeup spans.
+fn traced_requests_leave_server_events(mode: FrontendMode) {
     use bpw_trace::EventKind;
 
-    let server = test_server(AdmissionPolicy::Block, "wrapped-2q", 64);
+    let _gate = TRACE_GATE.lock().unwrap();
+    let server = test_server(AdmissionPolicy::Block, "wrapped-2q", 64, mode);
     let mut client = Client::connect(server.addr()).expect("connect");
+    bpw_trace::clear();
     bpw_trace::set_enabled(true);
     for page in 0..32u64 {
         assert!(matches!(client.get(page).unwrap(), Response::Ok(_)));
     }
     bpw_trace::set_enabled(false);
     let events = bpw_trace::drain();
-    for kind in [
+    let mut want = vec![
         EventKind::ServerEnqueue,
         EventKind::ServerDequeue,
         EventKind::ServerReply,
-    ] {
+    ];
+    if mode == FrontendMode::EventLoop {
+        want.push(EventKind::EpollWakeup);
+    }
+    for kind in want {
         assert!(
             events.iter().any(|e| e.kind == kind),
             "no {kind:?} event among {} drained",
@@ -467,3 +498,227 @@ fn traced_requests_leave_server_events() {
     drop(client);
     server.join();
 }
+
+/// Pipelined requests on one connection: the responses come back
+/// strictly in request order, with contents matching request-by-request
+/// expectations — even when the batch mixes PUT, GET, SCAN, and STATS.
+fn pipelined_responses_arrive_in_request_order(mode: FrontendMode) {
+    let server = test_server(AdmissionPolicy::Block, "wrapped-2q", 128, mode);
+    let mut client = Client::connect(server.addr()).expect("connect");
+
+    // Batch 1: tag 16 pages with distinct fills.
+    let puts: Vec<Request> = (0..16u64)
+        .map(|p| {
+            let mut data = vec![p as u8 + 1; 24];
+            data[..8].copy_from_slice(&p.to_le_bytes());
+            Request::Put { page: p, data }
+        })
+        .collect();
+    for resp in client.call_pipelined(&puts).expect("pipelined PUTs") {
+        assert!(matches!(resp, Response::Ok(_)));
+    }
+
+    // Batch 2: read them back interleaved with control and range ops.
+    let mut reqs = Vec::new();
+    for p in 0..16u64 {
+        reqs.push(Request::Get { page: p });
+        if p == 7 {
+            reqs.push(Request::Stats);
+            reqs.push(Request::Scan { start: 0, len: 8 });
+        }
+    }
+    let resps = client.call_pipelined(&reqs).expect("pipelined mixed batch");
+    assert_eq!(resps.len(), reqs.len());
+    for (req, resp) in reqs.iter().zip(&resps) {
+        match (req, resp) {
+            (Request::Get { page }, Response::Ok(body)) => {
+                assert_eq!(
+                    u64::from_le_bytes(body[..8].try_into().unwrap()),
+                    *page,
+                    "response out of order: GET {page} got another page's bytes"
+                );
+                assert!(
+                    body[8..24].iter().all(|&b| b == *page as u8 + 1),
+                    "GET {page} does not carry its own PUT's fill"
+                );
+            }
+            (Request::Stats, Response::Ok(body)) => {
+                let json = String::from_utf8(body.clone()).expect("UTF-8 STATS");
+                JsonValue::parse(&json).expect("STATS JSON mid-pipeline");
+            }
+            (Request::Scan { .. }, Response::Ok(payload)) => {
+                assert_eq!(payload.len(), 12);
+            }
+            (req, resp) => panic!("{req:?} answered {resp:?}"),
+        }
+    }
+
+    // A pipelined loadgen run over several connections agrees.
+    let workload = ZipfWorkload::new(PAGES, 0.86, 8);
+    let report = loadgen::run(
+        server.addr(),
+        &workload,
+        &LoadConfig {
+            connections: 4,
+            requests_per_conn: 1_024,
+            write_fraction: 0.2,
+            pipeline: 16,
+            ..LoadConfig::default()
+        },
+    );
+    assert_eq!(report.sent, 4 * 1_024);
+    assert_eq!(report.ok, 4 * 1_024, "{}", report.summary());
+
+    drop(client);
+    server.join();
+}
+
+/// Slowloris: a client dribbling a valid request one byte at a time
+/// must (a) eventually get the right answer and (b) never stall other
+/// clients — the whole point of readiness-based multiplexing.
+fn slowloris_client_cannot_stall_others(mode: FrontendMode) {
+    let server = test_server(AdmissionPolicy::Block, "wrapped-2q", 64, mode);
+    let addr = server.addr();
+
+    let slow = std::thread::spawn(move || {
+        let mut stream =
+            std::net::TcpStream::connect_timeout(&addr, Duration::from_secs(5)).expect("connect");
+        stream.set_nodelay(true).ok();
+        let body = Request::Get { page: 3 }.encode();
+        let mut wire = Vec::new();
+        wire.extend_from_slice(&(body.len() as u32).to_le_bytes());
+        wire.extend_from_slice(&body);
+        for &b in &wire {
+            stream.write_all(&[b]).expect("dribble");
+            stream.flush().ok();
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        // The torn frame is finally whole; the reply must arrive.
+        let mut reader = std::io::BufReader::new(stream);
+        let mut buf = Vec::new();
+        assert!(bpw_server::protocol::read_frame(&mut reader, &mut buf).expect("reply frame"));
+        match Response::decode(&buf).expect("decode") {
+            Response::Ok(bytes) => {
+                assert_eq!(u64::from_le_bytes(bytes[..8].try_into().unwrap()), 3);
+            }
+            other => panic!("slowloris GET answered {other:?}"),
+        }
+    });
+
+    // While the slow client dribbles (~65 wakeups worth), fast clients
+    // must make normal progress.
+    let mut fast = Client::connect(addr).expect("fast connect");
+    let fast_started = std::time::Instant::now();
+    for page in 0..100u64 {
+        assert!(matches!(fast.get(page % PAGES).unwrap(), Response::Ok(_)));
+    }
+    assert!(
+        fast_started.elapsed() < Duration::from_secs(2),
+        "fast client starved behind a slowloris: {:?}",
+        fast_started.elapsed()
+    );
+
+    slow.join().expect("slow client");
+    drop(fast);
+    server.join();
+}
+
+/// A client that sends requests and vanishes mid-flight: the worker
+/// pool must finish (or discard) the orphaned work without leaking, the
+/// pool's frame accounting must return to exact, and new clients must
+/// be served as if nothing happened.
+fn mid_request_disconnect_leaks_nothing(mode: FrontendMode) {
+    let server = test_server(AdmissionPolicy::Block, "wrapped-2q", 128, mode);
+    let addr = server.addr();
+
+    for round in 0..8u64 {
+        let mut stream =
+            std::net::TcpStream::connect_timeout(&addr, Duration::from_secs(5)).expect("connect");
+        stream.set_nodelay(true).ok();
+        // A burst of expensive SCANs plus a torn trailing frame, then
+        // vanish without reading a single reply.
+        let mut wire = Vec::new();
+        for _ in 0..8 {
+            let body = Request::Scan {
+                start: round * 64,
+                len: 64,
+            }
+            .encode();
+            wire.extend_from_slice(&(body.len() as u32).to_le_bytes());
+            wire.extend_from_slice(&body);
+        }
+        wire.extend_from_slice(&[0x40, 0, 0, 0, 0xFF]); // torn frame: header + 1 of 64 bytes
+        stream.write_all(&wire).expect("burst");
+        drop(stream); // RST/EOF while up to 8 requests are in flight
+    }
+
+    // The server must still answer promptly on a fresh connection.
+    let mut client = Client::connect(addr).expect("connect after disconnects");
+    for page in 0..32u64 {
+        assert!(matches!(client.get(page).unwrap(), Response::Ok(_)));
+    }
+
+    // Every orphaned request eventually drains and unpins its frames:
+    // free + resident returns to the exact frame count.
+    let pool = server.pool().clone();
+    let frames = pool.frames();
+    assert!(
+        bpw_server::poll_until(Duration::from_secs(10), || {
+            pool.free_frames() + pool.resident_count() == frames
+        }),
+        "orphaned requests left frames pinned: {} free + {} resident != {frames}",
+        pool.free_frames(),
+        pool.resident_count(),
+    );
+
+    drop(client);
+    server.join();
+}
+
+/// Dimension check promised by the workload contract: every generated
+/// page id stays inside the universe the server was configured with.
+#[test]
+fn workload_pages_fit_the_server_universe() {
+    let workload = ZipfWorkload::new(PAGES, 0.86, 8);
+    assert!(workload.page_universe() <= PAGES);
+    let mut stream = PageStream::for_thread(&workload, 0, 1);
+    for _ in 0..10_000 {
+        assert!(stream.next_page() < PAGES);
+    }
+}
+
+macro_rules! both_frontends {
+    ($($name:ident),* $(,)?) => {
+        mod threaded {
+            use super::*;
+            $(#[test]
+            fn $name() {
+                super::$name(FrontendMode::Threaded);
+            })*
+        }
+        mod eventloop_mode {
+            use super::*;
+            $(#[test]
+            fn $name() {
+                super::$name(FrontendMode::EventLoop);
+            })*
+        }
+    };
+}
+
+both_frontends!(
+    block_policy_100k_zipf_requests_zero_loss_and_correct_contents,
+    zero_deadline_drops_every_request,
+    shed_policy_answers_ok_or_busy,
+    scan_checksum_matches_individual_gets,
+    out_of_range_requests_error_cleanly,
+    loadgen_closed_loop_round_trips,
+    loadgen_open_loop_sends_full_schedule,
+    client_shutdown_request_stops_accepting,
+    metrics_exposition_and_enriched_stats,
+    combining_server_serves_correct_data,
+    traced_requests_leave_server_events,
+    pipelined_responses_arrive_in_request_order,
+    slowloris_client_cannot_stall_others,
+    mid_request_disconnect_leaks_nothing,
+);

@@ -55,11 +55,15 @@ pub enum EventKind {
     /// A free-list stripe ran dry and a frame was stolen from another
     /// stripe. Instant. Arg: stripe stolen from.
     FreeListSteal,
+    /// One event-loop wakeup: the span covers dispatching every ready
+    /// fd, draining completions, and flushing coalesced writes. Arg:
+    /// ready events delivered by this `epoll_wait`.
+    EpollWakeup,
 }
 
 impl EventKind {
     /// Every kind, in declaration order.
-    pub const ALL: [EventKind; 15] = [
+    pub const ALL: [EventKind; 16] = [
         EventKind::LockWait,
         EventKind::LockHold,
         EventKind::BatchCommit,
@@ -75,6 +79,7 @@ impl EventKind {
         EventKind::MissShardWait,
         EventKind::CombinedCommit,
         EventKind::FreeListSteal,
+        EventKind::EpollWakeup,
     ];
 
     /// Stable snake_case name (Chrome trace `name`, Prometheus label).
@@ -95,6 +100,7 @@ impl EventKind {
             EventKind::MissShardWait => "miss_shard_wait",
             EventKind::CombinedCommit => "combined_commit",
             EventKind::FreeListSteal => "free_list_steal",
+            EventKind::EpollWakeup => "epoll_wakeup",
         }
     }
 
@@ -117,6 +123,7 @@ impl EventKind {
             EventKind::MissShardWait => "shard",
             EventKind::CombinedCommit => "entries",
             EventKind::FreeListSteal => "stripe",
+            EventKind::EpollWakeup => "ready_events",
         }
     }
 
