@@ -14,6 +14,11 @@
 //!
 //! Writes `results/trace_overhead.jsonl` and
 //! `results/trace_overhead.trace.json`.
+//!
+//! With `--gate`, additionally enforces ISSUE 7's regression budget:
+//! the disabled-tracing mode must stay within 1% of the untraced
+//! baseline (exit code 1 otherwise), so CI catches any hot-path cost
+//! sneaking into the compiled-in-but-off instrumentation.
 
 use std::time::Instant;
 
@@ -77,7 +82,12 @@ fn best_of(n: usize, lines: &mut Vec<String>, mode: &str) -> f64 {
     best
 }
 
+/// Maximum tolerated slowdown of `disabled` vs `baseline` under
+/// `--gate`: disabled throughput must be >= 99% of baseline.
+const GATE_FLOOR: f64 = 0.99;
+
 fn main() {
+    let gate = std::env::args().any(|a| a == "--gate");
     let mut lines = Vec::new();
 
     // Untraced reference: the collector has never been enabled and no
@@ -126,4 +136,22 @@ fn main() {
         events.len(),
         export.len()
     );
+
+    if gate {
+        let ratio = disabled / baseline;
+        if ratio < GATE_FLOOR {
+            eprintln!(
+                "GATE FAIL: disabled tracing runs at {:.1}% of baseline (floor {:.0}%) — \
+                 the compiled-in-but-off instrumentation costs more than 1%",
+                ratio * 100.0,
+                GATE_FLOOR * 100.0
+            );
+            std::process::exit(1);
+        }
+        println!(
+            "GATE OK: disabled tracing at {:.1}% of baseline (floor {:.0}%)",
+            ratio * 100.0,
+            GATE_FLOOR * 100.0
+        );
+    }
 }

@@ -569,6 +569,11 @@ impl<'p, M: ReplacementManager> PoolSession<'p, M> {
         // same page spin on the unpinnable mapping and invalidate must
         // report Busy.
         bpw_dst::yield_point();
+        // Miss I/O is timed unconditionally (not just when tracing is
+        // on): the stage scratch is how the server attributes a
+        // request's latency to disk time, and two clock reads are noise
+        // next to a storage round trip.
+        let io_t0 = std::time::Instant::now();
         let io_span = bpw_trace::span_start();
         let io_result = (|| -> io::Result<()> {
             let mut data = pool.data[frame as usize].lock();
@@ -591,6 +596,7 @@ impl<'p, M: ReplacementManager> PoolSession<'p, M> {
             // The dirty victim's latest bytes may be lost here (its
             // committed WAL records still cover it when a log is
             // attached); what must never happen is a wedged frame.
+            bpw_trace::stage::add_miss_io(io_t0.elapsed().as_nanos() as u64);
             pool.repair_failed_frame(page, frame);
             return Err(e);
         }
@@ -600,6 +606,7 @@ impl<'p, M: ReplacementManager> PoolSession<'p, M> {
         // NoEvictableFrame or an I/O failure must not count twice.
         pool.stats.misses.fetch_add(1, Ordering::Relaxed);
         bpw_trace::span_end(bpw_trace::EventKind::MissIo, io_span, page);
+        bpw_trace::stage::add_miss_io(io_t0.elapsed().as_nanos() as u64);
         bpw_dst::record(|| bpw_dst::Op::FetchDone {
             page,
             frame,

@@ -342,7 +342,10 @@ impl<P: ReplacementPolicy> BpWrapper<P> {
         self.counters.committed.add(applied);
         self.counters.stale_skipped.add(n - applied);
         self.counters.batches.incr();
-        bpw_trace::span_end(bpw_trace::EventKind::BatchCommit, span, n);
+        // Staged: the commit's duration is also credited to the calling
+        // thread's batch-commit stage scratch, so the server can
+        // attribute it to the owning request.
+        bpw_trace::span_end_staged(bpw_trace::EventKind::BatchCommit, span, n);
         #[cfg(dst_mutation = "combining")]
         if let Some(batch) = deferred {
             self.apply_batch(guard, &batch);
@@ -374,7 +377,7 @@ impl<P: ReplacementPolicy> BpWrapper<P> {
         self.counters.committed.add(applied);
         self.counters.stale_skipped.add(n - applied);
         self.counters.batches.incr();
-        bpw_trace::span_end(bpw_trace::EventKind::BatchCommit, span, n);
+        bpw_trace::span_end_staged(bpw_trace::EventKind::BatchCommit, span, n);
     }
 
     /// Drain other threads' published batches while we hold the lock.

@@ -51,9 +51,12 @@ use std::time::{Duration, Instant};
 use bpw_evl::{Epoll, Interest, Ready, WakeFd, WriteBuf};
 
 use crate::backpressure::{AdmissionQueue, Offered};
-use crate::metrics::OpKind;
+use crate::metrics::{OpKind, Stage};
 use crate::protocol::{FrameDecoder, Request, Response};
-use crate::server::{metrics_text, stats_json, Job, ReplyTo, Shared};
+use crate::server::{
+    metrics_text, next_conn_id, next_request_id, op_kind, stats_json, Job, ReplyTo, RequestCtx,
+    Shared,
+};
 
 const TOK_LISTENER: u64 = 0;
 const TOK_WAKE: u64 = 1;
@@ -104,6 +107,9 @@ impl Completions {
 /// One multiplexed client connection.
 struct Conn {
     stream: TcpStream,
+    /// Process-unique connection id (same id space as the threaded
+    /// frontend's connections) — stamped into every request's ctx.
+    id: u64,
     decoder: FrameDecoder,
     wbuf: WriteBuf,
     /// Sequence number the next decoded frame will get.
@@ -112,13 +118,16 @@ struct Conn {
     next_to_send: u64,
     /// Completed responses waiting for their turn (reorder buffer).
     pending: BTreeMap<u64, Response>,
-    /// Admission time and op kind of data requests, by seq — consumed
-    /// when the response is written (metrics + reply trace).
-    meta: HashMap<u64, (OpKind, Instant)>,
+    /// Admission time, op kind, and request ctx of data requests, by
+    /// seq — consumed when the response is written (metrics + reply
+    /// trace + flight capture).
+    meta: HashMap<u64, (OpKind, Instant, RequestCtx)>,
     /// Data requests handed to workers and not yet completed.
     inflight: usize,
-    /// Decoded data requests a full admission queue handed back.
-    stalled: VecDeque<(u64, Request, Instant)>,
+    /// Decoded data requests a full admission queue handed back. Each
+    /// keeps its original admission time and ctx across re-offers, so
+    /// deadlines and queue-wait attribution measure true staleness.
+    stalled: VecDeque<(u64, Request, Instant, RequestCtx)>,
     /// Peer closed its write half; serve what was received, then close.
     peer_eof: bool,
     /// Fatal frame/decode error: the seq of the final (ERR) response.
@@ -132,6 +141,7 @@ impl Conn {
     fn new(stream: TcpStream) -> Conn {
         Conn {
             stream,
+            id: next_conn_id(),
             decoder: FrameDecoder::new(),
             wbuf: WriteBuf::new(),
             next_seq: 0,
@@ -382,10 +392,19 @@ impl EventLoop {
             match conn.decoder.next_frame() {
                 Ok(None) => return,
                 Ok(Some(body)) => {
+                    // The request clock starts the moment its frame is
+                    // complete — NOT at the epoll wakeup, which may
+                    // have delivered a whole pipeline burst whose later
+                    // frames would otherwise inherit the first frame's
+                    // wait and inflate every reply span downstream.
+                    let admitted = Instant::now();
                     let seq = conn.next_seq;
                     conn.next_seq += 1;
                     match Request::decode(&body) {
-                        Ok(req) => self.dispatch_request(token, seq, req),
+                        Ok(req) => {
+                            let decode_ns = admitted.elapsed().as_nanos() as u64;
+                            self.dispatch_request(token, seq, req, admitted, decode_ns)
+                        }
                         Err(e) => {
                             // Same contract as the threaded frontend:
                             // answer ERR, then drop the connection —
@@ -411,10 +430,22 @@ impl EventLoop {
     }
 
     /// Route one decoded request: control inline, data to the workers.
-    fn dispatch_request(&mut self, token: u64, seq: u64, req: Request) {
+    /// `admitted` is the frame-decode-complete instant from
+    /// `dispatch_frames`; `decode_ns` is what `Request::decode` cost.
+    fn dispatch_request(
+        &mut self,
+        token: u64,
+        seq: u64,
+        req: Request,
+        admitted: Instant,
+        decode_ns: u64,
+    ) {
         let resp = match &req {
             Request::Stats => Some(Response::Ok(stats_json(&self.shared).into_bytes())),
             Request::Metrics => Some(Response::Ok(metrics_text(&self.shared).into_bytes())),
+            Request::Exemplars => Some(Response::Ok(
+                bpw_trace::flight::exemplars_json().into_bytes(),
+            )),
             Request::Shutdown => {
                 // Flag first: a client that has seen the OK must observe
                 // `stop_requested()` as true. The listener itself is
@@ -431,28 +462,43 @@ impl EventLoop {
             conn.pending.insert(seq, resp);
             return;
         }
-        let admitted = Instant::now();
+        let ctx = RequestCtx {
+            id: next_request_id(),
+            conn: conn.id,
+            opcode: req.opcode(),
+        };
+        if let Some(kind) = op_kind(&req) {
+            self.shared
+                .metrics
+                .record_stage(kind, Stage::Decode, decode_ns);
+        }
         if conn.stalled.is_empty() {
-            self.offer(token, seq, req, admitted);
+            self.offer(token, seq, req, admitted, ctx);
         } else {
             // Order guarantee: nothing may overtake an already-stalled
             // request on its way into the queue.
-            conn.stalled.push_back((seq, req, admitted));
+            conn.stalled.push_back((seq, req, admitted, ctx));
         }
     }
 
     /// Offer a data request to the admission queue (non-blocking).
-    fn offer(&mut self, token: u64, seq: u64, req: Request, admitted: Instant) {
+    fn offer(&mut self, token: u64, seq: u64, req: Request, admitted: Instant, ctx: RequestCtx) {
         let kind = match &req {
             Request::Get { .. } => OpKind::Get,
             Request::Put { .. } => OpKind::Put,
             Request::Scan { .. } => OpKind::Scan,
             _ => unreachable!("control requests are dispatched inline"),
         };
+        // Attribute the enqueue event, then detach: the loop thread is
+        // about to work on other requests, and its wakeup spans must
+        // stay unowned.
+        bpw_trace::set_current_request(ctx.id);
         bpw_trace::instant(bpw_trace::EventKind::ServerEnqueue, req.opcode() as u64);
+        bpw_trace::set_current_request(0);
         let job = Job {
             req,
             admitted,
+            ctx,
             reply: ReplyTo::Loop {
                 completions: Arc::clone(&self.completions),
                 token,
@@ -465,7 +511,7 @@ impl EventLoop {
         match self.admission.offer_at(job, admitted) {
             Offered::Queued => {
                 conn.inflight += 1;
-                conn.meta.insert(seq, (kind, admitted));
+                conn.meta.insert(seq, (kind, admitted, ctx));
                 self.shared
                     .metrics
                     .pipeline_depth
@@ -474,14 +520,14 @@ impl EventLoop {
             Offered::Shed => {
                 // Counted at reply-write via `meta`, exactly like a
                 // threaded connection counting its BUSY.
-                conn.meta.insert(seq, (kind, admitted));
+                conn.meta.insert(seq, (kind, admitted, ctx));
                 conn.pending.insert(seq, Response::Busy);
             }
             Offered::Full(job) => {
-                conn.stalled.push_back((seq, job.req, admitted));
+                conn.stalled.push_back((seq, job.req, admitted, ctx));
             }
             Offered::Closed => {
-                conn.meta.insert(seq, (kind, admitted));
+                conn.meta.insert(seq, (kind, admitted, ctx));
                 conn.pending
                     .insert(seq, Response::Err("server is shutting down".into()));
             }
@@ -495,11 +541,11 @@ impl EventLoop {
         // Re-offer stalled requests in arrival order; stop at the first
         // that still finds the queue full.
         while let Some(conn) = self.conns.get_mut(&token) {
-            let Some((seq, req, admitted)) = conn.stalled.pop_front() else {
+            let Some((seq, req, admitted, ctx)) = conn.stalled.pop_front() else {
                 break;
             };
             let before = conn.stalled.len();
-            self.offer(token, seq, req, admitted);
+            self.offer(token, seq, req, admitted, ctx);
             let Some(conn) = self.conns.get_mut(&token) else {
                 return;
             };
@@ -522,25 +568,41 @@ impl EventLoop {
         while let Some(resp) = conn.pending.remove(&conn.next_to_send) {
             let seq = conn.next_to_send;
             conn.next_to_send += 1;
+            // Reply-flush here is serialization into the coalesced
+            // write buffer; the socket write itself is shared by every
+            // reply in the flush below and can't be attributed per
+            // request (the threaded frontend measures the actual write).
+            let flush_t0 = Instant::now();
             let mut frame = Vec::with_capacity(5);
             let body = resp.encode();
             frame.extend_from_slice(&(body.len() as u32).to_le_bytes());
             frame.extend_from_slice(&body);
             conn.wbuf.push(&frame);
-            if let Some((kind, admitted)) = conn.meta.remove(&seq) {
-                let status = match &resp {
-                    Response::Ok(_) => 0u64,
+            let flush_ns = flush_t0.elapsed().as_nanos() as u64;
+            if let Some((kind, admitted, ctx)) = conn.meta.remove(&seq) {
+                let status: u8 = match &resp {
+                    Response::Ok(_) => 0,
                     Response::Busy => 1,
                     Response::Dropped => 2,
                     Response::Err(_) => 3,
                     Response::IoError(_) => 4,
                 };
+                let total_ns = admitted.elapsed().as_nanos() as u64;
+                let m = &self.shared.metrics;
+                m.record_stage(kind, Stage::ReplyFlush, flush_ns);
+                // Reply span first, then capture: the flight snapshot
+                // must see the completed chain.
+                bpw_trace::set_current_request(ctx.id);
                 bpw_trace::span_backdated(
                     bpw_trace::EventKind::ServerReply,
-                    admitted.elapsed().as_nanos() as u64,
-                    status,
+                    total_ns,
+                    status as u64,
                 );
-                let m = &self.shared.metrics;
+                if bpw_trace::flight::should_capture(total_ns, status) {
+                    m.record_slo_violation(kind);
+                    bpw_trace::flight::capture(ctx.id, ctx.conn, ctx.opcode, status, total_ns);
+                }
+                bpw_trace::set_current_request(0);
                 match resp {
                     Response::Ok(_) => m.record_ok(kind, admitted),
                     Response::Busy => m.busy.incr(),

@@ -5,7 +5,7 @@
 //! bpw-server serve   [--addr H:P] [--mode threaded|eventloop] [--workers N]
 //!                    [--queue N] [--policy P] [--max-pipeline N]
 //!                    [--frames N] [--page-size B] [--pages N] [--manager SPEC]
-//!                    [--combining true] [--miss-shards N]
+//!                    [--combining true] [--miss-shards N] [--slo-us U]
 //!                    [--faulty true] [--fault-seed S] [--fail-reads-ppm N]
 //!                    [--fail-writes-ppm N] [--spike-ppm N] [--spike-us U]
 //! bpw-server loadgen --addr H:P [--connections N] [--requests N]
@@ -17,7 +17,20 @@
 //!                    [--fe-connections LIST] [--pipeline N] [--quick true]
 //! bpw-server smoke   [--out FILE] [--faulty true]
 //! bpw-server chaos   [--out FILE] [--requests N] [--fault-seed S]
+//! bpw-server stages  [--out FILE] [--requests N] [--slo-us U]
+//!                    [--mode threaded|eventloop]
 //! ```
+//!
+//! `serve --slo-us U` arms the tail-latency flight recorder: tracing
+//! turns on, and any request slower than U microseconds (or ending
+//! `ERR_IO`) is captured as an exemplar — its span chain, pulled from
+//! the per-thread trace rings — fetchable via the `EXEMPLARS` opcode
+//! as Chrome-trace JSON.
+//!
+//! `stages` is the stage-breakdown experiment: a `--slo-us`-armed
+//! server under Zipf load, reporting where each opcode's latency goes
+//! (decode, queue wait, pin/hit, miss I/O, batch commit, reply flush)
+//! as per-stage p50/p99/p999 rows in `results/stage_latency.jsonl`.
 //!
 //! `smoke` is the CI self-test: it starts an in-process server, checks
 //! STATS and METRICS payloads, runs a traced workload, and validates
@@ -47,9 +60,10 @@ fn main() {
         "bench" => cmd_bench(&flags),
         "smoke" => cmd_smoke(&flags),
         "chaos" => cmd_chaos(&flags),
+        "stages" => cmd_stages(&flags),
         _ => {
             eprintln!(
-                "usage: bpw-server <serve|loadgen|bench|smoke|chaos> [flags]  (see --help in src/main.rs)"
+                "usage: bpw-server <serve|loadgen|bench|smoke|chaos|stages> [flags]  (see --help in src/main.rs)"
             );
             std::process::exit(2);
         }
@@ -149,6 +163,10 @@ fn server_config(flags: &HashMap<String, String>) -> Result<ServerConfig, String
         fault_plan: fault_plan(flags)?,
         mode: get(flags, "mode", d.mode)?,
         max_pipeline: get(flags, "max-pipeline", d.max_pipeline)?,
+        slo_us: match flags.get("slo-us") {
+            Some(v) => Some(v.parse().map_err(|e| format!("--slo-us {v:?}: {e}"))?),
+            None => None,
+        },
     })
 }
 
@@ -524,6 +542,133 @@ fn cmd_chaos(flags: &HashMap<String, String>) -> Result<(), String> {
     Ok(())
 }
 
+/// Stage-breakdown experiment: one `--slo-us`-armed server under Zipf
+/// load, then per-opcode, per-stage latency quantiles out of STATS into
+/// a JSON-lines artifact (`results/stage_latency.jsonl`) — where does a
+/// GET's time actually go, and how much of the tail is queueing versus
+/// miss I/O.
+fn cmd_stages(flags: &HashMap<String, String>) -> Result<(), String> {
+    use bpw_metrics::JsonValue;
+
+    let out = flags
+        .get("out")
+        .cloned()
+        .unwrap_or_else(|| "results/stage_latency.jsonl".into());
+    let requests: u64 = get(flags, "requests", 8_000)?;
+    let slo_us: u64 = get(flags, "slo-us", 500)?;
+    let mode: FrontendMode = get(flags, "mode", FrontendMode::Threaded)?;
+    let server = Server::start(ServerConfig {
+        workers: 4,
+        frames: 1024,
+        page_size: 256,
+        pages: 16_384,
+        mode,
+        slo_us: Some(slo_us),
+        ..ServerConfig::default()
+    })
+    .map_err(|e| e.to_string())?;
+    let workload = ZipfWorkload::new(16_384, 0.86, 8);
+    let report = loadgen::run(
+        server.addr(),
+        &workload,
+        &LoadConfig {
+            connections: 4,
+            requests_per_conn: requests / 4,
+            write_fraction: 0.1,
+            ..LoadConfig::default()
+        },
+    );
+    if report.ok == 0 {
+        return Err("stage run completed no requests".into());
+    }
+    let mut client = bpw_server::Client::connect(server.addr()).map_err(|e| e.to_string())?;
+    let stats = client.stats().map_err(|e| e.to_string())?;
+    let v = JsonValue::parse(&stats).map_err(|e| format!("STATS invalid: {e}"))?;
+    let stages = v.get("stages").ok_or("STATS lacks a stages sub-object")?;
+    let slo = v
+        .get("slo_violations")
+        .ok_or("STATS lacks slo_violations")?;
+    let exemplars = client.exemplars().map_err(|e| e.to_string())?;
+    let ev = JsonValue::parse(&exemplars).map_err(|e| format!("EXEMPLARS invalid: {e}"))?;
+    let captured = ev
+        .get("otherData")
+        .and_then(|o| o.get("captured_total"))
+        .and_then(JsonValue::as_u64)
+        .unwrap_or(0);
+
+    let mut lines = Vec::new();
+    println!(
+        "{:<5} {:<13} {:>8} {:>10} {:>10} {:>10}",
+        "op", "stage", "count", "p50_ns", "p99_ns", "p999_ns"
+    );
+    for op in ["get", "put", "scan"] {
+        let per_op = stages
+            .get(op)
+            .ok_or_else(|| format!("stages lacks {op:?}"))?;
+        for stage in [
+            "decode",
+            "queue_wait",
+            "pin_hit",
+            "miss_io",
+            "batch_commit",
+            "reply_flush",
+        ] {
+            let h = per_op
+                .get(stage)
+                .ok_or_else(|| format!("stages.{op} lacks {stage:?}"))?;
+            let q = |key: &str| h.get(key).and_then(JsonValue::as_u64).unwrap_or(0);
+            let count = q("count");
+            if count > 0 {
+                println!(
+                    "{:<5} {:<13} {:>8} {:>10} {:>10} {:>10}",
+                    op,
+                    stage,
+                    count,
+                    q("p50"),
+                    q("p99"),
+                    q("p999")
+                );
+            }
+            let mut o = JsonObject::new();
+            o.field_str("op", op)
+                .field_str("stage", stage)
+                .field_u64("count", count)
+                .field_u64("p50_ns", q("p50"))
+                .field_u64("p99_ns", q("p99"))
+                .field_u64("p999_ns", q("p999"))
+                .field_u64("max_ns", q("max"))
+                .field_u64("slo_us", slo_us)
+                .field_str("frontend", &mode.to_string())
+                .field_u64(
+                    "slo_violations",
+                    slo.get(op).and_then(JsonValue::as_u64).unwrap_or(0),
+                )
+                .field_u64("exemplars_captured", captured);
+            lines.push(o.finish());
+        }
+    }
+    println!(
+        "slo {slo_us}us: {} violations, {captured} exemplars captured",
+        v.get("slo_violations")
+            .map(|s| ["get", "put", "scan"]
+                .iter()
+                .filter_map(|op| s.get(op).and_then(JsonValue::as_u64))
+                .sum::<u64>())
+            .unwrap_or(0)
+    );
+    client.shutdown().map_err(|e| e.to_string())?;
+    drop(client);
+    server.join();
+    if let Some(dir) = std::path::Path::new(&out).parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir).map_err(|e| format!("mkdir {}: {e}", dir.display()))?;
+        }
+    }
+    std::fs::write(&out, lines.join("\n") + "\n").map_err(|e| format!("write {out}: {e}"))?;
+    println!("wrote {} rows to {out}", lines.len());
+    Ok(())
+}
+
 /// CI self-test: exercise STATS, METRICS, and the tracing pipeline
 /// end-to-end against a live server, failing loudly on any malformed
 /// payload.
@@ -645,8 +790,51 @@ fn cmd_smoke(flags: &HashMap<String, String>) -> Result<(), String> {
     client.shutdown().map_err(|e| e.to_string())?;
     drop(client); // join() waits for live connections to close
     server.join();
+
+    // 6. Flight recorder: a server armed with an impossible SLO (1us)
+    //    must capture exemplars and serve them as valid Chrome-trace
+    //    JSON over the EXEMPLARS opcode.
+    bpw_trace::flight::clear();
+    let slo_server = Server::start(ServerConfig {
+        workers: 2,
+        frames: 256,
+        page_size: 256,
+        pages: 4096,
+        slo_us: Some(1),
+        ..ServerConfig::default()
+    })
+    .map_err(|e| e.to_string())?;
+    let mut slo_client =
+        bpw_server::Client::connect(slo_server.addr()).map_err(|e| e.to_string())?;
+    for page in 0..64u64 {
+        slo_client.get(page).map_err(|e| e.to_string())?;
+    }
+    let exemplars = slo_client.exemplars().map_err(|e| e.to_string())?;
+    let ev = JsonValue::parse(&exemplars).map_err(|e| format!("EXEMPLARS JSON invalid: {e}"))?;
+    let Some(JsonValue::Arr(spans)) = ev.get("traceEvents") else {
+        return Err("EXEMPLARS lacks a traceEvents array".into());
+    };
+    let captured = ev
+        .get("otherData")
+        .and_then(|o| o.get("exemplars"))
+        .and_then(|e| match e {
+            JsonValue::Arr(items) => Some(items.len()),
+            _ => None,
+        })
+        .unwrap_or(0);
+    if captured == 0 || spans.is_empty() {
+        return Err(format!(
+            "flight recorder captured {captured} exemplars / {} spans (want >=1 of each): {exemplars}",
+            spans.len()
+        ));
+    }
+    slo_client.shutdown().map_err(|e| e.to_string())?;
+    drop(slo_client);
+    slo_server.join();
+    bpw_trace::flight::clear();
+
     println!(
-        "smoke ok: {samples} exposition samples, {} trace events from {} threads -> {out}",
+        "smoke ok: {samples} exposition samples, {} trace events from {} threads, {captured} exemplars -> {out}",
         events.len(),
         tids.len()
     );

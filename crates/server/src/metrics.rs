@@ -22,6 +22,104 @@ pub enum OpKind {
     Scan,
 }
 
+impl OpKind {
+    /// Every kind, in index order.
+    pub const ALL: [OpKind; 3] = [OpKind::Get, OpKind::Put, OpKind::Scan];
+
+    /// Dense index (for per-op metric arrays).
+    pub fn index(self) -> usize {
+        match self {
+            OpKind::Get => 0,
+            OpKind::Put => 1,
+            OpKind::Scan => 2,
+        }
+    }
+
+    /// Stable lowercase name (JSON key, Prometheus label value).
+    pub fn name(self) -> &'static str {
+        match self {
+            OpKind::Get => "get",
+            OpKind::Put => "put",
+            OpKind::Scan => "scan",
+        }
+    }
+}
+
+/// The pipeline stages a request's end-to-end latency decomposes into.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Stage {
+    /// Parsing the request body out of a complete frame.
+    Decode,
+    /// Sitting in the admission queue before a worker picked it up.
+    QueueWait,
+    /// Executing against the buffer pool, *minus* the miss-I/O and
+    /// batch-commit time attributed below — a hit's latch-and-go cost.
+    PinHit,
+    /// Miss-path storage I/O (victim write-back + page read).
+    MissIo,
+    /// BP-Wrapper batch commits into the replacement policy (only
+    /// populated while tracing is on — the commit sits on the hit-only
+    /// hot path, where unconditional clocks would break the
+    /// disabled-tracing budget).
+    BatchCommit,
+    /// Writing the reply frame back toward the client (the socket write
+    /// under the threaded frontend; frame serialization into the
+    /// coalesced write buffer under the event loop).
+    ReplyFlush,
+}
+
+impl Stage {
+    /// Every stage, in pipeline order.
+    pub const ALL: [Stage; 6] = [
+        Stage::Decode,
+        Stage::QueueWait,
+        Stage::PinHit,
+        Stage::MissIo,
+        Stage::BatchCommit,
+        Stage::ReplyFlush,
+    ];
+
+    /// Stable snake_case name (JSON key, Prometheus label value).
+    pub fn name(self) -> &'static str {
+        match self {
+            Stage::Decode => "decode",
+            Stage::QueueWait => "queue_wait",
+            Stage::PinHit => "pin_hit",
+            Stage::MissIo => "miss_io",
+            Stage::BatchCommit => "batch_commit",
+            Stage::ReplyFlush => "reply_flush",
+        }
+    }
+}
+
+/// Per-stage latency histograms for one opcode.
+#[derive(Debug, Default)]
+pub struct StageSet {
+    hists: [Histogram; 6],
+}
+
+impl StageSet {
+    /// Record `ns` into `stage`'s histogram.
+    pub fn record(&self, stage: Stage, ns: u64) {
+        self.hists[stage as usize].record(ns);
+    }
+
+    /// The histogram for one stage.
+    pub fn get(&self, stage: Stage) -> &Histogram {
+        &self.hists[stage as usize]
+    }
+
+    /// Render as `{"decode": {...}, "queue_wait": {...}, ...}` — each
+    /// stage with the histogram's derived p50/p95/p99/p999 summary.
+    pub fn to_json(&self) -> String {
+        let mut o = JsonObject::new();
+        for stage in Stage::ALL {
+            o.field_raw(stage.name(), &self.get(stage).to_json());
+        }
+        o.finish()
+    }
+}
+
 /// Shared server-side counters and latency histograms.
 ///
 /// All fields are lock-free atomics; cloning the [`Arc`] wrapper is the
@@ -61,6 +159,12 @@ pub struct ServerMetrics {
     /// Nonblocking writes that accepted only part of the buffer — each
     /// one is a stall a blocking connection thread would have eaten.
     pub short_writes: Counter,
+    /// Per-opcode, per-stage latency attribution (indexed by
+    /// [`OpKind::index`]).
+    pub stages: [StageSet; 3],
+    /// Requests whose end-to-end latency exceeded `--slo-us` (or ended
+    /// `ERR_IO`), per opcode — the SLO burn rate numerators.
+    pub slo_violations: [Counter; 3],
 }
 
 impl ServerMetrics {
@@ -79,6 +183,26 @@ impl ServerMetrics {
             OpKind::Scan => self.scan_ns.record(ns),
         }
         self.ok.incr();
+    }
+
+    /// The per-stage histograms for `kind`.
+    pub fn stages(&self, kind: OpKind) -> &StageSet {
+        &self.stages[kind.index()]
+    }
+
+    /// Record one stage sample for `kind`.
+    pub fn record_stage(&self, kind: OpKind, stage: Stage, ns: u64) {
+        self.stages[kind.index()].record(stage, ns);
+    }
+
+    /// Count one SLO violation for `kind`.
+    pub fn record_slo_violation(&self, kind: OpKind) {
+        self.slo_violations[kind.index()].incr();
+    }
+
+    /// Total SLO violations across opcodes.
+    pub fn slo_violations_total(&self) -> u64 {
+        self.slo_violations.iter().map(Counter::get).sum()
     }
 
     /// Total requests that received any reply.
@@ -111,6 +235,19 @@ impl ServerMetrics {
             .field_u64("dropped_events", bpw_trace::dropped())
             .field_u64("threads", bpw_trace::thread_count() as u64)
             .field_u64("buffered_events", bpw_trace::buffered() as u64);
+        let mut flight = JsonObject::new();
+        flight
+            .field_u64("slo_ns", bpw_trace::flight::slo_ns())
+            .field_u64("captured_total", bpw_trace::flight::captured_total())
+            .field_u64("buffered", bpw_trace::flight::exemplars().len() as u64);
+        let mut stages = JsonObject::new();
+        for kind in OpKind::ALL {
+            stages.field_raw(kind.name(), &self.stages(kind).to_json());
+        }
+        let mut slo = JsonObject::new();
+        for kind in OpKind::ALL {
+            slo.field_u64(kind.name(), self.slo_violations[kind.index()].get());
+        }
         let mut o = JsonObject::new();
         o.field_u64("ok", self.ok.get())
             .field_u64("busy", self.busy.get())
@@ -139,7 +276,10 @@ impl ServerMetrics {
             .field_raw("replacement_lock", &lock.to_json())
             .field_raw("miss_lock", &miss_lock.to_json())
             .field_raw("miss_locks", &miss_locks.to_json())
-            .field_raw("trace", &trace.finish());
+            .field_raw("stages", &stages.finish())
+            .field_raw("slo_violations", &slo.finish())
+            .field_raw("trace", &trace.finish())
+            .field_raw("flight", &flight.finish());
         o.finish()
     }
 }
@@ -196,6 +336,11 @@ mod tests {
         m.pipeline_depth.record(4);
         m.pipeline_depth.record(9);
         m.short_writes.add(2);
+        m.record_stage(OpKind::Get, Stage::QueueWait, 1_500);
+        m.record_stage(OpKind::Get, Stage::QueueWait, 2_500);
+        m.record_stage(OpKind::Get, Stage::PinHit, 800);
+        m.record_stage(OpKind::Put, Stage::MissIo, 40_000);
+        m.record_slo_violation(OpKind::Get);
         let pool = PoolCounters {
             hits: 90,
             misses: 10,
@@ -306,6 +451,35 @@ mod tests {
         assert!(trace.get("enabled").is_some());
         assert!(trace
             .get("dropped_events")
+            .and_then(JsonValue::as_u64)
+            .is_some());
+        // Stage attribution: every op × stage cell is present, and the
+        // samples recorded above round-trip with quantile summaries.
+        let stages = v.get("stages").expect("per-op stage sub-object");
+        for kind in OpKind::ALL {
+            let per_op = stages.get(kind.name()).expect("per-op stage set");
+            for stage in Stage::ALL {
+                assert!(
+                    per_op.get(stage.name()).is_some(),
+                    "stage {} missing for {}",
+                    stage.name(),
+                    kind.name()
+                );
+            }
+        }
+        let qw = stages
+            .get("get")
+            .and_then(|s| s.get("queue_wait"))
+            .expect("get queue_wait histogram");
+        assert_eq!(qw.get("count").and_then(JsonValue::as_u64), Some(2));
+        assert!(qw.get("p99").is_some(), "stage summaries carry quantiles");
+        let slo = v.get("slo_violations").expect("SLO burn counters");
+        assert_eq!(slo.get("get").and_then(JsonValue::as_u64), Some(1));
+        assert_eq!(slo.get("put").and_then(JsonValue::as_u64), Some(0));
+        let flight = v.get("flight").expect("flight recorder health");
+        assert!(flight.get("slo_ns").is_some());
+        assert!(flight
+            .get("captured_total")
             .and_then(JsonValue::as_u64)
             .is_some());
     }

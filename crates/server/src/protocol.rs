@@ -13,12 +13,15 @@
 //!   STATS    (0x04)
 //!   SHUTDOWN (0x05)
 //!   METRICS  (0x06)
+//!   EXEMPLARS(0x07)
 //!
 //! response := u32 len | status:u8 payload
 //!   OK       (0x00)  GET: page bytes; PUT/SHUTDOWN: empty;
 //!                    SCAN: count:u32 checksum:u64 (FNV-1a over contents);
 //!                    STATS: UTF-8 JSON;
-//!                    METRICS: UTF-8 Prometheus-style text exposition
+//!                    METRICS: UTF-8 Prometheus-style text exposition;
+//!                    EXEMPLARS: UTF-8 Chrome-trace JSON (flight
+//!                    recorder's captured slow/failed requests)
 //!   BUSY     (0x01)  shed by admission control (queue full)
 //!   DROPPED  (0x02)  deadline exceeded while queued
 //!   ERR      (0x03)  UTF-8 message
@@ -64,6 +67,9 @@ pub enum Request {
     Shutdown,
     /// Fetch the server's metrics as Prometheus-style text exposition.
     Metrics,
+    /// Fetch the flight recorder's captured exemplars as Chrome-trace
+    /// JSON (loadable in Perfetto).
+    Exemplars,
 }
 
 /// A server reply.
@@ -102,6 +108,7 @@ const OP_SCAN: u8 = 0x03;
 const OP_STATS: u8 = 0x04;
 const OP_SHUTDOWN: u8 = 0x05;
 const OP_METRICS: u8 = 0x06;
+const OP_EXEMPLARS: u8 = 0x07;
 
 const ST_OK: u8 = 0x00;
 const ST_BUSY: u8 = 0x01;
@@ -136,6 +143,7 @@ impl Request {
             Request::Stats => vec![OP_STATS],
             Request::Shutdown => vec![OP_SHUTDOWN],
             Request::Metrics => vec![OP_METRICS],
+            Request::Exemplars => vec![OP_EXEMPLARS],
         }
     }
 
@@ -149,6 +157,7 @@ impl Request {
             Request::Stats => OP_STATS,
             Request::Shutdown => OP_SHUTDOWN,
             Request::Metrics => OP_METRICS,
+            Request::Exemplars => OP_EXEMPLARS,
         }
     }
 
@@ -187,7 +196,10 @@ impl Request {
             OP_STATS if rest.is_empty() => Ok(Request::Stats),
             OP_SHUTDOWN if rest.is_empty() => Ok(Request::Shutdown),
             OP_METRICS if rest.is_empty() => Ok(Request::Metrics),
-            OP_STATS | OP_SHUTDOWN | OP_METRICS => Err(ProtocolError("unexpected payload".into())),
+            OP_EXEMPLARS if rest.is_empty() => Ok(Request::Exemplars),
+            OP_STATS | OP_SHUTDOWN | OP_METRICS | OP_EXEMPLARS => {
+                Err(ProtocolError("unexpected payload".into()))
+            }
             other => Err(ProtocolError(format!("unknown opcode 0x{other:02x}"))),
         }
     }
@@ -418,6 +430,7 @@ mod tests {
             Request::Stats,
             Request::Shutdown,
             Request::Metrics,
+            Request::Exemplars,
         ];
         for req in cases {
             assert_eq!(req.encode()[0], req.opcode());
@@ -448,6 +461,7 @@ mod tests {
         assert!(Request::decode(&[OP_SCAN, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0]).is_err());
         assert!(Request::decode(&[OP_STATS, 1]).is_err());
         assert!(Request::decode(&[OP_METRICS, 1]).is_err());
+        assert!(Request::decode(&[OP_EXEMPLARS, 1]).is_err());
         assert!(Response::decode(&[0xEE]).is_err());
         // SCAN len over the cap.
         let mut b = vec![OP_SCAN];

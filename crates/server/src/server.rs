@@ -31,7 +31,7 @@ use crate::backpressure::{
     admission_queue, AdmissionPolicy, AdmissionQueue, Admitted, Popped, WorkQueue,
 };
 use crate::eventloop::{self, Completions};
-use crate::metrics::{OpKind, PoolCounters, ServerMetrics};
+use crate::metrics::{OpKind, PoolCounters, ServerMetrics, Stage};
 use crate::protocol::{self, fnv1a, Request, Response};
 
 /// Which concurrency model serves client sockets.
@@ -111,6 +111,12 @@ pub struct ServerConfig {
     /// Event-loop mode only: requests a single connection may have in
     /// flight before the loop stops reading from it.
     pub max_pipeline: usize,
+    /// Latency SLO in microseconds (`--slo-us`). When set, tracing is
+    /// enabled, the flight recorder arms, and any request slower than
+    /// this (or ending `ERR_IO`) is captured as an exemplar fetchable
+    /// via `EXEMPLARS`. `None` keeps the recorder off and tracing
+    /// untouched.
+    pub slo_us: Option<u64>,
 }
 
 impl Default for ServerConfig {
@@ -129,8 +135,35 @@ impl Default for ServerConfig {
             fault_plan: None,
             mode: FrontendMode::Threaded,
             max_pipeline: 64,
+            slo_us: None,
         }
     }
+}
+
+/// Request-scoped identity, minted at admission and carried with the
+/// job so every layer (queue, worker, pool, commit, reply) can stamp
+/// its trace events and stage samples with the owning request.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct RequestCtx {
+    /// Process-unique request id (never 0 — 0 means "unattributed").
+    pub(crate) id: u64,
+    /// The owning connection's id.
+    pub(crate) conn: u64,
+    /// The request's opcode byte.
+    pub(crate) opcode: u8,
+}
+
+static NEXT_REQUEST_ID: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(1);
+static NEXT_CONN_ID: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(1);
+
+/// Mint a process-unique request id (monotonic, starts at 1).
+pub(crate) fn next_request_id() -> u64 {
+    NEXT_REQUEST_ID.fetch_add(1, Ordering::Relaxed)
+}
+
+/// Mint a process-unique connection id (monotonic, starts at 1).
+pub(crate) fn next_conn_id() -> u64 {
+    NEXT_CONN_ID.fetch_add(1, Ordering::Relaxed)
 }
 
 /// Build a replacement manager from a spec string:
@@ -174,6 +207,7 @@ pub fn build_manager_with(
 pub(crate) struct Job {
     pub(crate) req: Request,
     pub(crate) admitted: Instant,
+    pub(crate) ctx: RequestCtx,
     pub(crate) reply: ReplyTo,
 }
 
@@ -235,6 +269,15 @@ pub struct Server {
     acceptor: Option<JoinHandle<()>>,
     workers: Vec<JoinHandle<()>>,
     conns: Arc<Mutex<Vec<JoinHandle<()>>>>,
+    /// Ring-trim janitor (present when `slo_us` armed the flight
+    /// recorder): the trace rings drop-and-count on overflow, so a
+    /// steady-state server would stop capturing NEW events once they
+    /// fill. The janitor keeps a recent window live by discarding
+    /// events older than ~1s.
+    janitor: Option<JoinHandle<()>>,
+    /// True when this server armed the flight recorder (and therefore
+    /// owns disarming it on join).
+    armed_flight: bool,
 }
 
 impl Server {
@@ -265,6 +308,28 @@ impl Server {
             pages: config.pages,
             depth: admission.depth_gauge(),
         });
+
+        let mut janitor = None;
+        let armed_flight = config.slo_us.is_some();
+        if let Some(slo_us) = config.slo_us {
+            bpw_trace::flight::arm(
+                slo_us.saturating_mul(1_000),
+                bpw_trace::flight::DEFAULT_EXEMPLAR_CAPACITY,
+            );
+            bpw_trace::set_enabled(true);
+            let stop = Arc::clone(&shared.stop);
+            janitor = Some(
+                thread::Builder::new()
+                    .name("bpw-trace-janitor".into())
+                    .spawn(move || {
+                        while !stop.load(Ordering::SeqCst) {
+                            thread::sleep(Duration::from_millis(25));
+                            bpw_trace::trim_older_than(1_000_000_000);
+                        }
+                    })
+                    .expect("spawn trace janitor"),
+            );
+        }
 
         let workers = (0..config.workers.max(1))
             .map(|i| {
@@ -314,6 +379,8 @@ impl Server {
             acceptor: Some(acceptor),
             workers,
             conns,
+            janitor,
+            armed_flight,
         })
     }
 
@@ -384,6 +451,16 @@ impl Server {
         for w in std::mem::take(&mut self.workers) {
             let _ = w.join();
         }
+        if let Some(j) = self.janitor.take() {
+            let _ = j.join();
+        }
+        if self.armed_flight {
+            // This server turned the recorder (and tracing) on; leave
+            // the process the way we found it so tests sharing the
+            // global collector don't observe a stray armed recorder.
+            bpw_trace::flight::disarm();
+            bpw_trace::set_enabled(false);
+        }
     }
 }
 
@@ -429,10 +506,13 @@ fn serve_connection(
     addr: SocketAddr,
 ) -> io::Result<()> {
     stream.set_nodelay(true).ok();
+    let conn_id = next_conn_id();
     let mut reader = BufReader::new(stream.try_clone()?);
     let mut writer = BufWriter::new(stream);
     let mut buf = Vec::new();
     while protocol::read_frame(&mut reader, &mut buf)? {
+        // The request clock starts when its frame is fully read — queue
+        // wait and every later stage are measured against this instant.
         let admitted = Instant::now();
         let req = match Request::decode(&buf) {
             Ok(req) => req,
@@ -442,6 +522,7 @@ fn serve_connection(
                 break; // framing is suspect; drop the connection
             }
         };
+        let decode_ns = admitted.elapsed().as_nanos() as u64;
         match req {
             Request::Stats => {
                 let resp = Response::Ok(stats_json(shared).into_bytes());
@@ -450,6 +531,11 @@ fn serve_connection(
             }
             Request::Metrics => {
                 let resp = Response::Ok(metrics_text(shared).into_bytes());
+                protocol::write_frame(&mut writer, &resp.encode())?;
+                continue;
+            }
+            Request::Exemplars => {
+                let resp = Response::Ok(bpw_trace::flight::exemplars_json().into_bytes());
                 protocol::write_frame(&mut writer, &resp.encode())?;
                 continue;
             }
@@ -469,11 +555,21 @@ fn serve_connection(
             Request::Scan { .. } => OpKind::Scan,
             _ => unreachable!("handled above"),
         };
+        let ctx = RequestCtx {
+            id: next_request_id(),
+            conn: conn_id,
+            opcode: req.opcode(),
+        };
+        shared.metrics.record_stage(kind, Stage::Decode, decode_ns);
+        // Everything this thread records from here to the reply belongs
+        // to this request; the worker stamps its own thread separately.
+        bpw_trace::set_current_request(ctx.id);
         bpw_trace::instant(bpw_trace::EventKind::ServerEnqueue, req.opcode() as u64);
         let (reply_tx, reply_rx) = channel::bounded(1);
         let resp = match admission.submit(Job {
             req,
             admitted,
+            ctx,
             reply: ReplyTo::Channel(reply_tx),
         }) {
             Admitted::Queued => reply_rx
@@ -482,19 +578,29 @@ fn serve_connection(
             Admitted::Shed => Response::Busy,
             Admitted::Closed => Response::Err("server is shutting down".into()),
         };
+        let flush_t0 = Instant::now();
         protocol::write_frame(&mut writer, &resp.encode())?;
-        let status = match &resp {
-            Response::Ok(_) => 0u64,
+        shared.metrics.record_stage(
+            kind,
+            Stage::ReplyFlush,
+            flush_t0.elapsed().as_nanos() as u64,
+        );
+        let status: u8 = match &resp {
+            Response::Ok(_) => 0,
             Response::Busy => 1,
             Response::Dropped => 2,
             Response::Err(_) => 3,
             Response::IoError(_) => 4,
         };
-        bpw_trace::span_backdated(
-            bpw_trace::EventKind::ServerReply,
-            admitted.elapsed().as_nanos() as u64,
-            status,
-        );
+        let total_ns = admitted.elapsed().as_nanos() as u64;
+        // The reply span must land in the ring BEFORE a flight capture
+        // snapshots it, or the exemplar's chain ends at the worker.
+        bpw_trace::span_backdated(bpw_trace::EventKind::ServerReply, total_ns, status as u64);
+        if bpw_trace::flight::should_capture(total_ns, status) {
+            shared.metrics.record_slo_violation(kind);
+            bpw_trace::flight::capture(ctx.id, ctx.conn, ctx.opcode, status, total_ns);
+        }
+        bpw_trace::set_current_request(0);
         match resp {
             Response::Ok(_) => shared.metrics.record_ok(kind, admitted),
             Response::Busy => shared.metrics.busy.incr(),
@@ -511,6 +617,7 @@ fn worker_loop(shared: &Shared, work: &WorkQueue<Job>) {
     loop {
         match work.pop(Duration::from_millis(50)) {
             Popped::Item(job) => {
+                bpw_trace::set_current_request(job.ctx.id);
                 let waited_ns = job.admitted.elapsed().as_nanos() as u64;
                 shared.metrics.queue_wait_ns.record(waited_ns);
                 bpw_trace::span_backdated(
@@ -518,8 +625,46 @@ fn worker_loop(shared: &Shared, work: &WorkQueue<Job>) {
                     waited_ns,
                     job.req.opcode() as u64,
                 );
+                let kind = op_kind(&job.req);
+                if let Some(kind) = kind {
+                    shared
+                        .metrics
+                        .record_stage(kind, Stage::QueueWait, waited_ns);
+                }
+                // Fresh stage scratch for this request (an idle-timeout
+                // flush may have left commit time behind on this thread).
+                bpw_trace::stage::reset();
+                let span = bpw_trace::span_start();
+                let exec_t0 = Instant::now();
                 let resp = execute(&mut session, shared, &job.req);
+                let exec_ns = exec_t0.elapsed().as_nanos() as u64;
+                bpw_trace::span_end(
+                    bpw_trace::EventKind::PinOrMiss,
+                    span,
+                    job.req.opcode() as u64,
+                );
+                if let Some(kind) = kind {
+                    let scratch = bpw_trace::stage::take();
+                    // Whatever execute() spent beyond attributed miss
+                    // I/O and batch commits is the hit path's own cost.
+                    let pin_hit =
+                        exec_ns.saturating_sub(scratch.miss_io_ns + scratch.batch_commit_ns);
+                    shared.metrics.record_stage(kind, Stage::PinHit, pin_hit);
+                    if scratch.miss_io_ns > 0 {
+                        shared
+                            .metrics
+                            .record_stage(kind, Stage::MissIo, scratch.miss_io_ns);
+                    }
+                    if scratch.batch_commit_ns > 0 {
+                        shared.metrics.record_stage(
+                            kind,
+                            Stage::BatchCommit,
+                            scratch.batch_commit_ns,
+                        );
+                    }
+                }
                 job.reply.send(resp);
+                bpw_trace::set_current_request(0);
             }
             Popped::Expired(job) => {
                 job.reply.send(Response::Dropped);
@@ -531,6 +676,17 @@ fn worker_loop(shared: &Shared, work: &WorkQueue<Job>) {
             }
             Popped::Disconnected => break,
         }
+    }
+}
+
+/// The latency bucket a queued request belongs to (`None` for control
+/// requests, which never reach the queue).
+pub(crate) fn op_kind(req: &Request) -> Option<OpKind> {
+    match req {
+        Request::Get { .. } => Some(OpKind::Get),
+        Request::Put { .. } => Some(OpKind::Put),
+        Request::Scan { .. } => Some(OpKind::Scan),
+        _ => None,
     }
 }
 
@@ -588,7 +744,7 @@ fn execute(
             payload.extend_from_slice(&checksum.to_le_bytes());
             Response::Ok(payload)
         }
-        Request::Stats | Request::Shutdown | Request::Metrics => {
+        Request::Stats | Request::Shutdown | Request::Metrics | Request::Exemplars => {
             Response::Err("control requests are not executed by workers".into())
         }
     }
@@ -764,6 +920,58 @@ pub(crate) fn metrics_text(shared: &Shared) -> String {
         "bpw_trace_threads",
         "Threads that have recorded at least one trace event.",
         bpw_trace::thread_count() as f64,
+    );
+    // Per-opcode stage attribution: one histogram metric, op × stage
+    // labeled series.
+    let mut stage_cells: Vec<([(&str, &str); 2], &bpw_metrics::Histogram)> = Vec::new();
+    for kind in OpKind::ALL {
+        for stage in Stage::ALL {
+            stage_cells.push((
+                [("op", kind.name()), ("stage", stage.name())],
+                m.stages(kind).get(stage),
+            ));
+        }
+    }
+    let stage_series: Vec<(&[(&str, &str)], &bpw_metrics::Histogram)> =
+        stage_cells.iter().map(|(l, h)| (&l[..], *h)).collect();
+    w.labeled_histograms(
+        "bpw_stage_latency_ns",
+        "Request latency attributed to one pipeline stage, per opcode.",
+        &stage_series,
+    );
+    let slo_series: Vec<(&str, u64)> = OpKind::ALL
+        .iter()
+        .map(|k| (k.name(), m.slo_violations[k.index()].get()))
+        .collect();
+    w.labeled_counter(
+        "bpw_slo_violations_total",
+        "Requests that exceeded --slo-us or ended ERR_IO, per opcode.",
+        "op",
+        &slo_series,
+    );
+    // Per-ring drop counters: which recording thread is losing events.
+    let drops = bpw_trace::ring_drops();
+    let tid_labels: Vec<String> = drops.iter().map(|(tid, _)| tid.to_string()).collect();
+    let drop_series: Vec<(&str, u64)> = tid_labels
+        .iter()
+        .zip(&drops)
+        .map(|(l, (_, d))| (l.as_str(), *d))
+        .collect();
+    w.labeled_counter(
+        "bpw_trace_ring_dropped_events_total",
+        "Trace events lost to ring overflow, per recording thread.",
+        "tid",
+        &drop_series,
+    )
+    .counter(
+        "bpw_exemplars_captured_total",
+        "Slow or ERR_IO requests captured by the flight recorder.",
+        bpw_trace::flight::captured_total(),
+    )
+    .gauge(
+        "bpw_flight_slo_ns",
+        "Armed flight-recorder SLO in nanoseconds (0 = disarmed).",
+        bpw_trace::flight::slo_ns() as f64,
     );
     w.finish()
 }

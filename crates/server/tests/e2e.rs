@@ -360,6 +360,14 @@ fn metrics_exposition_and_enriched_stats(mode: FrontendMode) {
     assert!(text.contains("bpw_short_writes_total"));
     assert!(text.contains("bpw_pipeline_depth_count"));
     assert!(text.contains("bpw_ready_events_per_wakeup_count"));
+    // Stage attribution, SLO burn, per-ring drop, and flight-recorder
+    // series are always exposed (zero-valued while unarmed).
+    assert!(text.contains("bpw_stage_latency_ns_count{op=\"get\",stage=\"queue_wait\"}"));
+    assert!(text.contains("bpw_stage_latency_ns_count{op=\"get\",stage=\"pin_hit\"}"));
+    assert!(text.contains("bpw_slo_violations_total{op=\"get\"}"));
+    assert!(text.contains("bpw_trace_ring_dropped_events_total"));
+    assert!(text.contains("bpw_exemplars_captured_total"));
+    assert!(text.contains("bpw_flight_slo_ns"));
 
     let stats = client.stats().expect("STATS reply");
     let v = JsonValue::parse(&stats).expect("STATS JSON");
@@ -387,6 +395,48 @@ fn metrics_exposition_and_enriched_stats(mode: FrontendMode) {
     );
     assert!(v.get("free_list_steals").is_some());
     assert!(v.get("trace").and_then(|t| t.get("enabled")).is_some());
+    // Stage histograms in STATS: the 64 GETs above must have left
+    // samples (with quantile summaries) in every always-on stage.
+    let get_stages = v
+        .get("stages")
+        .and_then(|s| s.get("get"))
+        .expect("per-op stage sub-object");
+    for stage in ["decode", "queue_wait", "pin_hit", "reply_flush"] {
+        assert!(
+            get_stages
+                .get(stage)
+                .and_then(|h| h.get("count"))
+                .and_then(JsonValue::as_u64)
+                .is_some_and(|c| c >= 64),
+            "stage {stage} must have a sample per GET: {stats}"
+        );
+    }
+    assert!(
+        get_stages
+            .get("queue_wait")
+            .and_then(|h| h.get("p999"))
+            .is_some(),
+        "stage summaries carry p999: {stats}"
+    );
+    // 64 cold fetches must attribute some miss I/O.
+    assert!(
+        get_stages
+            .get("miss_io")
+            .and_then(|h| h.get("count"))
+            .and_then(JsonValue::as_u64)
+            .is_some_and(|c| c >= 1),
+        "cold GETs must land miss_io samples: {stats}"
+    );
+    // Presence only: the recorder is process-global, so another test
+    // may have it armed while this server replies.
+    assert!(
+        v.get("slo_violations")
+            .and_then(|s| s.get("get"))
+            .and_then(JsonValue::as_u64)
+            .is_some(),
+        "SLO burn counters must be present: {stats}"
+    );
+    assert!(v.get("flight").and_then(|f| f.get("slo_ns")).is_some());
     // Connection gauge: this client is the open connection.
     assert!(
         v.get("connections_open")
@@ -497,6 +547,113 @@ fn traced_requests_leave_server_events(mode: FrontendMode) {
     }
     drop(client);
     server.join();
+}
+
+/// The flight-recorder acceptance check: a server armed with a 1us SLO
+/// treats every request as a violation; `EXEMPLARS` must return valid
+/// Chrome-trace JSON in which at least one captured request id owns the
+/// full causal chain — queue wait (`server_dequeue`), `pin_or_miss`,
+/// and `server_reply` — and STATS must burn the matching SLO counters.
+fn flight_recorder_captures_slow_request_span_chains(mode: FrontendMode) {
+    let _gate = TRACE_GATE.lock().unwrap();
+    bpw_trace::clear();
+    bpw_trace::flight::clear();
+    let server = Server::start(ServerConfig {
+        workers: 2,
+        queue_capacity: 64,
+        policy: AdmissionPolicy::Block,
+        frames: 64,
+        page_size: PAGE_SIZE,
+        pages: PAGES,
+        manager: "wrapped-2q".into(),
+        mode,
+        slo_us: Some(1),
+        ..ServerConfig::default()
+    })
+    .expect("server start");
+    let mut client = Client::connect(server.addr()).expect("connect");
+    for page in 0..32u64 {
+        assert!(matches!(client.get(page).unwrap(), Response::Ok(_)));
+    }
+
+    let json = client.exemplars().expect("EXEMPLARS reply");
+    let v = JsonValue::parse(&json).expect("EXEMPLARS must be valid JSON");
+    let Some(JsonValue::Arr(events)) = v.get("traceEvents") else {
+        panic!("EXEMPLARS lacks a traceEvents array: {json}");
+    };
+    assert!(!events.is_empty(), "armed recorder captured no spans");
+    // Chrome-trace validity + request attribution: every event carries
+    // name/ph/ts and a non-zero args.req stamp.
+    let mut chains: HashMap<u64, Vec<String>> = HashMap::new();
+    for e in events {
+        assert!(
+            e.get("ph").is_some() && e.get("ts").is_some(),
+            "malformed trace event: {json}"
+        );
+        let req = e
+            .get("args")
+            .and_then(|a| a.get("req"))
+            .and_then(JsonValue::as_u64)
+            .expect("every exemplar event must carry args.req");
+        assert!(req > 0, "request ids start at 1");
+        let name = e
+            .get("name")
+            .and_then(JsonValue::as_str)
+            .expect("event name")
+            .to_string();
+        chains.entry(req).or_default().push(name);
+    }
+    assert!(
+        chains.values().any(|names| {
+            ["server_dequeue", "pin_or_miss", "server_reply"]
+                .iter()
+                .all(|want| names.iter().any(|n| n == want))
+        }),
+        "no request id owns the full queue-wait + pin-or-miss + reply chain: {chains:?}"
+    );
+    let index = v
+        .get("otherData")
+        .and_then(|o| o.get("exemplars"))
+        .expect("exemplar index");
+    let JsonValue::Arr(index) = index else {
+        panic!("exemplar index must be an array: {json}")
+    };
+    assert!(!index.is_empty());
+    assert!(index.iter().all(|ex| ex
+        .get("request_id")
+        .and_then(JsonValue::as_u64)
+        .is_some_and(|r| r > 0)));
+
+    // STATS agrees: every OK GET blew the 1us budget.
+    let stats = client.stats().expect("stats");
+    let sv = JsonValue::parse(&stats).unwrap();
+    assert!(
+        sv.get("slo_violations")
+            .and_then(|s| s.get("get"))
+            .and_then(JsonValue::as_u64)
+            .is_some_and(|n| n >= 32),
+        "every GET must burn the 1us SLO: {stats}"
+    );
+    assert!(
+        sv.get("flight")
+            .and_then(|f| f.get("captured_total"))
+            .and_then(JsonValue::as_u64)
+            .is_some_and(|n| n >= 32),
+        "every violation must be captured: {stats}"
+    );
+
+    // METRICS exposes the burn and capture counters.
+    let text = client.metrics().expect("metrics");
+    assert!(text.contains("bpw_exemplars_captured_total"));
+    assert!(text.contains("bpw_slo_violations_total{op=\"get\"}"));
+
+    drop(client);
+    server.join();
+    // join() disarms the recorder and disables tracing; leave no
+    // exemplars behind for other tests either.
+    bpw_trace::flight::clear();
+    bpw_trace::clear();
+    assert_eq!(bpw_trace::flight::slo_ns(), 0, "join must disarm");
 }
 
 /// Pipelined requests on one connection: the responses come back
@@ -718,6 +875,7 @@ both_frontends!(
     metrics_exposition_and_enriched_stats,
     combining_server_serves_correct_data,
     traced_requests_leave_server_events,
+    flight_recorder_captures_slow_request_span_chains,
     pipelined_responses_arrive_in_request_order,
     slowloris_client_cannot_stall_others,
     mid_request_disconnect_leaks_nothing,

@@ -14,7 +14,7 @@ use bpw_metrics::json::{escape_str_into, JsonObject};
 use crate::event::TraceEvent;
 
 /// Render one event as a Chrome trace-event object.
-fn event_json(e: &TraceEvent) -> String {
+pub(crate) fn event_json(e: &TraceEvent) -> String {
     let mut o = JsonObject::new();
     o.field_str("name", e.kind.name())
         .field_str("cat", "bpw")
@@ -30,6 +30,9 @@ fn event_json(e: &TraceEvent) -> String {
     }
     let mut args = JsonObject::new();
     args.field_u64(e.kind.arg_name(), e.arg);
+    if e.req != 0 {
+        args.field_u64("req", e.req);
+    }
     o.field_raw("args", &args.finish());
     o.finish()
 }
@@ -76,6 +79,7 @@ mod tests {
                 start_ns: 1_500,
                 dur_ns: 700,
                 arg: 32,
+                req: 0,
             },
             TraceEvent {
                 kind: EventKind::Eviction,
@@ -83,6 +87,7 @@ mod tests {
                 start_ns: 2_000,
                 dur_ns: 0,
                 arg: 42,
+                req: 77,
             },
         ]
     }
@@ -121,6 +126,14 @@ mod tests {
                 .unwrap()
                 .as_u64(),
             Some(42)
+        );
+
+        // Request attribution: stamped events carry args.req, the
+        // unattributed event omits it rather than emitting req:0.
+        assert!(span.get("args").unwrap().get("req").is_none());
+        assert_eq!(
+            inst.get("args").unwrap().get("req").unwrap().as_u64(),
+            Some(77)
         );
     }
 

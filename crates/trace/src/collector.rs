@@ -38,6 +38,25 @@ fn collector() -> &'static Collector {
 
 thread_local! {
     static LOCAL_RING: std::cell::OnceCell<Arc<Ring>> = const { std::cell::OnceCell::new() };
+    /// The request id the calling thread is currently working for
+    /// (0 = none). Every recorded event is stamped with it, so request
+    /// attribution costs one thread-local read on the enabled path and
+    /// nothing at all while tracing is off.
+    static CURRENT_REQUEST: std::cell::Cell<u64> = const { std::cell::Cell::new(0) };
+}
+
+/// Install `id` as the calling thread's current request: every event
+/// this thread records until the next call carries it. Pass 0 to
+/// return the thread to unattributed recording.
+#[inline]
+pub fn set_current_request(id: u64) {
+    CURRENT_REQUEST.with(|c| c.set(id));
+}
+
+/// The calling thread's current request id (0 = none).
+#[inline]
+pub fn current_request() -> u64 {
+    CURRENT_REQUEST.with(|c| c.get())
 }
 
 /// Is tracing on? One relaxed atomic load — the full record-path cost
@@ -90,6 +109,7 @@ pub fn record(kind: EventKind, start_ns: u64, dur_ns: u64, arg: u64) {
     if !enabled() {
         return;
     }
+    let req = current_request();
     with_local_ring(|ring| {
         ring.push(TraceEvent {
             kind,
@@ -97,6 +117,7 @@ pub fn record(kind: EventKind, start_ns: u64, dur_ns: u64, arg: u64) {
             start_ns,
             dur_ns,
             arg,
+            req,
         })
     });
 }
@@ -141,6 +162,20 @@ pub fn span_backdated(kind: EventKind, dur_ns: u64, arg: u64) {
     record(kind, end.saturating_sub(dur_ns), dur_ns, arg);
 }
 
+/// Finish a span started with [`span_start`], additionally crediting
+/// its duration to the calling thread's per-stage latency scratch (see
+/// [`crate::stage`]). Used by instrumentation sites whose time is a
+/// named request stage (batch commit), so the worker can attribute the
+/// request's total without re-measuring.
+#[inline]
+pub fn span_end_staged(kind: EventKind, start: Option<u64>, arg: u64) {
+    if let Some(start_ns) = start {
+        let dur_ns = now_ns().saturating_sub(start_ns);
+        record(kind, start_ns, dur_ns, arg);
+        crate::stage::add_for_kind(kind, dur_ns);
+    }
+}
+
 /// Drain every thread's ring, returning all buffered events sorted by
 /// start time. Safe to call while recording continues (events recorded
 /// during the drain land in the next one).
@@ -170,6 +205,57 @@ pub fn dropped() -> u64 {
         .expect("trace registry")
         .iter()
         .map(|r| r.drops())
+        .sum()
+}
+
+/// Per-ring overflow counters as `(trace thread id, events dropped)`,
+/// in registration order. A ring that dropped events explains a gap in
+/// any exemplar assembled from it, so exporters surface these
+/// individually rather than only in aggregate.
+pub fn ring_drops() -> Vec<(u32, u64)> {
+    collector()
+        .rings
+        .lock()
+        .expect("trace registry")
+        .iter()
+        .map(|r| (r.tid(), r.drops()))
+        .collect()
+}
+
+/// Copy (without consuming) every buffered event stamped with request
+/// `req`, across all rings, sorted by start time. This is the flight
+/// recorder's capture path: the events stay in place for the next
+/// [`drain`], so capturing an exemplar never steals spans from the
+/// normal export stream. Registry-lock serialized against drains and
+/// trims.
+pub fn snapshot_for_request(req: u64) -> Vec<TraceEvent> {
+    let mut out = Vec::new();
+    let rings = collector().rings.lock().expect("trace registry");
+    let mut scratch = Vec::new();
+    for ring in rings.iter() {
+        scratch.clear();
+        ring.snapshot_into(&mut scratch);
+        out.extend(scratch.iter().copied().filter(|e| e.req == req));
+    }
+    drop(rings);
+    out.sort_by_key(|e| (e.start_ns, e.tid));
+    out
+}
+
+/// Discard buffered events older than `age_ns`. With no steady-state
+/// drainer the drop-don't-overwrite rings would fill and then lose
+/// every *new* event — exactly the ones a flight-recorder capture
+/// needs — so a server with an SLO armed runs this periodically to
+/// keep a bounded recent window live. Returns how many events were
+/// discarded.
+pub fn trim_older_than(age_ns: u64) -> usize {
+    let cutoff = now_ns().saturating_sub(age_ns);
+    collector()
+        .rings
+        .lock()
+        .expect("trace registry")
+        .iter()
+        .map(|r| r.trim_before(cutoff))
         .sum()
 }
 

@@ -59,11 +59,16 @@ pub enum EventKind {
     /// fd, draining completions, and flushing coalesced writes. Arg:
     /// ready events delivered by this `epoll_wait`.
     EpollWakeup,
+    /// A worker executing one request against the buffer pool: the span
+    /// covers every pin — a hit's latch-and-go or a full miss with
+    /// eviction and I/O (which then nests its own `MissIo` span). Arg:
+    /// request opcode.
+    PinOrMiss,
 }
 
 impl EventKind {
     /// Every kind, in declaration order.
-    pub const ALL: [EventKind; 16] = [
+    pub const ALL: [EventKind; 17] = [
         EventKind::LockWait,
         EventKind::LockHold,
         EventKind::BatchCommit,
@@ -80,6 +85,7 @@ impl EventKind {
         EventKind::CombinedCommit,
         EventKind::FreeListSteal,
         EventKind::EpollWakeup,
+        EventKind::PinOrMiss,
     ];
 
     /// Stable snake_case name (Chrome trace `name`, Prometheus label).
@@ -101,6 +107,7 @@ impl EventKind {
             EventKind::CombinedCommit => "combined_commit",
             EventKind::FreeListSteal => "free_list_steal",
             EventKind::EpollWakeup => "epoll_wakeup",
+            EventKind::PinOrMiss => "pin_or_miss",
         }
     }
 
@@ -124,6 +131,7 @@ impl EventKind {
             EventKind::CombinedCommit => "entries",
             EventKind::FreeListSteal => "stripe",
             EventKind::EpollWakeup => "ready_events",
+            EventKind::PinOrMiss => "opcode",
         }
     }
 
@@ -154,6 +162,11 @@ pub struct TraceEvent {
     pub dur_ns: u64,
     /// Kind-specific argument (see [`EventKind::arg_name`]).
     pub arg: u64,
+    /// Owning request id (0 = not attributed to any request). Stamped
+    /// from the recording thread's current-request cell, so every event
+    /// a worker records while executing a request carries that
+    /// request's id — the key the flight recorder groups spans by.
+    pub req: u64,
 }
 
 impl TraceEvent {
@@ -164,6 +177,7 @@ impl TraceEvent {
         start_ns: 0,
         dur_ns: 0,
         arg: 0,
+        req: 0,
     };
 }
 

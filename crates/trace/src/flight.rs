@@ -1,0 +1,271 @@
+//! Tail-latency flight recorder.
+//!
+//! Aggregate histograms say *that* a p999 exists; the flight recorder
+//! says *why*. When a request's end-to-end latency exceeds the armed
+//! SLO — or the request ends in `ERR_IO` — the reply path assembles the
+//! request's span chain out of the per-thread rings (a non-destructive
+//! [`crate::collector::snapshot_for_request`], so the normal export
+//! stream loses nothing) and parks it in a bounded FIFO exemplar
+//! buffer. The server's `EXEMPLARS` opcode renders the buffer as
+//! Chrome trace-event JSON loadable in Perfetto.
+//!
+//! Capture cost is paid only by requests that already blew their
+//! budget: the fast path touches the recorder exactly once, for one
+//! relaxed load of the armed SLO.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use bpw_metrics::json::JsonObject;
+
+use crate::chrome::event_json;
+use crate::collector;
+use crate::event::TraceEvent;
+
+/// Exemplars retained before the oldest is evicted.
+pub const DEFAULT_EXEMPLAR_CAPACITY: usize = 64;
+
+/// The protocol's `ERR_IO` status byte — a reply with this status is
+/// always exemplar-worthy while the recorder is armed, regardless of
+/// latency.
+pub const STATUS_ERR_IO: u8 = 4;
+
+/// Armed SLO in nanoseconds; 0 = recorder off.
+static SLO_NS: AtomicU64 = AtomicU64::new(0);
+static CAPACITY: AtomicUsize = AtomicUsize::new(DEFAULT_EXEMPLAR_CAPACITY);
+/// Exemplars captured since process start (cumulative; eviction does
+/// not decrement).
+static CAPTURED: AtomicU64 = AtomicU64::new(0);
+static BUFFER: Mutex<VecDeque<Exemplar>> = Mutex::new(VecDeque::new());
+
+/// One captured slow (or failed) request: its identity plus every
+/// trace event stamped with its id that was still buffered at reply
+/// time.
+#[derive(Debug, Clone)]
+pub struct Exemplar {
+    /// The request id the span chain is keyed by.
+    pub request_id: u64,
+    /// Connection the request arrived on.
+    pub conn: u64,
+    /// Request opcode (1 GET, 2 PUT, 3 SCAN).
+    pub opcode: u8,
+    /// Response status byte (0 OK … 4 ERR_IO).
+    pub status: u8,
+    /// End-to-end latency, admission to reply.
+    pub total_ns: u64,
+    /// The request's span chain, sorted by start time. May be shorter
+    /// than the request's true history if a ring overflowed (see
+    /// [`crate::collector::ring_drops`]).
+    pub events: Vec<TraceEvent>,
+}
+
+/// Arm the recorder: capture requests slower than `slo_ns` (or ending
+/// in `ERR_IO`), keeping at most `capacity` exemplars.
+pub fn arm(slo_ns: u64, capacity: usize) {
+    CAPACITY.store(capacity.max(1), Ordering::Relaxed);
+    SLO_NS.store(slo_ns, Ordering::Relaxed);
+}
+
+/// Disarm the recorder (buffered exemplars stay fetchable).
+pub fn disarm() {
+    SLO_NS.store(0, Ordering::Relaxed);
+}
+
+/// The armed SLO in nanoseconds (0 = off). One relaxed load — the
+/// whole per-reply cost while nothing is captured.
+#[inline]
+pub fn slo_ns() -> u64 {
+    SLO_NS.load(Ordering::Relaxed)
+}
+
+/// Should a reply with this latency and status be captured?
+#[inline]
+pub fn should_capture(total_ns: u64, status: u8) -> bool {
+    let slo = slo_ns();
+    slo != 0 && (total_ns > slo || status == STATUS_ERR_IO)
+}
+
+/// Assemble and buffer an exemplar for a finished request. The caller
+/// must record the request's `ServerReply` span *before* capturing, so
+/// the reply span is part of the chain.
+pub fn capture(request_id: u64, conn: u64, opcode: u8, status: u8, total_ns: u64) {
+    let events = collector::snapshot_for_request(request_id);
+    let ex = Exemplar {
+        request_id,
+        conn,
+        opcode,
+        status,
+        total_ns,
+        events,
+    };
+    let mut buf = BUFFER.lock().expect("flight buffer");
+    let cap = CAPACITY.load(Ordering::Relaxed);
+    while buf.len() >= cap {
+        buf.pop_front(); // FIFO: the oldest exemplar makes room
+    }
+    buf.push_back(ex);
+    drop(buf);
+    CAPTURED.fetch_add(1, Ordering::Relaxed);
+}
+
+/// Exemplars captured since process start (cumulative).
+pub fn captured_total() -> u64 {
+    CAPTURED.load(Ordering::Relaxed)
+}
+
+/// Exemplars currently buffered, oldest first.
+pub fn exemplars() -> Vec<Exemplar> {
+    BUFFER
+        .lock()
+        .expect("flight buffer")
+        .iter()
+        .cloned()
+        .collect()
+}
+
+/// Discard every buffered exemplar (the cumulative capture counter is
+/// not reset).
+pub fn clear() {
+    BUFFER.lock().expect("flight buffer").clear();
+}
+
+/// Render the buffered exemplars as one Chrome trace-event JSON
+/// document: every exemplar's span chain in a shared `traceEvents`
+/// array (each event's `args.req` names its owner), with an
+/// `otherData.exemplars` index summarizing identity, status, and
+/// latency per capture.
+pub fn exemplars_json() -> String {
+    let exemplars = exemplars();
+    let mut buf = String::with_capacity(1024);
+    buf.push_str("{\"traceEvents\":[");
+    let mut first = true;
+    for ex in &exemplars {
+        for e in &ex.events {
+            if !first {
+                buf.push(',');
+            }
+            first = false;
+            buf.push_str(&event_json(e));
+        }
+    }
+    buf.push_str("],\"displayTimeUnit\":\"ns\",\"otherData\":");
+    let mut index = String::from("[");
+    for (i, ex) in exemplars.iter().enumerate() {
+        if i > 0 {
+            index.push(',');
+        }
+        let mut o = JsonObject::new();
+        o.field_u64("request_id", ex.request_id)
+            .field_u64("conn", ex.conn)
+            .field_u64("opcode", ex.opcode as u64)
+            .field_u64("status", ex.status as u64)
+            .field_u64("total_ns", ex.total_ns)
+            .field_u64("events", ex.events.len() as u64);
+        index.push_str(&o.finish());
+    }
+    index.push(']');
+    let mut other = JsonObject::new();
+    other
+        .field_str("source", "bpw-flight-recorder")
+        .field_u64("slo_ns", slo_ns())
+        .field_u64("captured_total", captured_total())
+        .field_raw("exemplars", &index);
+    buf.push_str(&other.finish());
+    buf.push('}');
+    buf
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bpw_metrics::JsonValue;
+
+    /// The recorder is process-global; tests that arm it must not
+    /// overlap.
+    static GATE: Mutex<()> = Mutex::new(());
+
+    #[test]
+    fn capture_predicate_honours_slo_and_err_io() {
+        let _g = GATE.lock().unwrap();
+        disarm();
+        assert!(!should_capture(u64::MAX, STATUS_ERR_IO), "disarmed: never");
+        arm(1_000, 4);
+        assert!(!should_capture(999, 0));
+        assert!(!should_capture(1_000, 0), "exactly at SLO is within budget");
+        assert!(should_capture(1_001, 0));
+        assert!(should_capture(1, STATUS_ERR_IO), "ERR_IO always captures");
+        disarm();
+    }
+
+    #[test]
+    fn buffer_is_bounded_and_evicts_oldest_first() {
+        let _g = GATE.lock().unwrap();
+        clear();
+        arm(1, 3);
+        for id in 1..=5u64 {
+            capture(id, 7, 1, 0, 10_000 + id);
+        }
+        let got = exemplars();
+        assert_eq!(
+            got.iter().map(|e| e.request_id).collect::<Vec<_>>(),
+            vec![3, 4, 5],
+            "capacity 3 keeps the newest three, oldest evicted first"
+        );
+        assert!(captured_total() >= 5);
+        clear();
+        assert!(exemplars().is_empty());
+        disarm();
+    }
+
+    #[test]
+    fn exemplars_json_is_valid_chrome_trace_with_request_stamps() {
+        let _g = GATE.lock().unwrap();
+        clear();
+        arm(1, 8);
+        // Record real events under a request id so the snapshot path is
+        // exercised end to end.
+        let req_id = 0x00F1_1E77_u64;
+        collector::set_current_request(req_id);
+        crate::set_enabled(true);
+        crate::record(crate::EventKind::ServerDequeue, crate::now_ns(), 120, 1);
+        crate::record(crate::EventKind::ServerReply, crate::now_ns(), 450, 0);
+        crate::set_enabled(false);
+        collector::set_current_request(0);
+        capture(req_id, 3, 1, 0, 450);
+
+        let text = exemplars_json();
+        let v = JsonValue::parse(&text).expect("exemplars must be valid JSON");
+        let JsonValue::Arr(events) = v.get("traceEvents").expect("traceEvents") else {
+            panic!("traceEvents must be an array");
+        };
+        assert!(events.len() >= 2, "both spans captured: {text}");
+        for e in events {
+            assert_eq!(
+                e.get("args")
+                    .and_then(|a| a.get("req"))
+                    .and_then(JsonValue::as_u64),
+                Some(req_id),
+                "every exemplar event carries its owning request id"
+            );
+            assert!(e.get("name").is_some() && e.get("ph").is_some() && e.get("ts").is_some());
+        }
+        let index = v
+            .get("otherData")
+            .and_then(|o| o.get("exemplars"))
+            .expect("index");
+        let JsonValue::Arr(index) = index else {
+            panic!("exemplar index must be an array")
+        };
+        assert_eq!(
+            index[0].get("request_id").and_then(JsonValue::as_u64),
+            Some(req_id)
+        );
+        assert_eq!(
+            index[0].get("total_ns").and_then(JsonValue::as_u64),
+            Some(450)
+        );
+        clear();
+        disarm();
+    }
+}

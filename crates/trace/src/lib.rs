@@ -17,6 +17,13 @@
 //!   overwriting: exporters report exactly how much is missing.
 //! * Draining ([`drain`]) is deferred to exporters, off the hot path.
 //!
+//! Events are **request-attributed**: each carries the recording
+//! thread's current request id ([`set_current_request`]), set once per
+//! request by whichever thread owns it. On top of that ride the
+//! per-stage latency scratch ([`stage`]) and the tail-latency flight
+//! recorder ([`flight`]), which snapshots a slow request's span chain
+//! out of the rings without consuming it.
+//!
 //! Two exporters consume the stream:
 //!
 //! * [`chrome::chrome_trace_json`] — Chrome trace-event JSON, loadable
@@ -28,13 +35,16 @@
 pub mod chrome;
 pub mod collector;
 pub mod event;
+pub mod flight;
 pub mod prom;
 pub mod ring;
+pub mod stage;
 
 pub use chrome::{chrome_trace_json, write_chrome_trace};
 pub use collector::{
-    buffered, clear, drain, dropped, enabled, instant, now_ns, record, set_enabled,
-    set_ring_capacity, span_backdated, span_end, span_start, thread_count, DEFAULT_RING_CAPACITY,
+    buffered, clear, current_request, drain, dropped, enabled, instant, now_ns, record, ring_drops,
+    set_current_request, set_enabled, set_ring_capacity, snapshot_for_request, span_backdated,
+    span_end, span_end_staged, span_start, thread_count, trim_older_than, DEFAULT_RING_CAPACITY,
 };
 pub use event::{EventKind, TraceEvent};
 pub use prom::{validate_exposition, PromWriter};

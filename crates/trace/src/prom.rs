@@ -120,6 +120,38 @@ impl PromWriter {
         self
     }
 
+    /// One histogram metric with several labeled series (e.g. the same
+    /// per-stage latency histogram for each opcode). Emits one header,
+    /// then cumulative `_bucket` samples, `_sum`, and `_count` per
+    /// series, with that series' labels ahead of the `le` bucket label.
+    pub fn labeled_histograms(
+        &mut self,
+        name: &str,
+        help: &str,
+        series: &[(&[(&str, &str)], &Histogram)],
+    ) -> &mut Self {
+        self.header(name, help, "histogram");
+        for (labels, h) in series {
+            let mut cumulative = 0u64;
+            for (_, ceil, count) in h.buckets() {
+                if count == 0 {
+                    continue;
+                }
+                cumulative += count;
+                let ceil = ceil.to_string();
+                let mut with_le = labels.to_vec();
+                with_le.push(("le", ceil.as_str()));
+                self.sample(&format!("{name}_bucket"), &with_le, &cumulative.to_string());
+            }
+            let mut with_le = labels.to_vec();
+            with_le.push(("le", "+Inf"));
+            self.sample(&format!("{name}_bucket"), &with_le, &h.count().to_string());
+            self.sample(&format!("{name}_sum"), labels, &h.sum().to_string());
+            self.sample(&format!("{name}_count"), labels, &h.count().to_string());
+        }
+        self
+    }
+
     /// A [`LockSnapshot`] as six labeled counters under a shared
     /// `lock="<label>"` series. Call once per lock with the same
     /// `prefix` to build multi-lock output; headers repeat per call,
@@ -228,6 +260,31 @@ mod tests {
         assert!(text.contains("bpw_latency_ns_sum 107"));
         assert!(text.contains("bpw_latency_ns_count 5"));
         assert!(validate_exposition(&text).unwrap() >= 6);
+    }
+
+    #[test]
+    fn labeled_histogram_series_share_one_metric() {
+        let slow = Histogram::new();
+        slow.record(100);
+        let fast = Histogram::new();
+        fast.record(1);
+        fast.record(2);
+        let mut w = PromWriter::new();
+        w.labeled_histograms(
+            "bpw_stage_ns",
+            "Per-stage latency.",
+            &[
+                (&[("op", "get"), ("stage", "miss_io")], &slow),
+                (&[("op", "put"), ("stage", "pin_hit")], &fast),
+            ],
+        );
+        let text = w.finish();
+        assert_eq!(text.matches("# TYPE bpw_stage_ns histogram").count(), 1);
+        assert!(text.contains("bpw_stage_ns_bucket{op=\"get\",stage=\"miss_io\",le=\"127\"} 1"));
+        assert!(text.contains("bpw_stage_ns_bucket{op=\"get\",stage=\"miss_io\",le=\"+Inf\"} 1"));
+        assert!(text.contains("bpw_stage_ns_count{op=\"put\",stage=\"pin_hit\"} 2"));
+        assert!(text.contains("bpw_stage_ns_sum{op=\"get\",stage=\"miss_io\"} 100"));
+        assert!(validate_exposition(&text).unwrap() >= 8);
     }
 
     #[test]
