@@ -21,7 +21,7 @@ fn bench_commit(c: &mut Criterion) {
             batch_threshold: batch, // commit exactly at `batch`
             batching: true,
             prefetching: true,
-            combining: false,
+            combining: bpw_core::Combining::Off,
         };
         let wrapper = BpWrapper::new(Lirs::new(FRAMES), cfg);
         wrapper.with_locked(|p| {

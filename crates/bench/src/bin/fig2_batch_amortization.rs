@@ -71,7 +71,7 @@ fn real_threads() {
                 batch_threshold: (batch / 2).max(1),
                 batching: true,
                 prefetching: true,
-                combining: false,
+                combining: bpw_core::Combining::Off,
             }
         };
         let wrapper = BpWrapper::new(TwoQ::new(frames), cfg);

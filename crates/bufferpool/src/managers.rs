@@ -14,7 +14,7 @@
 use std::sync::atomic::{AtomicU8, AtomicUsize, Ordering};
 use std::sync::Arc;
 
-use bpw_core::{BpWrapper, InstrumentedLock, WrapperConfig};
+use bpw_core::{BpWrapper, CombiningSnapshot, InstrumentedLock, WrapperConfig};
 use bpw_metrics::{LockSnapshot, LockStats};
 use bpw_replacement::{FrameId, MissOutcome, PageId, ReplacementPolicy};
 
@@ -50,6 +50,13 @@ pub trait ReplacementManager: Send + Sync {
 
     /// Lock statistics for the replacement lock.
     fn lock_snapshot(&self) -> LockSnapshot;
+
+    /// Combining-commit counters, for managers that batch through a
+    /// BP-Wrapper publication board. `None` for managers with no
+    /// combining machinery at all.
+    fn combining_snapshot(&self) -> Option<CombiningSnapshot> {
+        None
+    }
 }
 
 // Boxed managers forward, so a pool's synchronization scheme can be
@@ -69,6 +76,10 @@ impl<M: ReplacementManager + ?Sized> ReplacementManager for Box<M> {
 
     fn lock_snapshot(&self) -> LockSnapshot {
         (**self).lock_snapshot()
+    }
+
+    fn combining_snapshot(&self) -> Option<CombiningSnapshot> {
+        (**self).combining_snapshot()
     }
 }
 
@@ -289,6 +300,10 @@ impl<P: ReplacementPolicy> ReplacementManager for WrappedManager<P> {
 
     fn lock_snapshot(&self) -> LockSnapshot {
         self.wrapper.lock_stats().snapshot()
+    }
+
+    fn combining_snapshot(&self) -> Option<CombiningSnapshot> {
+        Some(self.wrapper.combining_snapshot())
     }
 }
 

@@ -1,5 +1,64 @@
 //! Tuning parameters for the BP-Wrapper framework.
 
+/// How the wrapper handles a commit attempt that finds the replacement
+/// lock busy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Combining {
+    /// The paper's pseudo-code: keep accumulating past the threshold and
+    /// block in `Lock()` when the queue is full.
+    #[default]
+    Off,
+    /// Publish to the handle's slot only when the queue is *full* — the
+    /// PR 4 behavior: publication replaces the unavoidable blocking
+    /// `Lock()`, nothing else.
+    Overflow,
+    /// Full flat combining: *any* contended threshold crossing publishes
+    /// and returns, and every lock holder drains all pending slots per
+    /// critical section. The lock is acquired by whoever wins it; the
+    /// losers never block on the hit path at all.
+    Flat,
+}
+
+impl Combining {
+    /// Does this mode use the publication board at all?
+    pub fn is_enabled(self) -> bool {
+        !matches!(self, Combining::Off)
+    }
+
+    /// Stable lower-case name (used in STATS and bench rows).
+    pub fn name(self) -> &'static str {
+        match self {
+            Combining::Off => "off",
+            Combining::Overflow => "overflow",
+            Combining::Flat => "flat",
+        }
+    }
+}
+
+impl std::fmt::Display for Combining {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl std::str::FromStr for Combining {
+    type Err = String;
+
+    /// Accepts the mode names plus `true`/`false` for compatibility with
+    /// the old boolean `--combining` flag (`true` means full flat
+    /// combining, the strongest mode).
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "off" | "false" | "none" => Ok(Combining::Off),
+            "overflow" => Ok(Combining::Overflow),
+            "flat" | "true" | "on" => Ok(Combining::Flat),
+            other => Err(format!(
+                "unknown combining mode {other:?} (expected off|overflow|flat)"
+            )),
+        }
+    }
+}
+
 /// Configuration of one [`BpWrapper`](crate::BpWrapper) instance.
 ///
 /// The defaults are the values the paper uses in its evaluation (§IV-C):
@@ -22,13 +81,13 @@ pub struct WrapperConfig {
     /// policy metadata of queued accesses into the processor cache
     /// immediately before requesting the lock (§III-B).
     pub prefetching: bool,
-    /// Enable combining commit: a thread forced into a blocking
-    /// `Lock()` by a full queue instead *publishes* its batch to a
-    /// per-handle slot and returns, and whichever thread next holds the
-    /// lock applies published batches on the publishers' behalf.
-    /// Off by default — it trades commit latency for fewer lock
-    /// acquisitions and is only worthwhile under heavy skew.
-    pub combining: bool,
+    /// Combining commit mode: a thread that finds the lock busy
+    /// *publishes* its batch to a per-handle slot and returns, and
+    /// whichever thread next holds the lock applies published batches on
+    /// the publishers' behalf. [`Combining::Off`] by default — it trades
+    /// commit latency for fewer lock acquisitions and only pays off
+    /// under contention.
+    pub combining: Combining,
 }
 
 impl Default for WrapperConfig {
@@ -38,7 +97,7 @@ impl Default for WrapperConfig {
             batch_threshold: 32,
             batching: true,
             prefetching: true,
-            combining: false,
+            combining: Combining::Off,
         }
     }
 }
@@ -51,7 +110,7 @@ impl WrapperConfig {
             batch_threshold: 1,
             batching: false,
             prefetching: false,
-            combining: false,
+            combining: Combining::Off,
         }
     }
 
@@ -70,7 +129,7 @@ impl WrapperConfig {
             batch_threshold: 1,
             batching: false,
             prefetching: true,
-            combining: false,
+            combining: Combining::Off,
         }
     }
 
@@ -95,9 +154,17 @@ impl WrapperConfig {
         self
     }
 
-    /// Enable or disable combining commit.
-    pub fn with_combining(mut self, on: bool) -> Self {
-        self.combining = on;
+    /// Enable or disable combining commit. `true` selects full flat
+    /// combining (the strongest mode); use
+    /// [`with_combining_mode`](Self::with_combining_mode) for the
+    /// overflow-only variant.
+    pub fn with_combining(self, on: bool) -> Self {
+        self.with_combining_mode(if on { Combining::Flat } else { Combining::Off })
+    }
+
+    /// Select a combining mode explicitly.
+    pub fn with_combining_mode(mut self, mode: Combining) -> Self {
+        self.combining = mode;
         self
     }
 
@@ -116,7 +183,7 @@ impl WrapperConfig {
                 "non-batching configurations must use queue size 1"
             );
             assert!(
-                !self.combining,
+                !self.combining.is_enabled(),
                 "combining commit requires batching (there is no batch to publish)"
             );
         }
@@ -163,10 +230,31 @@ mod tests {
 
     #[test]
     fn combining_is_opt_in() {
-        assert!(!WrapperConfig::default().combining);
+        assert_eq!(WrapperConfig::default().combining, Combining::Off);
         let c = WrapperConfig::default().with_combining(true);
-        assert!(c.combining);
+        assert_eq!(
+            c.combining,
+            Combining::Flat,
+            "bool opt-in means full flat combining"
+        );
+        let c = WrapperConfig::default().with_combining_mode(Combining::Overflow);
+        assert_eq!(c.combining, Combining::Overflow);
         c.validate();
+    }
+
+    #[test]
+    fn combining_mode_parses() {
+        for (s, want) in [
+            ("off", Combining::Off),
+            ("false", Combining::Off),
+            ("overflow", Combining::Overflow),
+            ("flat", Combining::Flat),
+            ("true", Combining::Flat),
+        ] {
+            assert_eq!(s.parse::<Combining>().unwrap(), want);
+        }
+        assert!("sideways".parse::<Combining>().is_err());
+        assert_eq!(Combining::Overflow.to_string(), "overflow");
     }
 
     #[test]

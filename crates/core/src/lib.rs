@@ -54,6 +54,7 @@ pub mod baselines;
 pub mod combining;
 pub mod config;
 pub mod lock;
+pub mod pad;
 pub mod prefetch;
 pub mod queue;
 pub mod shared_queue;
@@ -62,14 +63,18 @@ pub mod wrapper;
 
 pub use adaptive::{AdaptiveConfig, AdaptiveHandle};
 pub use baselines::{ClockHitPath, PartitionedCache};
-pub use combining::{PublicationBoard, SlotId};
-pub use config::WrapperConfig;
+pub use combining::{PublicationBoard, SlotId, TakenBatch};
+pub use config::{Combining, WrapperConfig};
 pub use lock::{InstrumentedLock, LockGuard};
+pub use pad::CachePadded;
 pub use prefetch::{prefetch_line, prefetch_span, Prefetcher};
 pub use queue::{AccessEntry, AccessQueue};
 pub use shared_queue::SharedQueueWrapper;
 pub use wrapped_cache::WrappedCache;
-pub use wrapper::{AccessHandle, ArcAccessHandle, BpWrapper, WrapperCounters};
+pub use wrapper::{
+    AccessHandle, ArcAccessHandle, BpWrapper, CombiningSnapshot, WrapperCounters,
+    MAX_COMBINE_PASSES,
+};
 
 /// The five systems of the paper's Table I, as wrapper configurations
 /// plus the clock baseline.

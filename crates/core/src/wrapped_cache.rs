@@ -145,7 +145,7 @@ mod tests {
                 batch_threshold: (s / 2).max(1),
                 batching: true,
                 prefetching: s % 2 == 0, // exercise both prefetch settings
-                combining: false,
+                combining: crate::Combining::Off,
             };
             let mut bare = CacheSim::new(PolicyKind::TwoQ.build(16));
             let mut wrapped = WrappedCache::new(PolicyKind::TwoQ.build(16), cfg);

@@ -17,11 +17,11 @@
 
 use std::sync::Arc;
 
-use bpw_metrics::{Counter, LockStats};
+use bpw_metrics::{Counter, Gauge, LockStats};
 use bpw_replacement::{FrameId, MissOutcome, PageId, ReplacementPolicy};
 
 use crate::combining::{PublicationBoard, SlotId};
-use crate::config::WrapperConfig;
+use crate::config::{Combining, WrapperConfig};
 use crate::lock::{InstrumentedLock, LockGuard};
 use crate::prefetch::Prefetcher;
 use crate::queue::{AccessEntry, AccessQueue};
@@ -29,6 +29,40 @@ use crate::queue::{AccessEntry, AccessQueue};
 /// Publication slots a combining-enabled wrapper provides; handles
 /// beyond this many concurrent threads fall back to blocking commits.
 const COMBINING_SLOTS: usize = 64;
+
+/// Fairness bound: at most this many drain passes per critical section.
+/// A combiner drains whatever is pending, and gives fresh publications
+/// arriving *while it drains* one more chance — then it must release
+/// the lock, or a steady stream of publishers could pin one thread in
+/// the critical section indefinitely (combiner starvation). The
+/// `dst_mutation = "fairness"` mutant removes the bound; the dst
+/// fairness checker must catch the unbounded tenure.
+pub const MAX_COMBINE_PASSES: u32 = 2;
+
+/// A point-in-time copy of the combining counters, for STATS/METRICS.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CombiningSnapshot {
+    /// Configured combining mode.
+    pub mode: Combining,
+    /// Batches published instead of blocking (or waiting) on the lock.
+    pub published: u64,
+    /// Publish attempts that failed (slot busy or none) and fell back
+    /// to accumulating or blocking.
+    pub publish_fallbacks: u64,
+    /// Published batches reclaimed by their own thread before newer
+    /// accesses were committed.
+    pub reclaimed: u64,
+    /// Other threads' batches applied by lock holders.
+    pub combined_batches: u64,
+    /// Entries inside those combined batches.
+    pub combined_entries: u64,
+    /// Drain passes executed across all critical sections.
+    pub combine_passes: u64,
+    /// Batches drained in the most recent combining critical section.
+    pub combine_depth_last: u64,
+    /// Most batches ever drained in one critical section.
+    pub combine_depth_peak: u64,
+}
 
 /// Counters specific to the wrapper (beyond the lock statistics).
 #[derive(Debug, Default)]
@@ -42,9 +76,12 @@ pub struct WrapperCounters {
     pub stale_skipped: Counter,
     /// Commit rounds (batches) executed.
     pub batches: Counter,
-    /// Full-queue overflows turned into publications instead of
-    /// blocking `Lock()` calls (combining only).
+    /// Contended commits turned into publications instead of blocking
+    /// (or deferred) `Lock()` calls (combining only).
     pub published: Counter,
+    /// Publish attempts that found the slot occupied or both buffers in
+    /// flight and fell back to accumulating/blocking (combining only).
+    pub publish_fallbacks: Counter,
     /// Published batches a thread took back and applied itself before
     /// committing newer accesses (order preservation; combining only).
     pub reclaimed: Counter,
@@ -53,6 +90,12 @@ pub struct WrapperCounters {
     pub combined_batches: Counter,
     /// Entries inside those combined batches (combining only).
     pub combined_entries: Counter,
+    /// Drain passes executed by combining critical sections (at most
+    /// [`MAX_COMBINE_PASSES`] each; combining only).
+    pub combine_passes: Counter,
+    /// Batches drained per combining critical section: last observed
+    /// value and all-time peak (combining only).
+    pub combine_depth: Gauge,
 }
 
 /// A replacement policy wrapped with the paper's batching and prefetching
@@ -87,7 +130,8 @@ impl<P: ReplacementPolicy> BpWrapper<P> {
             counters: WrapperCounters::default(),
             board: config
                 .combining
-                .then(|| PublicationBoard::new(COMBINING_SLOTS)),
+                .is_enabled()
+                .then(|| PublicationBoard::new(COMBINING_SLOTS, config.queue_size)),
         }
     }
 
@@ -110,6 +154,22 @@ impl<P: ReplacementPolicy> BpWrapper<P> {
     /// Wrapper counters (accesses, commits, stale skips).
     pub fn counters(&self) -> &WrapperCounters {
         &self.counters
+    }
+
+    /// Snapshot of the combining-commit counters (all zero with
+    /// combining off).
+    pub fn combining_snapshot(&self) -> CombiningSnapshot {
+        CombiningSnapshot {
+            mode: self.config.combining,
+            published: self.counters.published.get(),
+            publish_fallbacks: self.counters.publish_fallbacks.get(),
+            reclaimed: self.counters.reclaimed.get(),
+            combined_batches: self.counters.combined_batches.get(),
+            combined_entries: self.counters.combined_entries.get(),
+            combine_passes: self.counters.combine_passes.get(),
+            combine_depth_last: self.counters.combine_depth.get(),
+            combine_depth_peak: self.counters.combine_depth.peak(),
+        }
     }
 
     /// Create a per-thread access handle with its own private FIFO queue.
@@ -170,10 +230,18 @@ impl<P: ReplacementPolicy> BpWrapper<P> {
             match self.lock.try_lock() {
                 Some(mut guard) => self.commit_locked(&mut guard, queue, slot),
                 None => {
+                    // Flat combining: *any* contended threshold crossing
+                    // publishes and returns — the lock holder retires the
+                    // batch. Overflow mode keeps the paper's behavior of
+                    // accumulating until the queue is full.
+                    if self.config.combining == Combining::Flat && self.try_publish(queue, slot) {
+                        return;
+                    }
                     if queue.is_full() {
-                        // The paper blocks in Lock() here; combining
-                        // publishes the batch instead and lets the
-                        // current lock holder retire it.
+                        // The paper blocks in Lock() here; both combining
+                        // modes try one last publication first (flat
+                        // retries because the slot may have been drained
+                        // since the threshold attempt).
                         if self.try_publish(queue, slot) {
                             return;
                         }
@@ -187,30 +255,26 @@ impl<P: ReplacementPolicy> BpWrapper<P> {
         }
     }
 
-    /// Combining overflow path: hand the full queue to this handle's
+    /// Combining publish path: hand the queue's storage to this handle's
     /// publication slot instead of blocking. Returns `true` when the
-    /// batch was published (the queue is then empty). Fails when
+    /// batch was published (the queue is then empty, backed by the
+    /// slot's recycled buffer — an O(1) pointer swap, no allocation and
+    /// no entry copies). Fails — leaving the queue untouched — when
     /// combining is off, the handle has no slot, or the slot still
-    /// holds an older undrained batch — publishing over it would let
-    /// the combiner apply batches of one thread out of order.
+    /// holds an older undrained batch: publishing over it would let the
+    /// combiner apply batches of one thread out of order.
     fn try_publish(&self, queue: &mut AccessQueue, slot: Option<SlotId>) -> bool {
         let (Some(board), Some(slot)) = (self.board.as_ref(), slot) else {
             return false;
         };
-        let batch: Vec<AccessEntry> = queue.drain().collect();
-        let len = batch.len() as u32;
-        match board.publish(slot, batch) {
-            Ok(()) => {
-                self.counters.published.incr();
-                bpw_dst::record(|| bpw_dst::Op::PublishBatch { len });
-                true
-            }
-            Err(batch) => {
-                for e in batch {
-                    queue.push(e.page, e.frame);
-                }
-                false
-            }
+        let len = queue.len() as u32;
+        if board.publish(slot, queue.storage_mut()) {
+            self.counters.published.incr();
+            bpw_dst::record(|| bpw_dst::Op::PublishBatch { len });
+            true
+        } else {
+            self.counters.publish_fallbacks.incr();
+            false
         }
     }
 
@@ -308,7 +372,7 @@ impl<P: ReplacementPolicy> BpWrapper<P> {
         // until after the queue commit — exactly the ordering bug the
         // dst commit-order checker must catch.
         #[cfg(dst_mutation = "combining")]
-        let mut deferred: Option<Vec<AccessEntry>> = None;
+        let mut deferred: Option<crate::combining::TakenBatch<'_>> = None;
         if let (Some(board), Some(slot)) = (self.board.as_ref(), slot) {
             if let Some(batch) = board.take(slot) {
                 self.counters.reclaimed.incr();
@@ -380,7 +444,13 @@ impl<P: ReplacementPolicy> BpWrapper<P> {
         bpw_trace::span_end_staged(bpw_trace::EventKind::BatchCommit, span, n);
     }
 
-    /// Drain other threads' published batches while we hold the lock.
+    /// Drain other threads' published batches while we hold the lock —
+    /// the combining side of flat combining. Runs repeated passes so
+    /// publications that land *while* we drain are also retired, but at
+    /// most [`MAX_COMBINE_PASSES`] of them: an unbounded loop would let
+    /// a steady publisher stream pin this thread in the critical
+    /// section (the `dst_mutation = "fairness"` mutant does exactly
+    /// that, and the dst fairness checker must flag it).
     fn combine_published(
         &self,
         guard: &mut LockGuard<'_, P>,
@@ -390,17 +460,34 @@ impl<P: ReplacementPolicy> BpWrapper<P> {
         let span = bpw_trace::span_start();
         let mut entries = 0u64;
         let mut batches = 0u64;
-        for batch in board.drain(own) {
-            entries += batch.len() as u64;
-            batches += 1;
-            bpw_dst::record(|| bpw_dst::Op::CombineBatch {
-                len: batch.len() as u32,
+        let mut passes = 0u32;
+        loop {
+            let drained = board.drain_pass(own, |batch| {
+                entries += batch.len() as u64;
+                batches += 1;
+                bpw_dst::record(|| bpw_dst::Op::CombineBatch {
+                    len: batch.len() as u32,
+                });
+                self.apply_batch(guard, batch);
             });
-            self.apply_batch(guard, &batch);
+            if drained == 0 {
+                break;
+            }
+            passes += 1;
+            #[cfg(not(dst_mutation = "fairness"))]
+            if passes >= MAX_COMBINE_PASSES {
+                break;
+            }
         }
         if batches > 0 {
             self.counters.combined_batches.add(batches);
             self.counters.combined_entries.add(entries);
+            self.counters.combine_passes.add(passes as u64);
+            self.counters.combine_depth.observe(batches);
+            bpw_dst::record(|| bpw_dst::Op::CombineDrain {
+                passes,
+                batches: batches as u32,
+            });
             bpw_trace::span_end(bpw_trace::EventKind::CombinedCommit, span, entries);
         }
     }
@@ -458,10 +545,16 @@ impl<'w, P: ReplacementPolicy> Drop for AccessHandle<'w, P> {
     fn drop(&mut self) {
         // Never lose recorded history: commit leftovers on teardown.
         // Flushing also reclaims any published batch, so the slot is
-        // empty by the time it is recycled.
+        // empty by the time it is recycled; `release` returning a batch
+        // anyway (a publish raced teardown somehow) is handled by
+        // committing the orphan here rather than leaking it to the
+        // slot's next owner.
         self.flush();
         if let (Some(board), Some(slot)) = (self.wrapper.board.as_ref(), self.slot.take()) {
-            board.release(slot);
+            if let Some(orphan) = board.release(slot) {
+                let mut guard = self.wrapper.lock.lock();
+                self.wrapper.apply_batch(&mut guard, &orphan);
+            }
         }
     }
 }
@@ -512,7 +605,10 @@ impl<P: ReplacementPolicy> Drop for ArcAccessHandle<P> {
     fn drop(&mut self) {
         self.flush();
         if let (Some(board), Some(slot)) = (self.wrapper.board.as_ref(), self.slot.take()) {
-            board.release(slot);
+            if let Some(orphan) = board.release(slot) {
+                let mut guard = self.wrapper.lock.lock();
+                self.wrapper.apply_batch(&mut guard, &orphan);
+            }
         }
     }
 }
@@ -728,6 +824,138 @@ mod tests {
             4
         );
         w.with_locked(|p| assert_eq!(p.eviction_order(), vec![0, 1, 2, 3]));
+    }
+
+    #[test]
+    fn flat_combining_publishes_at_threshold_not_just_full() {
+        let w = warmed(
+            4,
+            WrapperConfig::default()
+                .with_queue_size(4)
+                .with_batch_threshold(2)
+                .with_combining_mode(Combining::Flat),
+        );
+        let held = w.lock_for_test();
+        let mut h = w.handle();
+        h.record_hit(0, 0);
+        h.record_hit(1, 1); // threshold crossing, lock busy: publish
+        assert_eq!(h.queued(), 0, "flat mode must publish at the threshold");
+        assert_eq!(w.counters().published.get(), 1);
+        // Next threshold crossing finds the slot still occupied: fall
+        // back to accumulating (the queue is not full yet).
+        h.record_hit(2, 2);
+        h.record_hit(3, 3);
+        assert_eq!(h.queued(), 2);
+        assert_eq!(w.counters().publish_fallbacks.get(), 1);
+        drop(held);
+        h.flush();
+        // Reclaim-before-commit: the published [0,1] lands before [2,3].
+        assert_eq!(w.counters().reclaimed.get(), 1);
+        w.with_locked(|p| assert_eq!(p.eviction_order(), vec![0, 1, 2, 3]));
+    }
+
+    #[test]
+    fn overflow_mode_only_publishes_on_full_queue() {
+        let w = warmed(
+            4,
+            WrapperConfig::default()
+                .with_queue_size(4)
+                .with_batch_threshold(2)
+                .with_combining_mode(Combining::Overflow),
+        );
+        let held = w.lock_for_test();
+        let mut h = w.handle();
+        h.record_hit(0, 0);
+        h.record_hit(1, 1); // threshold, lock busy, queue not full: defer
+        assert_eq!(h.queued(), 2, "overflow mode must keep accumulating");
+        assert_eq!(w.counters().published.get(), 0);
+        h.record_hit(2, 2);
+        h.record_hit(3, 3); // queue full: publish instead of blocking
+        assert_eq!(h.queued(), 0);
+        assert_eq!(w.counters().published.get(), 1);
+        drop(held);
+    }
+
+    #[test]
+    fn handle_churn_loses_nothing_with_flat_combining() {
+        // Register/release cycles under contention: every recorded
+        // access must be committed or stale-skipped by the time the
+        // handles are gone, regardless of which slot each short-lived
+        // handle got.
+        let w = warmed(
+            64,
+            WrapperConfig::default()
+                .with_queue_size(8)
+                .with_batch_threshold(4)
+                .with_combining(true),
+        );
+        std::thread::scope(|s| {
+            for t in 0..4u64 {
+                let w = &w;
+                s.spawn(move || {
+                    for round in 0..50u64 {
+                        let mut h = w.handle();
+                        for i in 0..20u64 {
+                            let page = (t * 16 + (round + i) % 16) % 64;
+                            h.record_hit(page, page as u32);
+                        }
+                    } // drop: flush + release, every round
+                });
+            }
+        });
+        assert_eq!(w.counters().accesses.get(), 4 * 50 * 20);
+        assert_eq!(
+            w.counters().committed.get() + w.counters().stale_skipped.get(),
+            4 * 50 * 20,
+            "handle churn lost or duplicated accesses"
+        );
+        // Slots must all have been recycled: a fresh wave of handles
+        // can still publish (i.e. they all got slots with live buffers).
+        let held = w.lock_for_test();
+        let mut fresh: Vec<_> = (0..8).map(|_| w.handle()).collect();
+        let before = w.counters().published.get();
+        for (i, h) in fresh.iter_mut().enumerate() {
+            for j in 0..4u64 {
+                let page = (i as u64 * 4 + j) % 64;
+                h.record_hit(page, page as u32);
+            }
+        }
+        assert_eq!(
+            w.counters().published.get(),
+            before + 8,
+            "recycled slots must still publish"
+        );
+        drop(held);
+        drop(fresh);
+        w.with_locked(|p| p.check_invariants());
+    }
+
+    #[test]
+    fn combining_snapshot_reflects_counters() {
+        let w = warmed(
+            4,
+            WrapperConfig::default()
+                .with_queue_size(2)
+                .with_batch_threshold(2)
+                .with_combining(true),
+        );
+        assert_eq!(w.combining_snapshot().mode, Combining::Flat);
+        let held = w.lock_for_test();
+        let mut publisher = w.handle();
+        publisher.record_hit(0, 0);
+        publisher.record_hit(1, 1); // published
+        drop(held);
+        let mut committer = w.handle();
+        committer.record_hit(2, 2);
+        committer.record_hit(3, 3); // commits, combines the published batch
+        let snap = w.combining_snapshot();
+        assert_eq!(snap.published, 1);
+        assert_eq!(snap.combined_batches, 1);
+        assert_eq!(snap.combined_entries, 2);
+        assert_eq!(snap.combine_passes, 1);
+        assert_eq!(snap.combine_depth_last, 1);
+        assert_eq!(snap.combine_depth_peak, 1);
+        assert!(snap.combine_passes <= MAX_COMBINE_PASSES as u64 * snap.combined_batches);
     }
 
     #[test]

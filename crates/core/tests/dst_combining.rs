@@ -19,8 +19,8 @@
 
 use std::sync::Arc;
 
-use bpw_core::{BpWrapper, WrapperConfig};
-use bpw_dst::check::{check_commit_order, CommitReport};
+use bpw_core::{BpWrapper, WrapperConfig, MAX_COMBINE_PASSES};
+use bpw_dst::check::{check_combine_fairness, check_commit_order, CommitReport};
 use bpw_dst::{Event, Op, RunOutcome, Sim};
 use bpw_replacement::{Lru, ReplacementPolicy, SeqLru};
 
@@ -268,6 +268,133 @@ fn dst_seq_run_detection_survives_publication() {
             );
         });
     }
+}
+
+#[test]
+fn dst_flat_combiner_respects_fairness_bound() {
+    // Flat combining with a hair-trigger threshold (T=1): every hit
+    // publishes when the lock is busy, so publishers can feed a
+    // combiner *while it drains* — exactly the schedule where an
+    // unbounded combiner (the `dst_mutation = "fairness"` mutant) keeps
+    // draining pass after pass. The checker asserts no critical section
+    // ever exceeds MAX_COMBINE_PASSES.
+    // A roomy queue (S=8) keeps publishers accumulating instead of
+    // parking on the lock after a failed publish, so they stay alive to
+    // republish between a combiner's drain passes. With 4 workers x 24
+    // hits the seeded corpus reliably produces schedules where a third
+    // non-empty pass is available — the real combiner stops at the
+    // bound; the mutant takes it and trips the checker.
+    const FC_FRAMES: u64 = 32;
+    const FC_WORKERS: u64 = 4;
+    const FC_HITS: u64 = 24;
+    let mut drains = 0u64;
+    let mut multi_batch = 0u64;
+    for (i, seed) in bpw_dst::seed_corpus(0xFA17, 48).iter().enumerate() {
+        let w = BpWrapper::new(
+            Lru::new(FC_FRAMES as usize),
+            WrapperConfig::default()
+                .with_queue_size(8)
+                .with_batch_threshold(1)
+                .with_combining(true),
+        );
+        w.with_locked(|p| {
+            for f in 0..FC_FRAMES {
+                p.record_miss(f, Some(f as u32), &mut |_| true);
+            }
+        });
+        let w = Arc::new(w);
+        let mut sim = if i % 4 == 2 {
+            Sim::new(*seed).with_pct(3)
+        } else {
+            Sim::new(*seed)
+        };
+        for t in 0..FC_WORKERS {
+            let w = Arc::clone(&w);
+            sim.spawn(move || {
+                let mut h = w.handle_arc();
+                for k in 0..FC_HITS {
+                    let page = t * PAGES_PER + k % PAGES_PER;
+                    h.record_hit(page, page as u32);
+                }
+            });
+        }
+        let out = sim.run();
+        out.expect_clean();
+        out.check(|o| {
+            check_commit_order(&o.history);
+            let report = check_combine_fairness(&o.history, MAX_COMBINE_PASSES);
+            drains += report.drains;
+            if report.max_batches > 1 {
+                multi_batch += 1;
+            }
+        });
+    }
+    assert!(
+        drains > 0,
+        "no schedule produced a combining drain; fairness bound never under test"
+    );
+    assert!(
+        multi_batch > 0,
+        "no schedule drained more than one batch per critical section; \
+         the multi-pass path was never exercised"
+    );
+}
+
+#[test]
+fn dst_handle_churn_applies_every_entry_exactly_once() {
+    // Register/release churn: each worker tears its handle down and
+    // re-registers every round, so slots recycle between tasks while
+    // batches are in flight. Exactly-once commit (check_commit_order)
+    // must survive the churn — this is the schedule-explored version of
+    // the release-hole regression (a batch left in a released slot
+    // would be committed under the next owner or lost).
+    let mut publishes = 0u64;
+    for (i, seed) in bpw_dst::seed_corpus(0xC4C4, 40).iter().enumerate() {
+        let w = warmed_wrapper();
+        let mut sim = if i % 3 == 1 {
+            Sim::new(*seed).with_pct(3)
+        } else {
+            Sim::new(*seed)
+        };
+        {
+            let w = Arc::clone(&w);
+            sim.spawn(move || {
+                for _ in 0..3 {
+                    w.with_locked(|_| {
+                        for _ in 0..5 {
+                            bpw_dst::yield_now();
+                        }
+                    });
+                    bpw_dst::yield_now();
+                }
+            });
+        }
+        for t in 0..WORKERS {
+            let w = Arc::clone(&w);
+            sim.spawn(move || {
+                for round in 0..ROUNDS {
+                    let mut h = w.handle_arc();
+                    for k in 0..PAGES_PER {
+                        let page = t * PAGES_PER + (round + k) % PAGES_PER;
+                        h.record_hit(page, page as u32);
+                    }
+                    drop(h); // flush + release: the slot recycles mid-run
+                }
+            });
+        }
+        let (out, w) = (sim.run(), w);
+        out.expect_clean();
+        out.check(|o| {
+            let report = check_commit_order(&o.history);
+            assert_eq!(report.records, WORKERS * PAGES_PER * ROUNDS);
+            publishes += report.publishes;
+            replay_serially(&o.history, &w);
+        });
+    }
+    assert!(
+        publishes > 0,
+        "no schedule published through a churned slot; corpus vacuous"
+    );
 }
 
 #[test]

@@ -33,7 +33,7 @@ proptest! {
             batch_threshold: threshold,
             batching: true,
             prefetching,
-            combining: false,
+            combining: bpw_core::Combining::Off,
         };
         let mut bare = CacheSim::new(kind.build(frames));
         let mut wrapped = WrappedCache::new(kind.build(frames), cfg);
@@ -78,7 +78,7 @@ proptest! {
             batch_threshold: threshold,
             batching: true,
             prefetching: false,
-            combining: false,
+            combining: bpw_core::Combining::Off,
         };
         let frames = 16;
         let mut wrapped = WrappedCache::new(PolicyKind::Lru.build(frames), cfg);

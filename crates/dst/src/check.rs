@@ -101,6 +101,43 @@ pub fn check_commit_order(events: &[Event]) -> CommitReport {
     report
 }
 
+/// Summary returned by [`check_combine_fairness`].
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct FairnessReport {
+    /// Combining critical sections observed.
+    pub drains: u64,
+    /// Largest number of drain passes any one critical section ran.
+    pub max_passes: u32,
+    /// Largest number of batches any one critical section retired.
+    pub max_batches: u32,
+}
+
+/// Checker (c): combining critical sections respect the fairness bound.
+/// Each `CombineDrain` event summarizes one lock tenure's draining;
+/// `bound` is the wrapper's `MAX_COMBINE_PASSES`. The unbounded-combiner
+/// mutant (`dst_mutation = "fairness"`) keeps draining as long as
+/// publishers feed it, so under a schedule that interleaves publishes
+/// into the drain it exceeds the bound and this checker panics.
+pub fn check_combine_fairness(events: &[Event], bound: u32) -> FairnessReport {
+    let mut report = FairnessReport::default();
+    for ev in events {
+        if let Op::CombineDrain { passes, batches } = ev.op {
+            report.drains += 1;
+            report.max_passes = report.max_passes.max(passes);
+            report.max_batches = report.max_batches.max(batches);
+            assert!(
+                passes <= bound,
+                "fairness bound violated: task {} ran {passes} drain passes \
+                 (bound {bound}) in one critical section, retiring {batches} \
+                 batches — an unbounded combiner starves under a steady \
+                 publisher stream",
+                ev.task
+            );
+        }
+    }
+    report
+}
+
 /// Summary returned by [`check_free_list`].
 #[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
 pub struct FreeListReport {
@@ -265,6 +302,43 @@ mod tests {
             ),
         ];
         check_commit_order(&events);
+    }
+
+    #[test]
+    fn fairness_accepts_bounded_drains() {
+        let events = vec![
+            ev(
+                0,
+                Op::CombineDrain {
+                    passes: 2,
+                    batches: 5,
+                },
+            ),
+            ev(
+                1,
+                Op::CombineDrain {
+                    passes: 1,
+                    batches: 1,
+                },
+            ),
+        ];
+        let report = check_combine_fairness(&events, 2);
+        assert_eq!(report.drains, 2);
+        assert_eq!(report.max_passes, 2);
+        assert_eq!(report.max_batches, 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "fairness bound violated")]
+    fn fairness_rejects_unbounded_combiner() {
+        let events = vec![ev(
+            0,
+            Op::CombineDrain {
+                passes: 3,
+                batches: 9,
+            },
+        )];
+        check_combine_fairness(&events, 2);
     }
 
     #[test]

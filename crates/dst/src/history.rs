@@ -30,6 +30,12 @@ pub enum Op {
     ReclaimBatch { len: u32 },
     /// The lock holder combined another thread's published batch.
     CombineBatch { len: u32 },
+    /// A combining critical section finished draining: it ran `passes`
+    /// drain passes and retired `batches` batches in total. The
+    /// fairness checker asserts `passes` never exceeds the wrapper's
+    /// bound — an unbounded combiner (the "fairness" mutant) keeps
+    /// draining as long as publishers keep feeding it.
+    CombineDrain { passes: u32, batches: u32 },
     /// A miss was applied to the policy under the lock. `frame` is the
     /// admitted frame (None when no frame was evictable), `victim` the
     /// evicted page if the admission displaced one.

@@ -48,6 +48,12 @@ macro_rules! shim_atomic {
             }
 
             #[inline]
+            pub fn fetch_sub(&self, v: $prim, order: Ordering) -> $prim {
+                crate::yield_point();
+                self.0.fetch_sub(v, order)
+            }
+
+            #[inline]
             pub fn compare_exchange(
                 &self,
                 current: $prim,

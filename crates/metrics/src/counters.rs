@@ -87,6 +87,14 @@ impl Gauge {
         }
     }
 
+    /// Record an instantaneous sample (e.g. a per-critical-section
+    /// depth): replaces the current value and raises the peak.
+    #[inline]
+    pub fn observe(&self, v: u64) {
+        self.value.store(v, Ordering::Relaxed);
+        self.peak.fetch_max(v, Ordering::Relaxed);
+    }
+
     /// Current population.
     pub fn get(&self) -> u64 {
         self.value.load(Ordering::Relaxed)

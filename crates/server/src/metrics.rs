@@ -9,6 +9,7 @@
 use std::sync::Arc;
 use std::time::Instant;
 
+use bpw_core::CombiningSnapshot;
 use bpw_metrics::{Counter, Gauge, Histogram, JsonObject, LockShardSummary, LockSnapshot};
 
 /// Which histogram a request's latency lands in.
@@ -227,6 +228,7 @@ impl ServerMetrics {
         lock: &LockSnapshot,
         miss_lock: &LockSnapshot,
         miss_locks: &LockShardSummary,
+        combining: Option<&CombiningSnapshot>,
         peak_queue_depth: u64,
     ) -> String {
         let mut trace = JsonObject::new();
@@ -280,6 +282,19 @@ impl ServerMetrics {
             .field_raw("slo_violations", &slo.finish())
             .field_raw("trace", &trace.finish())
             .field_raw("flight", &flight.finish());
+        if let Some(c) = combining {
+            let mut comb = JsonObject::new();
+            comb.field_str("mode", c.mode.name())
+                .field_u64("published", c.published)
+                .field_u64("publish_fallbacks", c.publish_fallbacks)
+                .field_u64("reclaimed", c.reclaimed)
+                .field_u64("combined_batches", c.combined_batches)
+                .field_u64("combined_entries", c.combined_entries)
+                .field_u64("combine_passes", c.combine_passes)
+                .field_u64("combine_depth_last", c.combine_depth_last)
+                .field_u64("combine_depth_peak", c.combine_depth_peak);
+            o.field_raw("combining", &comb.finish());
+        }
         o.finish()
     }
 }
@@ -363,9 +378,27 @@ mod tests {
             total_hold_ns: 900,
             max_wait_ns: 250,
         };
-        let json = m.to_json(&pool, &lock, &miss_lock, &miss_locks, 17);
+        let combining = CombiningSnapshot {
+            mode: bpw_core::Combining::Flat,
+            published: 5,
+            publish_fallbacks: 1,
+            reclaimed: 2,
+            combined_batches: 3,
+            combined_entries: 12,
+            combine_passes: 4,
+            combine_depth_last: 2,
+            combine_depth_peak: 3,
+        };
+        let json = m.to_json(&pool, &lock, &miss_lock, &miss_locks, Some(&combining), 17);
 
         let v = JsonValue::parse(&json).expect("STATS must be valid JSON");
+        let comb = v.get("combining").expect("combining sub-object");
+        assert_eq!(comb.get("mode").and_then(JsonValue::as_str), Some("flat"));
+        assert_eq!(comb.get("published").and_then(JsonValue::as_u64), Some(5));
+        assert_eq!(
+            comb.get("combine_depth_peak").and_then(JsonValue::as_u64),
+            Some(3)
+        );
         assert_eq!(v.get("ok").and_then(JsonValue::as_u64), Some(2));
         assert_eq!(v.get("busy").and_then(JsonValue::as_u64), Some(1));
         assert_eq!(v.get("io_errors").and_then(JsonValue::as_u64), Some(1));

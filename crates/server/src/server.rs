@@ -23,7 +23,7 @@ use bpw_bufferpool::{
     BufferPool, ClockManager, CoarseManager, FaultPlan, FaultyDisk, PoolSession,
     ReplacementManager, SimDisk, Storage, WrappedManager,
 };
-use bpw_core::WrapperConfig;
+use bpw_core::{Combining, WrapperConfig};
 use bpw_replacement::PolicyKind;
 use crossbeam::channel::{self, Sender};
 
@@ -94,10 +94,12 @@ pub struct ServerConfig {
     pub pages: u64,
     /// Manager spec, e.g. `"wrapped-2q"` (see [`build_manager`]).
     pub manager: String,
-    /// Enable BP-Wrapper's combining commit for `wrapped-*` managers:
-    /// threads publish full batches instead of blocking, and the lock
-    /// holder applies them. Off by default (paper-faithful baseline).
-    pub combining: bool,
+    /// Combining commit mode for `wrapped-*` managers
+    /// (`--combining off|overflow|flat`): `overflow` publishes only
+    /// when a queue fills against a busy lock; `flat` publishes on any
+    /// contended threshold crossing and lock holders drain every
+    /// pending slot. Off by default (paper-faithful baseline).
+    pub combining: Combining,
     /// Override the miss-path partition width (`Some(1)` restores the
     /// seed's single global miss lock; `None` keeps the default of one
     /// lock per page-table shard).
@@ -130,7 +132,7 @@ impl Default for ServerConfig {
             page_size: 4096,
             pages: 1 << 20,
             manager: "wrapped-2q".into(),
-            combining: false,
+            combining: Combining::Off,
             miss_shards: None,
             fault_plan: None,
             mode: FrontendMode::Threaded,
@@ -283,7 +285,7 @@ pub struct Server {
 impl Server {
     /// Bind, spawn the worker pool and acceptor, and return.
     pub fn start(config: ServerConfig) -> io::Result<Server> {
-        let wrapper = WrapperConfig::default().with_combining(config.combining);
+        let wrapper = WrapperConfig::default().with_combining_mode(config.combining);
         let manager = build_manager_with(&config.manager, config.frames, wrapper)
             .map_err(|e| io::Error::new(io::ErrorKind::InvalidInput, e))?;
         let mut faulty = None;
@@ -764,9 +766,15 @@ pub(crate) fn stats_json(shared: &Shared) -> String {
     let lock = shared.pool.manager().lock_snapshot();
     let miss_lock = shared.pool.miss_lock_snapshot();
     let miss_locks = shared.pool.miss_lock_summary();
-    shared
-        .metrics
-        .to_json(&pool, &lock, &miss_lock, &miss_locks, shared.depth.get())
+    let combining = shared.pool.manager().combining_snapshot();
+    shared.metrics.to_json(
+        &pool,
+        &lock,
+        &miss_lock,
+        &miss_locks,
+        combining.as_ref(),
+        shared.depth.get(),
+    )
 }
 
 /// Prometheus-style text exposition: the METRICS reply. Same sources
@@ -973,6 +981,40 @@ pub(crate) fn metrics_text(shared: &Shared) -> String {
         "Armed flight-recorder SLO in nanoseconds (0 = disarmed).",
         bpw_trace::flight::slo_ns() as f64,
     );
+    // Flat-combining commit-path counters (wrapped managers only).
+    if let Some(c) = shared.pool.manager().combining_snapshot() {
+        w.labeled_counter(
+            "bpw_combining_batches_total",
+            "Publication-slot batch events on the combining commit path.",
+            "event",
+            &[
+                ("published", c.published),
+                ("publish_fallback", c.publish_fallbacks),
+                ("reclaimed", c.reclaimed),
+                ("combined", c.combined_batches),
+            ],
+        )
+        .counter(
+            "bpw_combining_entries_total",
+            "Accesses applied from other threads' combined batches.",
+            c.combined_entries,
+        )
+        .counter(
+            "bpw_combining_passes_total",
+            "Drain passes executed by combining critical sections.",
+            c.combine_passes,
+        )
+        .gauge(
+            "bpw_combining_depth_last",
+            "Batches drained in the most recent combining critical section.",
+            c.combine_depth_last as f64,
+        )
+        .gauge(
+            "bpw_combining_depth_peak",
+            "Most batches ever drained in one combining critical section.",
+            c.combine_depth_peak as f64,
+        );
+    }
     w.finish()
 }
 

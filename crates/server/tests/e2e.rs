@@ -476,7 +476,7 @@ fn combining_server_serves_correct_data(mode: FrontendMode) {
         page_size: PAGE_SIZE,
         pages: PAGES,
         manager: "wrapped-lirs".into(),
-        combining: true,
+        combining: bpw_core::Combining::Flat,
         mode,
         ..ServerConfig::default()
     })
