@@ -1,0 +1,248 @@
+//! Scrape-under-load interference: what the seqlock snapshot cache buys
+//! the data path when STATS/METRICS scrapers run hot.
+//!
+//! A scrape used to re-aggregate on every request: load every pool
+//! counter, merge every lock-stat family, walk the per-shard miss-lock
+//! snapshots. Each of those loads drags a write-hot cache line into
+//! shared state, so the next worker increment pays a re-upgrade to
+//! exclusive — monitoring taxing the thing it monitors. The server now
+//! fronts that walk with `bpw_metrics::SnapshotCache`: one walk per TTL
+//! regardless of scraper count, every other scrape a seqlock read that
+//! writes no shared memory at all.
+//!
+//! This bench reproduces both sides with the pool-level walk the server
+//! performs: hit-heavy workers hammer `fetch` while scraper threads
+//! scrape at a fixed interval in one of three modes:
+//!
+//! * `none`     — no scrapers (the clean baseline);
+//! * `uncached` — every scrape runs the full aggregation walk (the
+//!   pre-PR behaviour);
+//! * `cached`   — scrapes go through `SnapshotCache` with the server's
+//!   10ms TTL (the post-PR behaviour).
+//!
+//! Rows land in `results/scrape_interference.jsonl`: worker throughput
+//! per mode (the interference) plus per-scrape cost and how many walks
+//! actually ran (the amortization). No CI gate — interference is a
+//! host-sensitive cache effect; the numbers are recorded in
+//! EXPERIMENTS.md instead.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use bpw_bufferpool::{BufferPool, ReplacementManager, SimDisk, WrappedManager};
+use bpw_core::WrapperConfig;
+use bpw_metrics::{JsonObject, LockShardSummary, LockSnapshot, SnapshotCache};
+use bpw_replacement::TwoQ;
+
+const FRAMES: usize = 512;
+const WORKERS: u64 = 4;
+const SCRAPERS: u64 = 2;
+/// Aggressive-but-plausible scrape cadence (a dashboard polling hard).
+const SCRAPE_INTERVAL: Duration = Duration::from_micros(200);
+/// The server's STATS_TTL.
+const CACHE_TTL: Duration = Duration::from_millis(10);
+
+/// The pool-side scalar snapshot the server aggregates per scrape.
+#[derive(Debug, Clone, Copy, Default)]
+struct PoolSnap {
+    hits: u64,
+    misses: u64,
+    writebacks: u64,
+    pin_cas_retries: u64,
+    page_table_fallbacks: u64,
+    free_list_steals: u64,
+    lock: LockSnapshot,
+    miss_lock: LockSnapshot,
+    miss_locks: LockShardSummary,
+}
+
+type Pool = BufferPool<WrappedManager<TwoQ>>;
+
+/// The full aggregation walk: every load here touches a counter the
+/// workers are concurrently incrementing.
+fn walk(pool: &Pool) -> PoolSnap {
+    let stats = pool.stats();
+    PoolSnap {
+        hits: stats.hits.load(Ordering::Relaxed),
+        misses: stats.misses.load(Ordering::Relaxed),
+        writebacks: stats.writebacks.load(Ordering::Relaxed),
+        pin_cas_retries: stats.pin_cas_retries.load(Ordering::Relaxed),
+        page_table_fallbacks: pool.page_table_fallback_reads(),
+        free_list_steals: pool.free_list_steals(),
+        lock: pool.manager().lock_snapshot(),
+        miss_lock: pool.miss_lock_snapshot(),
+        miss_locks: pool.miss_lock_summary(),
+    }
+}
+
+struct Run {
+    worker_ops: u64,
+    wall_ns: u64,
+    worker_mops: f64,
+    scrapes: u64,
+    walks: u64,
+    mean_scrape_ns: u64,
+}
+
+fn run(mode: &'static str, ops_per_worker: u64) -> Run {
+    let pool: Pool = BufferPool::new(
+        FRAMES,
+        64,
+        WrappedManager::new(TwoQ::new(FRAMES), WrapperConfig::default()),
+        Arc::new(SimDisk::instant()),
+    );
+    {
+        // Warm: working set == pool, so the measured loop is ~all hits.
+        let mut session = pool.session();
+        for page in 0..FRAMES as u64 {
+            drop(session.fetch(page).expect("instant disk cannot fail"));
+        }
+    }
+    let cache: SnapshotCache<PoolSnap> = SnapshotCache::default();
+    let epoch = Instant::now();
+    let stop = AtomicBool::new(false);
+    let scrapes = AtomicU64::new(0);
+    let scrape_ns = AtomicU64::new(0);
+    let walks = AtomicU64::new(0);
+    let t0 = Instant::now();
+    let mut wall_ns = 0u64;
+    std::thread::scope(|s| {
+        let workers: Vec<_> = (0..WORKERS)
+            .map(|th| {
+                let pool = &pool;
+                s.spawn(move || {
+                    let mut session = pool.session();
+                    let mut x = 0x9E37_79B9_7F4A_7C15u64.wrapping_mul(th + 1);
+                    for _ in 0..ops_per_worker {
+                        x ^= x << 13;
+                        x ^= x >> 7;
+                        x ^= x << 17;
+                        drop(
+                            session
+                                .fetch(x % FRAMES as u64)
+                                .expect("instant disk cannot fail"),
+                        );
+                    }
+                })
+            })
+            .collect();
+        if mode != "none" {
+            for _ in 0..SCRAPERS {
+                let pool = &pool;
+                let cache = &cache;
+                let (stop, scrapes, scrape_ns, walks) = (&stop, &scrapes, &scrape_ns, &walks);
+                s.spawn(move || {
+                    while !stop.load(Ordering::Relaxed) {
+                        let t = Instant::now();
+                        let snap = if mode == "cached" {
+                            cache.get(
+                                epoch.elapsed().as_nanos() as u64,
+                                CACHE_TTL.as_nanos() as u64,
+                                || {
+                                    walks.fetch_add(1, Ordering::Relaxed);
+                                    walk(pool)
+                                },
+                            )
+                        } else {
+                            walks.fetch_add(1, Ordering::Relaxed);
+                            walk(pool)
+                        };
+                        // Consume every field so the walk cannot be
+                        // optimized out.
+                        std::hint::black_box(
+                            snap.hits
+                                + snap.misses
+                                + snap.writebacks
+                                + snap.pin_cas_retries
+                                + snap.page_table_fallbacks
+                                + snap.free_list_steals
+                                + snap.lock.acquisitions
+                                + snap.miss_lock.acquisitions
+                                + snap.miss_locks.total_acquisitions,
+                        );
+                        scrape_ns.fetch_add(t.elapsed().as_nanos() as u64, Ordering::Relaxed);
+                        scrapes.fetch_add(1, Ordering::Relaxed);
+                        std::thread::sleep(SCRAPE_INTERVAL);
+                    }
+                });
+            }
+        }
+        // Time the workers only; scrapers keep polling until the last
+        // worker is done, then drain on the stop flag.
+        for w in workers {
+            w.join().expect("worker panicked");
+        }
+        wall_ns = t0.elapsed().as_nanos() as u64;
+        stop.store(true, Ordering::Relaxed);
+    });
+    let worker_ops = WORKERS * ops_per_worker;
+    let scrapes = scrapes.load(Ordering::Relaxed);
+    Run {
+        worker_ops,
+        wall_ns,
+        worker_mops: worker_ops as f64 / (wall_ns as f64 / 1e9) / 1e6,
+        scrapes,
+        walks: walks.load(Ordering::Relaxed),
+        mean_scrape_ns: scrape_ns.load(Ordering::Relaxed) / scrapes.max(1),
+    }
+}
+
+fn row(mode: &str, r: &Run) -> String {
+    let mut o = JsonObject::new();
+    o.field_str("kind", "scrape")
+        .field_str("mode", mode)
+        .field_u64("workers", WORKERS)
+        .field_u64("scrapers", if mode == "none" { 0 } else { SCRAPERS })
+        .field_u64("scrape_interval_us", SCRAPE_INTERVAL.as_micros() as u64)
+        .field_u64("cache_ttl_ms", CACHE_TTL.as_millis() as u64)
+        .field_u64("frames", FRAMES as u64)
+        .field_u64("worker_ops", r.worker_ops)
+        .field_u64("wall_ns", r.wall_ns)
+        .field_f64("worker_mops", r.worker_mops)
+        .field_u64("scrapes", r.scrapes)
+        .field_u64("aggregation_walks", r.walks)
+        .field_u64("mean_scrape_ns", r.mean_scrape_ns);
+    o.finish()
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let out = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1).cloned())
+        .unwrap_or_else(|| "results/scrape_interference.jsonl".into());
+    let ops_per_worker: u64 = if quick { 500_000 } else { 2_000_000 };
+
+    println!(
+        "host: {} hardware threads | {WORKERS} workers x {ops_per_worker} hits, \
+         {SCRAPERS} scrapers @ {}us",
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1),
+        SCRAPE_INTERVAL.as_micros()
+    );
+    println!(
+        "\n{:<9} {:>12} {:>9} {:>7} {:>15}",
+        "mode", "worker_Mops", "scrapes", "walks", "mean_scrape_ns"
+    );
+    let mut lines = Vec::new();
+    for mode in ["none", "uncached", "cached"] {
+        let r = run(mode, ops_per_worker);
+        println!(
+            "{:<9} {:>12.3} {:>9} {:>7} {:>15}",
+            mode, r.worker_mops, r.scrapes, r.walks, r.mean_scrape_ns
+        );
+        lines.push(row(mode, &r));
+    }
+
+    if let Some(dir) = std::path::Path::new(&out).parent() {
+        if !dir.as_os_str().is_empty() {
+            let _ = std::fs::create_dir_all(dir);
+        }
+    }
+    std::fs::write(&out, lines.join("\n") + "\n").unwrap_or_else(|e| panic!("write {out}: {e}"));
+    println!("\nwrote {} rows to {out}", lines.len());
+}

@@ -54,6 +54,10 @@ impl<M: ReplacementManager> BufferPool<M> {
             s.dirty = false; // a racing write re-dirties after us: no loss
             s.pins += 1; // hold the frame against eviction across the I/O
             copy = data.clone();
+            bpw_dst::record(|| bpw_dst::Op::Pin {
+                page: s.tag,
+                pins: s.pins,
+            });
             (s.tag, s.lsn)
         }; // both latches released; I/O proceeds on the copy
         let result = self.io_with_retries(page, || {
@@ -64,6 +68,7 @@ impl<M: ReplacementManager> BufferPool<M> {
         });
         let mut s = self.desc(f).lock();
         s.pins -= 1;
+        bpw_dst::record(|| bpw_dst::Op::Unpin { page, pins: s.pins });
         match result {
             Ok(()) => {
                 self.stats().writebacks.fetch_add(1, Ordering::Relaxed);

@@ -34,7 +34,7 @@ pub mod storage;
 pub mod wal;
 
 pub use bgwriter::BgWriter;
-pub use desc::{BufferDesc, DescState};
+pub use desc::{BufferDesc, DescState, MutexDesc, PinAttempt, UnpinOutcome};
 pub use free_list::StripedFreeList;
 pub use managers::{
     ClockManager, CoarseManager, ManagerHandle, ReplacementManager, WrappedManager,

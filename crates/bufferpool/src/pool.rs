@@ -8,12 +8,12 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
-use bpw_core::InstrumentedLock;
+use bpw_core::{CachePadded, InstrumentedLock};
 use bpw_metrics::{LockShardSummary, LockSnapshot, LockStats};
 use bpw_replacement::{FrameId, MissOutcome, PageId};
 use parking_lot::Mutex;
 
-use crate::desc::BufferDesc;
+use crate::desc::{BufferDesc, UnpinOutcome};
 use crate::free_list::StripedFreeList;
 use crate::managers::{ManagerHandle, ReplacementManager};
 use crate::page_table::PageTable;
@@ -61,6 +61,14 @@ pub struct PoolStats {
     /// budget (each surfaced an error to the caller or re-dirtied the
     /// frame; none wedged a frame).
     pub io_errors: AtomicU64,
+    /// CAS retries inside `try_pin` beyond the first attempt — the
+    /// lock-free hit path's contention signal (each retry is one more
+    /// loop iteration, not a blocked thread).
+    pub pin_cas_retries: AtomicU64,
+    /// Unpins that found the pin count already at zero (pin/unpin
+    /// imbalance). The count saturates instead of wrapping; this should
+    /// stay 0 outside deliberate fault injection.
+    pub pin_underflows: AtomicU64,
 }
 
 /// How the pool retries failed storage operations before giving up:
@@ -113,7 +121,10 @@ impl PoolStats {
 /// A DBMS-style buffer pool generic over its replacement manager.
 pub struct BufferPool<M: ReplacementManager> {
     table: PageTable,
-    descs: Vec<BufferDesc>,
+    /// One descriptor per frame, each on its own cache line: the pin
+    /// CAS traffic of hot frames must not false-share with neighbours
+    /// (the `hit_scaling` bench A/Bs padded vs dense to quantify this).
+    descs: Vec<CachePadded<BufferDesc>>,
     data: Vec<Mutex<Box<[u8]>>>,
     free: StripedFreeList,
     /// Serialize victim selection + table rebinding (not the I/O), one
@@ -141,7 +152,9 @@ impl<M: ReplacementManager> BufferPool<M> {
         let shards = table.shards();
         BufferPool {
             table,
-            descs: (0..frames).map(|_| BufferDesc::new()).collect(),
+            descs: (0..frames)
+                .map(|_| CachePadded::new(BufferDesc::new()))
+                .collect(),
             data: (0..frames)
                 .map(|_| Mutex::new(vec![0u8; page_size].into_boxed_slice()))
                 .collect(),
@@ -286,6 +299,12 @@ impl<M: ReplacementManager> BufferPool<M> {
         self.free.cold_pushes()
     }
 
+    /// Page-table lookups that retried through the locked fallback path
+    /// (torn optimistic read or a spilled shard).
+    pub fn page_table_fallback_reads(&self) -> u64 {
+        self.table.fallback_reads()
+    }
+
     /// The storage device.
     pub fn storage(&self) -> &Arc<dyn Storage> {
         &self.storage
@@ -419,6 +438,7 @@ impl<M: ReplacementManager> BufferPool<M> {
             s.pins = 0; // the caller gets an error, not a guard
             s.lsn = 0;
         }
+        bpw_dst::record(|| bpw_dst::Op::Unpin { page, pins: 0 });
         self.table.remove(page);
         self.manager.invalidate(frame);
         // Cold push: the frame just hosted a failing I/O; a plain LIFO
@@ -470,7 +490,18 @@ impl<'p, M: ReplacementManager> PoolSession<'p, M> {
             bpw_dst::yield_point();
             if let Some(frame) = self.pool.table.get(page) {
                 bpw_dst::yield_point();
-                if self.pool.descs[frame as usize].try_pin(page) {
+                let attempt = self.pool.descs[frame as usize].try_pin(page);
+                if attempt.retries > 0 {
+                    // Off the common path: only contended pins pay this
+                    // shared RMW (an unconditional fetch_add here would
+                    // reintroduce per-hit cache-line traffic).
+                    self.pool
+                        .stats
+                        .pin_cas_retries
+                        .fetch_add(u64::from(attempt.retries), Ordering::Relaxed);
+                }
+                if attempt.pinned {
+                    bpw_trace::instant(bpw_trace::EventKind::HitPin, page);
                     self.pool.stats.hits.fetch_add(1, Ordering::Relaxed);
                     self.handle.on_hit(page, frame);
                     bpw_dst::record(|| bpw_dst::Op::FetchDone {
@@ -557,6 +588,7 @@ impl<'p, M: ReplacementManager> PoolSession<'p, M> {
                 (was_dirty, 0)
             }
         };
+        bpw_dst::record(|| bpw_dst::Op::Pin { page, pins: 1 });
         if let Some(v) = victim {
             bpw_trace::instant(bpw_trace::EventKind::Eviction, v);
             pool.table.remove(v);
@@ -686,7 +718,12 @@ impl<'p, M: ReplacementManager> std::fmt::Debug for PinnedPage<'p, M> {
 impl<'p, M: ReplacementManager> Drop for PinnedPage<'p, M> {
     fn drop(&mut self) {
         bpw_dst::yield_point();
-        self.pool.descs[self.frame as usize].unpin();
+        if self.pool.descs[self.frame as usize].unpin() == UnpinOutcome::Underflow {
+            self.pool
+                .stats
+                .pin_underflows
+                .fetch_add(1, Ordering::Relaxed);
+        }
     }
 }
 

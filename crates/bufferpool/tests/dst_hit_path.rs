@@ -1,0 +1,327 @@
+//! Deterministic-simulation suite for the lock-free hit path: the
+//! tag-validated CAS pin racing invalidation, eviction, and miss-fill.
+//!
+//! The schedule point that matters sits inside [`BufferDesc::try_pin`],
+//! between the tag read and the header CAS. Under the seeded scheduler
+//! a *complete* invalidate + refill of the same frame can execute in
+//! that window; the pin must then fail (the slow path bumped the header
+//! version, so the CAS misses) rather than land on a frame that now
+//! holds a different page. The CI-verified mutant
+//! `dst_mutation = "no_version_check"` removes exactly that
+//! re-verification — this suite is what catches it, via the wrong-bytes
+//! read assertions below.
+//!
+//! Unlike `dst_miss_storm`, tasks here deliberately *share* pages (so
+//! `check_commit_order` does not apply) — shared hot pages are what
+//! make pin/invalidate/refill collisions dense enough to matter.
+
+#![cfg(feature = "dst")]
+
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+
+use bpw_bufferpool::{BufferPool, SimDisk, WrappedManager};
+use bpw_core::WrapperConfig;
+use bpw_dst::check::{check_free_list, check_pin_balance};
+use bpw_dst::{Op, RunOutcome, Sim};
+use bpw_replacement::{Lru, ReplacementPolicy};
+
+type Pool = BufferPool<WrappedManager<Lru>>;
+
+fn make_pool(frames: usize) -> Arc<Pool> {
+    Arc::new(BufferPool::new(
+        frames,
+        64,
+        WrappedManager::new(
+            Lru::new(frames),
+            WrapperConfig::default()
+                .with_queue_size(4)
+                .with_batch_threshold(2)
+                .with_combining(true),
+        ),
+        Arc::new(SimDisk::instant()),
+    ))
+}
+
+fn assert_page_bytes(d: &[u8], page: u64) {
+    assert_eq!(
+        u64::from_le_bytes(d[..8].try_into().unwrap()),
+        page,
+        "pinned frame holds another page's bytes: the pin's tag \
+         validation let a retag slip through"
+    );
+}
+
+// --- storm: fetchers × invalidator on shared hot pages ---------------------
+
+const FRAMES: usize = 2;
+const PAGES: u64 = 4;
+const FETCHES: u64 = 10;
+const FETCHERS: u64 = 2;
+
+fn run_hit_storm(seed: u64, pct: bool) -> (RunOutcome, Arc<Pool>) {
+    let pool = make_pool(FRAMES);
+    let mut sim = if pct {
+        Sim::new(seed).with_pct(3)
+    } else {
+        Sim::new(seed)
+    };
+    for t in 0..FETCHERS {
+        let pool = Arc::clone(&pool);
+        sim.spawn(move || {
+            let mut s = pool.session();
+            let mut x = bpw_dst::splitmix64(seed ^ (t + 1));
+            for _ in 0..FETCHES {
+                x = bpw_dst::splitmix64(x);
+                // Both fetchers draw from the SAME page set: hits race
+                // hits, and every page is an invalidation target.
+                let page = x % PAGES;
+                let p = s.fetch(page).unwrap();
+                p.read(|d| assert_page_bytes(d, page));
+                drop(p);
+            }
+        });
+    }
+    {
+        // The antagonist: invalidates hot pages so resident mappings
+        // vanish (and frames retag) between a fetcher's lookup and pin.
+        let pool = Arc::clone(&pool);
+        sim.spawn(move || {
+            let mut x = bpw_dst::splitmix64(seed ^ 0xA57);
+            for _ in 0..2 * FETCHES {
+                x = bpw_dst::splitmix64(x);
+                // Busy is fine: someone holds a pin right now.
+                pool.invalidate(x % PAGES);
+                bpw_dst::yield_now();
+            }
+        });
+    }
+    (sim.run(), pool)
+}
+
+fn check_hit_storm(out: &RunOutcome, pool: &Pool) {
+    out.check(|o| {
+        // Every fetch completed exactly one way, and the pool's own
+        // counters agree with the recorded history.
+        let st = pool.stats();
+        let done: Vec<bool> = o
+            .history
+            .iter()
+            .filter_map(|e| match e.op {
+                Op::FetchDone { hit, .. } => Some(hit),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(done.len() as u64, FETCHERS * FETCHES);
+        assert_eq!(
+            st.hits.load(Ordering::Relaxed),
+            done.iter().filter(|h| **h).count() as u64
+        );
+        assert_eq!(
+            st.misses.load(Ordering::Relaxed),
+            done.iter().filter(|h| !**h).count() as u64
+        );
+        // Pin conservation: every recorded pin has a matching unpin and
+        // nothing is held once all sessions ended. Sound even though
+        // tasks share pages — a pinned frame's tag is stable, so the
+        // per-page balance is well-defined.
+        let pr = check_pin_balance(&o.history, true);
+        assert!(pr.pins > 0, "storm never pinned; hit path not under test");
+        assert_eq!(pr.pins, pr.unpins);
+        // Structure: no frame leaked between free list and table, no
+        // duplicate mappings, free-list history conservation-clean.
+        assert_eq!(pool.free_frames() + pool.resident_count(), FRAMES);
+        pool.check_mapping_invariants();
+        let fr = check_free_list(&o.history, FRAMES as u32, true);
+        assert_eq!(fr.free_at_end as usize, pool.free_frames());
+        pool.manager()
+            .wrapper()
+            .with_locked(|p| p.check_invariants());
+    });
+}
+
+#[test]
+fn dst_hit_path_invariants_hold_under_all_schedules() {
+    let mut hits = 0;
+    for (i, seed) in bpw_dst::seed_corpus(0x417_BA7, 32).iter().enumerate() {
+        let (out, pool) = run_hit_storm(*seed, i % 4 == 3);
+        check_hit_storm(&out, &pool);
+        hits += pool.stats().hits.load(Ordering::Relaxed);
+    }
+    assert!(hits > 0, "storm never hit; the hit path was not under test");
+}
+
+// --- descriptor-level race: the mutant catcher -----------------------------
+
+/// The distilled hazard, at the descriptor level where the retag is
+/// only a couple of schedule points long (through the pool a retag is a
+/// full invalidate + miss-fill — dozens of yields — so a schedule that
+/// fits one inside `try_pin`'s window is astronomically rare; here it
+/// is common, which is what makes the `no_version_check` mutant
+/// reliably catchable).
+///
+/// Task B flips one descriptor between pages 1 and 2 under the slow-path
+/// latch — respecting pins, exactly like eviction — keeping a stand-in
+/// "frame content" cell in sync. Task A spins `try_pin(1)` and asserts
+/// that whenever the pin lands, the content is page 1's. A successful
+/// CAS against the tag-validated header proves no retag intervened; the
+/// mutant CASes against a *fresh* header instead, so a retag landing in
+/// the window pins page 2's bytes under page 1's name.
+#[test]
+fn dst_pin_version_validation_blocks_tag_slippage() {
+    use std::sync::atomic::AtomicU64;
+
+    let mut caught_pins = 0u64;
+    for (i, seed) in bpw_dst::seed_corpus(0xDE5C, 24).iter().enumerate() {
+        let desc = Arc::new(bpw_bufferpool::BufferDesc::new());
+        let content = Arc::new(AtomicU64::new(1));
+        {
+            let mut s = desc.lock();
+            s.tag = 1;
+            s.valid = true;
+        }
+        let mut sim = if i % 4 == 3 {
+            Sim::new(*seed).with_pct(3)
+        } else {
+            Sim::new(*seed)
+        };
+        {
+            let desc = Arc::clone(&desc);
+            let content = Arc::clone(&content);
+            sim.spawn(move || {
+                let mut pins = 0u64;
+                for _ in 0..200 {
+                    let a = desc.try_pin(1);
+                    if a.pinned {
+                        pins += 1;
+                        assert_eq!(
+                            content.load(Ordering::Relaxed),
+                            1,
+                            "pinned page 1 but the frame holds page 2's \
+                             bytes: a retag slipped past the pin's \
+                             version validation"
+                        );
+                        desc.unpin();
+                    }
+                    bpw_dst::yield_now();
+                }
+                // Smuggle the count out through the history so the
+                // outer loop can prove the test is not vacuous.
+                bpw_dst::record(move || Op::FetchDone {
+                    page: pins,
+                    frame: 0,
+                    hit: true,
+                });
+            });
+        }
+        {
+            let desc = Arc::clone(&desc);
+            sim.spawn(move || {
+                let mut page = 1u64;
+                for _ in 0..100 {
+                    {
+                        let mut s = desc.lock();
+                        if s.pins == 0 {
+                            // Retag, like eviction: only unpinned frames.
+                            page = 3 - page; // 1 <-> 2
+                            s.tag = page;
+                            content.store(page, Ordering::Relaxed);
+                        }
+                    }
+                    bpw_dst::yield_now();
+                }
+            });
+        }
+        let out = sim.run();
+        out.check(|o| {
+            let pr = check_pin_balance(&o.history, true);
+            assert_eq!(pr.pins, pr.unpins);
+            caught_pins += o
+                .history
+                .iter()
+                .filter_map(|e| match e.op {
+                    Op::FetchDone { page, .. } => Some(page),
+                    _ => None,
+                })
+                .sum::<u64>();
+        });
+    }
+    assert!(
+        caught_pins > 0,
+        "pins never landed; the race was not under test"
+    );
+}
+
+// --- targeted race: pin vs invalidate + refill on ONE frame ----------------
+
+/// One frame, two pages: task A hammers page 1 while task B cycles
+/// `invalidate(1)` → `fetch(2)` → `invalidate(2)`, so the *only* frame
+/// is constantly retagged 1 → 2 → 1. Maximizes the probability that a
+/// full retag lands inside A's tag-read → CAS window; the read
+/// assertions then distinguish the real pin (version-checked CAS: the
+/// pin fails and A refetches) from the mutant (pin lands on page 2's
+/// bytes).
+fn run_refill_race(seed: u64, pct: bool) -> (RunOutcome, Arc<Pool>) {
+    let pool = make_pool(1);
+    let mut sim = if pct {
+        Sim::new(seed).with_pct(3)
+    } else {
+        Sim::new(seed)
+    };
+    {
+        let pool = Arc::clone(&pool);
+        sim.spawn(move || {
+            let mut s = pool.session();
+            for _ in 0..12 {
+                let p = s.fetch(1).unwrap();
+                p.read(|d| assert_page_bytes(d, 1));
+                drop(p);
+            }
+        });
+    }
+    {
+        let pool = Arc::clone(&pool);
+        sim.spawn(move || {
+            let mut s = pool.session();
+            for _ in 0..6 {
+                pool.invalidate(1);
+                let p = s.fetch(2).unwrap();
+                p.read(|d| assert_page_bytes(d, 2));
+                drop(p);
+                pool.invalidate(2);
+                bpw_dst::yield_now();
+            }
+        });
+    }
+    (sim.run(), pool)
+}
+
+#[test]
+fn dst_pin_validation_survives_invalidate_refill_races() {
+    for (i, seed) in bpw_dst::seed_corpus(0x9E7A6, 32).iter().enumerate() {
+        let (out, pool) = run_refill_race(*seed, i % 2 == 1);
+        out.check(|o| {
+            let pr = check_pin_balance(&o.history, true);
+            assert_eq!(pr.pins, pr.unpins);
+            assert_eq!(pool.free_frames() + pool.resident_count(), 1);
+            pool.check_mapping_invariants();
+        });
+    }
+}
+
+// --- determinism -----------------------------------------------------------
+
+#[test]
+fn dst_hit_path_same_seed_same_history() {
+    for seed in [0x417_01u64, 0x417_02] {
+        let (a, pa) = run_hit_storm(seed, false);
+        let (b, pb) = run_hit_storm(seed, false);
+        assert_eq!(a.schedule, b.schedule, "schedule diverged for {seed:#x}");
+        assert_eq!(a.history, b.history, "history diverged for {seed:#x}");
+        assert_eq!(
+            pa.stats().hits.load(Ordering::Relaxed),
+            pb.stats().hits.load(Ordering::Relaxed)
+        );
+        assert_eq!(pa.free_frames(), pb.free_frames());
+    }
+}

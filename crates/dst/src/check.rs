@@ -138,6 +138,61 @@ pub fn check_combine_fairness(events: &[Event], bound: u32) -> FairnessReport {
     report
 }
 
+/// Summary returned by [`check_pin_balance`].
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct PinReport {
+    pub pins: u64,
+    pub unpins: u64,
+    /// Largest pin count any single page reached.
+    pub max_pins: u32,
+}
+
+/// Checker (d): lock-free pins and unpins balance. A page resides in at
+/// most one frame at a time and a pinned frame can be neither evicted
+/// nor invalidated (the victim filter rejects `pins > 0`, invalidate
+/// reports `Busy`), so a frame's tag is stable while pinned — which
+/// makes per-page accounting sound over the linearized history: each
+/// page's running pin balance must never go negative (an unpin without
+/// a matching pin — the release-mode underflow the packed header
+/// saturates) and must end at zero when every guard was dropped
+/// (`expect_drained`).
+pub fn check_pin_balance(events: &[Event], expect_drained: bool) -> PinReport {
+    let mut held: HashMap<u64, i64> = HashMap::new();
+    let mut report = PinReport::default();
+    for ev in events {
+        match ev.op {
+            Op::Pin { page, pins } => {
+                let bal = held.entry(page).or_insert(0);
+                *bal += 1;
+                report.pins += 1;
+                report.max_pins = report.max_pins.max(pins);
+            }
+            Op::Unpin { page, .. } => {
+                let bal = held.entry(page).or_insert(0);
+                *bal -= 1;
+                assert!(
+                    *bal >= 0,
+                    "pin underflow: task {} unpinned page {page} more times \
+                     than it was pinned",
+                    ev.task
+                );
+                report.unpins += 1;
+            }
+            _ => {}
+        }
+    }
+    if expect_drained {
+        for (page, bal) in &held {
+            assert_eq!(
+                *bal, 0,
+                "page {page} ended with {bal} outstanding pin(s) after every \
+                 guard was dropped (leaked pin blocks eviction forever)"
+            );
+        }
+    }
+    report
+}
+
 /// Summary returned by [`check_free_list`].
 #[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
 pub struct FreeListReport {
@@ -339,6 +394,38 @@ mod tests {
             },
         )];
         check_combine_fairness(&events, 2);
+    }
+
+    #[test]
+    fn pin_balance_accepts_matched_pairs() {
+        let events = vec![
+            ev(0, Op::Pin { page: 1, pins: 1 }),
+            ev(1, Op::Pin { page: 1, pins: 2 }),
+            ev(0, Op::Unpin { page: 1, pins: 1 }),
+            ev(1, Op::Unpin { page: 1, pins: 0 }),
+        ];
+        let report = check_pin_balance(&events, true);
+        assert_eq!(report.pins, 2);
+        assert_eq!(report.unpins, 2);
+        assert_eq!(report.max_pins, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "pin underflow")]
+    fn pin_balance_rejects_underflow() {
+        let events = vec![
+            ev(0, Op::Pin { page: 1, pins: 1 }),
+            ev(0, Op::Unpin { page: 1, pins: 0 }),
+            ev(1, Op::Unpin { page: 1, pins: 0 }),
+        ];
+        check_pin_balance(&events, true);
+    }
+
+    #[test]
+    #[should_panic(expected = "outstanding pin")]
+    fn pin_balance_rejects_leaked_pin() {
+        let events = vec![ev(0, Op::Pin { page: 3, pins: 1 })];
+        check_pin_balance(&events, true);
     }
 
     #[test]

@@ -56,6 +56,13 @@ pub enum Op {
     /// A pool invalidation completed with the given outcome
     /// (0 = Invalidated, 1 = NotResident, 2 = Busy).
     Invalidate { page: u64, outcome: u8 },
+    /// A lock-free pin landed on a descriptor (the CAS succeeded).
+    /// `pins` is the count *after* the increment; `page` the tag the
+    /// pin validated against.
+    Pin { page: u64, pins: u32 },
+    /// A lock-free unpin landed. `pins` is the count *after* the
+    /// decrement; `page` the descriptor's tag at release time.
+    Unpin { page: u64, pins: u32 },
 }
 
 /// An [`Op`] attributed to the virtual thread that performed it.

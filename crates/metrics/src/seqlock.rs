@@ -1,0 +1,265 @@
+//! Seqlock-published snapshots: lock-free readers over a `Copy` value
+//! that a (rare) writer replaces wholesale.
+//!
+//! The STATS/METRICS scrape path aggregates dozens of counters and
+//! per-shard lock-stat families into one snapshot. Doing that walk on
+//! every scrape makes monitoring interfere with the data path — each
+//! counter load drags a hot cache line into shared state, forcing the
+//! next worker increment to re-acquire exclusive ownership. A seqlock
+//! inverts the cost: one writer performs the walk once and publishes
+//! the result; any number of readers copy it out with two sequence
+//! loads and no stores to shared memory at all, retrying in the
+//! (rare) case a writer ran concurrently.
+//!
+//! The protocol is the classic even/odd sequence:
+//!
+//! * writer: `seq += 1` (odd = write in progress), release fence,
+//!   store the payload, `seq += 1` (even) with release ordering;
+//! * reader: load `seq` (acquire), skip if odd, copy the payload,
+//!   acquire fence, re-load `seq`; equal and even ⇒ the copy is a
+//!   consistent snapshot, otherwise retry.
+//!
+//! The payload copy itself uses volatile reads — the standard seqlock
+//! compromise (a racing read's bytes may be torn, but a torn copy is
+//! *always* discarded by the sequence check before anyone looks at
+//! it). `T: Copy` keeps `Drop` out of the discarded-copy path.
+
+use std::cell::UnsafeCell;
+use std::sync::atomic::{fence, AtomicU64, Ordering};
+
+/// A `Copy` value published by occasional writers to lock-free readers.
+///
+/// Writers are serialized against each other by a CAS on the sequence
+/// word ([`Seqlock::try_write`] fails instead of blocking when another
+/// writer holds it), so no external writer lock is needed.
+#[derive(Debug, Default)]
+pub struct Seqlock<T> {
+    seq: AtomicU64,
+    data: UnsafeCell<T>,
+}
+
+// Readers copy the payload out racily and validate; writers are
+// CAS-serialized. T crosses threads by value, hence Send.
+unsafe impl<T: Copy + Send> Sync for Seqlock<T> {}
+
+impl<T: Copy> Seqlock<T> {
+    /// A seqlock initially holding `value`.
+    pub fn new(value: T) -> Self {
+        Seqlock {
+            seq: AtomicU64::new(0),
+            data: UnsafeCell::new(value),
+        }
+    }
+
+    /// Copy the current value out without writing any shared memory.
+    /// Spins only while a writer is mid-publish (a few stores).
+    pub fn read(&self) -> T {
+        loop {
+            let s1 = self.seq.load(Ordering::Acquire);
+            if s1 & 1 == 1 {
+                std::hint::spin_loop();
+                continue;
+            }
+            // SAFETY: a racing writer may be mutating `data`; the
+            // volatile read tolerates the tear and the sequence check
+            // below discards any copy that overlapped a write.
+            let value = unsafe { std::ptr::read_volatile(self.data.get()) };
+            fence(Ordering::Acquire);
+            let s2 = self.seq.load(Ordering::Relaxed);
+            if s1 == s2 {
+                return value;
+            }
+        }
+    }
+
+    /// Publish `value` if no other writer is mid-publish. Returns
+    /// `false` (and writes nothing) when one is — the caller's stale
+    /// read is still consistent, so skipping is always safe.
+    pub fn try_write(&self, value: T) -> bool {
+        let s = self.seq.load(Ordering::Relaxed);
+        if s & 1 == 1 {
+            return false;
+        }
+        if self
+            .seq
+            .compare_exchange(s, s + 1, Ordering::Acquire, Ordering::Relaxed)
+            .is_err()
+        {
+            return false;
+        }
+        // SAFETY: the odd sequence value claimed exclusive write
+        // access; readers observing it retry instead of copying.
+        unsafe { std::ptr::write_volatile(self.data.get(), value) };
+        self.seq.store(s + 2, Ordering::Release);
+        true
+    }
+
+    /// Publish `value`, spinning out any concurrent writer first.
+    pub fn write(&self, value: T) {
+        while !self.try_write(value) {
+            std::hint::spin_loop();
+        }
+    }
+
+    /// How many publishes have completed (sequence / 2; odd sequences
+    /// are transient). Diagnostic only.
+    pub fn writes(&self) -> u64 {
+        self.seq.load(Ordering::Relaxed) / 2
+    }
+}
+
+/// A [`Seqlock`] fronted by a refresh interval: readers get the cached
+/// snapshot for free, and at most one caller per elapsed interval pays
+/// for re-aggregation.
+///
+/// Time is supplied by the caller as nanoseconds on any monotone clock
+/// (the server passes `Instant` deltas from process start) — keeping
+/// the type clock-free makes the TTL logic trivially testable.
+#[derive(Debug, Default)]
+pub struct SnapshotCache<T> {
+    slot: Seqlock<T>,
+    /// Timestamp (caller's clock, ns) of the last completed refresh; 0
+    /// means never. Doubles as the refresh mutex: the CAS winner is
+    /// the one caller that re-aggregates.
+    refreshed_at: AtomicU64,
+    refreshes: AtomicU64,
+}
+
+impl<T: Copy> SnapshotCache<T> {
+    /// An empty cache holding `initial` (served until the first
+    /// refresh).
+    pub fn new(initial: T) -> Self {
+        SnapshotCache {
+            slot: Seqlock::new(initial),
+            refreshed_at: AtomicU64::new(0),
+            refreshes: AtomicU64::new(0),
+        }
+    }
+
+    /// Get the snapshot as of `now_ns`, re-aggregating via `refresh`
+    /// only if the cached one is older than `ttl_ns`. Concurrent
+    /// callers during a refresh read the previous snapshot instead of
+    /// piling onto the aggregation — that is the scrape-interference
+    /// fix: N scrapers cost one walk per TTL, not N.
+    pub fn get(&self, now_ns: u64, ttl_ns: u64, refresh: impl FnOnce() -> T) -> T {
+        let last = self.refreshed_at.load(Ordering::Acquire);
+        let stale = last == 0 || now_ns.saturating_sub(last) >= ttl_ns;
+        if stale
+            && self
+                .refreshed_at
+                .compare_exchange(last, now_ns.max(1), Ordering::AcqRel, Ordering::Relaxed)
+                .is_ok()
+        {
+            let value = refresh();
+            self.slot.write(value);
+            self.refreshes.fetch_add(1, Ordering::Relaxed);
+            return value;
+        }
+        self.slot.read()
+    }
+
+    /// Completed refreshes (how many times the aggregation ran).
+    pub fn refreshes(&self) -> u64 {
+        self.refreshes.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn read_returns_latest_write() {
+        let s = Seqlock::new((1u64, 2u64));
+        assert_eq!(s.read(), (1, 2));
+        s.write((3, 4));
+        assert_eq!(s.read(), (3, 4));
+        assert_eq!(s.writes(), 1);
+    }
+
+    #[test]
+    fn torn_reads_are_impossible() {
+        // Writer publishes (n, 2n) pairs; readers must never observe a
+        // pair violating the invariant — a torn copy would.
+        let s = std::sync::Arc::new(Seqlock::new((0u64, 0u64)));
+        let stop = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false));
+        std::thread::scope(|sc| {
+            for _ in 0..4 {
+                let s = std::sync::Arc::clone(&s);
+                let stop = std::sync::Arc::clone(&stop);
+                sc.spawn(move || {
+                    while !stop.load(Ordering::Relaxed) {
+                        let (a, b) = s.read();
+                        assert_eq!(b, 2 * a, "torn seqlock read");
+                    }
+                });
+            }
+            for n in 1..=100_000u64 {
+                s.write((n, 2 * n));
+            }
+            stop.store(true, Ordering::Relaxed);
+        });
+        assert_eq!(s.read(), (100_000, 200_000));
+    }
+
+    #[test]
+    fn try_write_skips_when_contended() {
+        // Force an odd (writer-held) sequence and verify try_write
+        // refuses rather than corrupting the in-progress publish.
+        let s = Seqlock::new(7u64);
+        s.seq.store(1, Ordering::Relaxed);
+        assert!(!s.try_write(9));
+        s.seq.store(2, Ordering::Relaxed);
+        assert!(s.try_write(9));
+        assert_eq!(s.read(), 9);
+    }
+
+    #[test]
+    fn cache_serves_cached_until_ttl() {
+        let calls = AtomicUsize::new(0);
+        let c = SnapshotCache::new(0u64);
+        let get = |now: u64| {
+            c.get(now, 100, || {
+                calls.fetch_add(1, Ordering::Relaxed);
+                now * 10
+            })
+        };
+        assert_eq!(get(1), 10, "first call always refreshes");
+        assert_eq!(get(50), 10, "inside TTL: cached");
+        assert_eq!(get(99), 10, "still inside");
+        assert_eq!(get(101), 1010, "TTL elapsed: re-aggregated");
+        assert_eq!(get(150), 1010);
+        assert_eq!(calls.load(Ordering::Relaxed), 2);
+        assert_eq!(c.refreshes(), 2);
+    }
+
+    #[test]
+    fn concurrent_scrapes_pay_one_walk_per_ttl() {
+        let c = std::sync::Arc::new(SnapshotCache::new(0u64));
+        let walks = std::sync::Arc::new(AtomicUsize::new(0));
+        std::thread::scope(|sc| {
+            for _ in 0..8 {
+                let c = std::sync::Arc::clone(&c);
+                let walks = std::sync::Arc::clone(&walks);
+                sc.spawn(move || {
+                    for now in 1..=1000u64 {
+                        let v = c.get(now, u64::MAX, || {
+                            walks.fetch_add(1, Ordering::Relaxed);
+                            42
+                        });
+                        // Readers may see the initial value only while
+                        // the single refresh is still in flight.
+                        assert!(v == 0 || v == 42);
+                    }
+                });
+            }
+        });
+        assert_eq!(
+            walks.load(Ordering::Relaxed),
+            1,
+            "8 scrapers x 1000 reads must trigger exactly one aggregation"
+        );
+        assert_eq!(c.get(2000, u64::MAX, || unreachable!()), 42);
+    }
+}

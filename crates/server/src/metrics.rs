@@ -215,22 +215,22 @@ impl ServerMetrics {
             + self.io_errors.get()
     }
 
-    /// Render everything as one JSON object. `pool` carries the buffer
-    /// pool's counters, `lock` the replacement manager's lock
-    /// behaviour, `miss_lock` the aggregate over the pool's per-shard
-    /// miss locks (the legacy single-lock view), `miss_locks` the
-    /// shard-aware summary, and `peak_queue_depth` the admission
-    /// queue's high-water mark. The `trace` sub-object reports the
-    /// event-trace collector's health.
-    pub fn to_json(
-        &self,
-        pool: &PoolCounters,
-        lock: &LockSnapshot,
-        miss_lock: &LockSnapshot,
-        miss_locks: &LockShardSummary,
-        combining: Option<&CombiningSnapshot>,
-        peak_queue_depth: u64,
-    ) -> String {
+    /// Render everything as one JSON object: this struct's live
+    /// counters and histograms plus the pool-side scalar aggregation in
+    /// `snap` (the seqlock-cached [`StatsSnapshot`], so concurrent
+    /// scrapes share one aggregation walk instead of each dragging the
+    /// data path's hot counter cache lines). The `trace` sub-object
+    /// reports the event-trace collector's health.
+    pub fn to_json(&self, snap: &StatsSnapshot) -> String {
+        let StatsSnapshot {
+            pool,
+            lock,
+            miss_lock,
+            miss_locks,
+            combining,
+            peak_queue_depth,
+        } = snap;
+        let combining = combining.as_ref();
         let mut trace = JsonObject::new();
         trace
             .field_bool("enabled", bpw_trace::enabled())
@@ -262,7 +262,7 @@ impl ServerMetrics {
             .field_u64("short_writes", self.short_writes.get())
             .field_raw("pipeline_depth", &self.pipeline_depth.to_json())
             .field_raw("ready_per_wakeup", &self.ready_per_wakeup.to_json())
-            .field_u64("peak_queue_depth", peak_queue_depth)
+            .field_u64("peak_queue_depth", *peak_queue_depth)
             .field_raw("get_ns", &self.get_ns.to_json())
             .field_raw("put_ns", &self.put_ns.to_json())
             .field_raw("scan_ns", &self.scan_ns.to_json())
@@ -275,6 +275,9 @@ impl ServerMetrics {
             .field_f64("pool_hit_ratio", pool.hit_ratio())
             .field_u64("free_list_steals", pool.free_list_steals)
             .field_u64("free_list_cold_pushes", pool.free_list_cold_pushes)
+            .field_u64("pin_cas_retries", pool.pin_cas_retries)
+            .field_u64("pin_underflows", pool.pin_underflows)
+            .field_u64("page_table_fallback_reads", pool.page_table_fallback_reads)
             .field_raw("replacement_lock", &lock.to_json())
             .field_raw("miss_lock", &miss_lock.to_json())
             .field_raw("miss_locks", &miss_locks.to_json())
@@ -317,6 +320,16 @@ pub struct PoolCounters {
     pub free_list_steals: u64,
     /// Frames parked on the free list's cold stack by frame repair.
     pub free_list_cold_pushes: u64,
+    /// Fast-path pin CAS retries (the packed header's contention
+    /// signal: every retry is a concurrent header movement absorbed
+    /// without a lock).
+    pub pin_cas_retries: u64,
+    /// Unpins that found the pin count already at zero (saturated
+    /// instead of wrapping — each one is a pin/unpin imbalance bug).
+    pub pin_underflows: u64,
+    /// Page-table lookups that left the optimistic path and took the
+    /// shard lock (torn read or a spilled shard).
+    pub page_table_fallback_reads: u64,
 }
 
 impl PoolCounters {
@@ -329,6 +342,28 @@ impl PoolCounters {
             self.hits as f64 / total as f64
         }
     }
+}
+
+/// Every pool-side scalar a STATS/METRICS scrape needs, aggregated
+/// once and published through a seqlock ([`bpw_metrics::SnapshotCache`])
+/// so concurrent scrapes read a *consistent* point-in-time view without
+/// touching the data path's counters. `Copy` is what makes the seqlock
+/// publication race-safe — a torn copy is discarded, never dropped.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct StatsSnapshot {
+    /// Buffer-pool counters.
+    pub pool: PoolCounters,
+    /// Replacement-manager lock behaviour.
+    pub lock: LockSnapshot,
+    /// Aggregate over the pool's per-shard miss locks (legacy
+    /// single-lock view).
+    pub miss_lock: LockSnapshot,
+    /// Shard-aware miss-lock summary.
+    pub miss_locks: LockShardSummary,
+    /// Combining-commit counters (wrapped managers only).
+    pub combining: Option<CombiningSnapshot>,
+    /// Admission-queue depth high-water mark.
+    pub peak_queue_depth: u64,
 }
 
 #[cfg(test)]
@@ -364,6 +399,9 @@ mod tests {
             io_errors: 1,
             free_list_steals: 4,
             free_list_cold_pushes: 2,
+            pin_cas_retries: 11,
+            pin_underflows: 1,
+            page_table_fallback_reads: 6,
         };
         let lock = LockSnapshot::default();
         let miss_lock = LockSnapshot {
@@ -389,7 +427,14 @@ mod tests {
             combine_depth_last: 2,
             combine_depth_peak: 3,
         };
-        let json = m.to_json(&pool, &lock, &miss_lock, &miss_locks, Some(&combining), 17);
+        let json = m.to_json(&StatsSnapshot {
+            pool,
+            lock,
+            miss_lock,
+            miss_locks,
+            combining: Some(combining),
+            peak_queue_depth: 17,
+        });
 
         let v = JsonValue::parse(&json).expect("STATS must be valid JSON");
         let comb = v.get("combining").expect("combining sub-object");
@@ -448,6 +493,16 @@ mod tests {
         assert_eq!(
             v.get("free_list_cold_pushes").and_then(JsonValue::as_u64),
             Some(2)
+        );
+        assert_eq!(
+            v.get("pin_cas_retries").and_then(JsonValue::as_u64),
+            Some(11)
+        );
+        assert_eq!(v.get("pin_underflows").and_then(JsonValue::as_u64), Some(1));
+        assert_eq!(
+            v.get("page_table_fallback_reads")
+                .and_then(JsonValue::as_u64),
+            Some(6)
         );
         // Event-loop observability: gauges, counters, and histograms
         // round-trip with their exact wire names.

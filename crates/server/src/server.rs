@@ -31,7 +31,7 @@ use crate::backpressure::{
     admission_queue, AdmissionPolicy, AdmissionQueue, Admitted, Popped, WorkQueue,
 };
 use crate::eventloop::{self, Completions};
-use crate::metrics::{OpKind, PoolCounters, ServerMetrics, Stage};
+use crate::metrics::{OpKind, PoolCounters, ServerMetrics, Stage, StatsSnapshot};
 use crate::protocol::{self, fnv1a, Request, Response};
 
 /// Which concurrency model serves client sockets.
@@ -254,6 +254,60 @@ pub(crate) struct Shared {
     pub(crate) pages: u64,
     /// Queue-depth high-water mark (mirrors the admission queue's gauge).
     pub(crate) depth: Arc<bpw_metrics::MaxGauge>,
+    /// Seqlock-cached pool-side aggregation for STATS/METRICS: one
+    /// scrape per [`STATS_TTL`] pays the counter walk; the rest read
+    /// the published snapshot without touching data-path cache lines.
+    pub(crate) stats_cache: bpw_metrics::SnapshotCache<StatsSnapshot>,
+}
+
+/// How long a published [`StatsSnapshot`] is served before a scrape
+/// re-aggregates. Short enough that monitoring stays fresh; long enough
+/// that a scrape storm (many Prometheus pollers, dashboards) costs the
+/// data path one walk per interval instead of one per scrape.
+pub(crate) const STATS_TTL: Duration = Duration::from_millis(10);
+
+/// Monotone nanoseconds since the first call (the clock handed to the
+/// snapshot cache; `Instant` itself cannot live in an atomic).
+pub(crate) fn scrape_clock_ns() -> u64 {
+    use std::sync::OnceLock;
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    EPOCH.get_or_init(Instant::now).elapsed().as_nanos() as u64
+}
+
+impl Shared {
+    /// The current pool-side scalar snapshot, at most [`STATS_TTL`]
+    /// stale, aggregating under the seqlock when it is older.
+    pub(crate) fn stats_snapshot(&self) -> StatsSnapshot {
+        self.stats_cache
+            .get(scrape_clock_ns(), STATS_TTL.as_nanos() as u64, || {
+                self.aggregate_stats()
+            })
+    }
+
+    /// The uncached aggregation walk: every pool/lock scalar a scrape
+    /// renders. This is the work the seqlock cache amortizes.
+    pub(crate) fn aggregate_stats(&self) -> StatsSnapshot {
+        let stats = self.pool.stats();
+        StatsSnapshot {
+            pool: PoolCounters {
+                hits: stats.hits.load(Ordering::Relaxed),
+                misses: stats.misses.load(Ordering::Relaxed),
+                writebacks: stats.writebacks.load(Ordering::Relaxed),
+                io_retries: stats.io_retries.load(Ordering::Relaxed),
+                io_errors: stats.io_errors.load(Ordering::Relaxed),
+                free_list_steals: self.pool.free_list_steals(),
+                free_list_cold_pushes: self.pool.free_list_cold_pushes(),
+                pin_cas_retries: stats.pin_cas_retries.load(Ordering::Relaxed),
+                pin_underflows: stats.pin_underflows.load(Ordering::Relaxed),
+                page_table_fallback_reads: self.pool.page_table_fallback_reads(),
+            },
+            lock: self.pool.manager().lock_snapshot(),
+            miss_lock: self.pool.miss_lock_snapshot(),
+            miss_locks: self.pool.miss_lock_summary(),
+            combining: self.pool.manager().combining_snapshot(),
+            peak_queue_depth: self.depth.get(),
+        }
+    }
 }
 
 /// A running page service. Dropping without [`join`](Self::join) leaks
@@ -309,6 +363,7 @@ impl Server {
             stop: Arc::new(AtomicBool::new(false)),
             pages: config.pages,
             depth: admission.depth_gauge(),
+            stats_cache: bpw_metrics::SnapshotCache::default(),
         });
 
         let mut janitor = None;
@@ -753,35 +808,16 @@ fn execute(
 }
 
 pub(crate) fn stats_json(shared: &Shared) -> String {
-    let stats = shared.pool.stats();
-    let pool = PoolCounters {
-        hits: stats.hits.load(Ordering::Relaxed),
-        misses: stats.misses.load(Ordering::Relaxed),
-        writebacks: stats.writebacks.load(Ordering::Relaxed),
-        io_retries: stats.io_retries.load(Ordering::Relaxed),
-        io_errors: stats.io_errors.load(Ordering::Relaxed),
-        free_list_steals: shared.pool.free_list_steals(),
-        free_list_cold_pushes: shared.pool.free_list_cold_pushes(),
-    };
-    let lock = shared.pool.manager().lock_snapshot();
-    let miss_lock = shared.pool.miss_lock_snapshot();
-    let miss_locks = shared.pool.miss_lock_summary();
-    let combining = shared.pool.manager().combining_snapshot();
-    shared.metrics.to_json(
-        &pool,
-        &lock,
-        &miss_lock,
-        &miss_locks,
-        combining.as_ref(),
-        shared.depth.get(),
-    )
+    shared.metrics.to_json(&shared.stats_snapshot())
 }
 
 /// Prometheus-style text exposition: the METRICS reply. Same sources
-/// as `stats_json`, plus the trace collector's own health counters.
+/// as `stats_json` (pool-side scalars through the same seqlock-cached
+/// snapshot), plus the trace collector's own health counters.
 pub(crate) fn metrics_text(shared: &Shared) -> String {
     let m = &shared.metrics;
-    let stats = shared.pool.stats();
+    let snap = shared.stats_snapshot();
+    let pool = &snap.pool;
     let mut w = bpw_trace::PromWriter::new();
     w.labeled_counter(
         "bpw_requests_total",
@@ -798,7 +834,7 @@ pub(crate) fn metrics_text(shared: &Shared) -> String {
     .gauge(
         "bpw_queue_depth_peak",
         "Admission-queue depth high-water mark.",
-        shared.depth.get() as f64,
+        snap.peak_queue_depth as f64,
     )
     .histogram("bpw_get_latency_ns", "End-to-end GET latency.", &m.get_ns)
     .histogram("bpw_put_latency_ns", "End-to-end PUT latency.", &m.put_ns)
@@ -845,34 +881,45 @@ pub(crate) fn metrics_text(shared: &Shared) -> String {
     .counter(
         "bpw_pool_hits_total",
         "Fetches served from the buffer.",
-        stats.hits.load(Ordering::Relaxed),
+        pool.hits,
     )
     .counter(
         "bpw_pool_misses_total",
         "Fetches that read storage.",
-        stats.misses.load(Ordering::Relaxed),
+        pool.misses,
     )
     .counter(
         "bpw_pool_writebacks_total",
         "Dirty victims written back.",
-        stats.writebacks.load(Ordering::Relaxed),
+        pool.writebacks,
     )
     .counter(
         "bpw_pool_io_retries_total",
         "Storage operations retried after a transient fault.",
-        stats.io_retries.load(Ordering::Relaxed),
+        pool.io_retries,
     )
     .counter(
         "bpw_pool_io_errors_total",
         "Storage operations failed after exhausting retries.",
-        stats.io_errors.load(Ordering::Relaxed),
+        pool.io_errors,
     )
-    .lock_snapshot(
-        "bpw_lock",
-        "replacement",
-        &shared.pool.manager().lock_snapshot(),
+    .counter(
+        "bpw_pin_cas_retries_total",
+        "Fast-path pin CAS retries (packed-header contention signal).",
+        pool.pin_cas_retries,
     )
-    .lock_snapshot("bpw_lock", "miss", &shared.pool.miss_lock_snapshot());
+    .counter(
+        "bpw_pin_underflow_total",
+        "Unpins that found the pin count at zero (saturated, not wrapped).",
+        pool.pin_underflows,
+    )
+    .counter(
+        "bpw_page_table_fallback_reads_total",
+        "Page-table lookups that fell back to the locked path.",
+        pool.page_table_fallback_reads,
+    )
+    .lock_snapshot("bpw_lock", "replacement", &snap.lock)
+    .lock_snapshot("bpw_lock", "miss", &snap.miss_lock);
     // Per-shard miss-lock series: where on the partition the miss path's
     // remaining serialization concentrates.
     let shard_snaps = shared.pool.miss_lock_shard_snapshots();
@@ -907,12 +954,12 @@ pub(crate) fn metrics_text(shared: &Shared) -> String {
     .counter(
         "bpw_free_list_steals_total",
         "Free-list pops served by stealing from another stripe.",
-        shared.pool.free_list_steals(),
+        pool.free_list_steals,
     )
     .counter(
         "bpw_free_list_cold_pushes_total",
         "Frames parked on the free list's cold stack by frame repair.",
-        shared.pool.free_list_cold_pushes(),
+        pool.free_list_cold_pushes,
     )
     .gauge(
         "bpw_trace_enabled",
@@ -982,7 +1029,7 @@ pub(crate) fn metrics_text(shared: &Shared) -> String {
         bpw_trace::flight::slo_ns() as f64,
     );
     // Flat-combining commit-path counters (wrapped managers only).
-    if let Some(c) = shared.pool.manager().combining_snapshot() {
+    if let Some(c) = snap.combining {
         w.labeled_counter(
             "bpw_combining_batches_total",
             "Publication-slot batch events on the combining commit path.",

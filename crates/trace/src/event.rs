@@ -64,11 +64,14 @@ pub enum EventKind {
     /// eviction and I/O (which then nests its own `MissIo` span). Arg:
     /// request opcode.
     PinOrMiss,
+    /// A lock-free cache hit: the pin CAS landed without touching any
+    /// lock. Instant. Arg: page id.
+    HitPin,
 }
 
 impl EventKind {
     /// Every kind, in declaration order.
-    pub const ALL: [EventKind; 17] = [
+    pub const ALL: [EventKind; 18] = [
         EventKind::LockWait,
         EventKind::LockHold,
         EventKind::BatchCommit,
@@ -86,6 +89,7 @@ impl EventKind {
         EventKind::FreeListSteal,
         EventKind::EpollWakeup,
         EventKind::PinOrMiss,
+        EventKind::HitPin,
     ];
 
     /// Stable snake_case name (Chrome trace `name`, Prometheus label).
@@ -108,6 +112,7 @@ impl EventKind {
             EventKind::FreeListSteal => "free_list_steal",
             EventKind::EpollWakeup => "epoll_wakeup",
             EventKind::PinOrMiss => "pin_or_miss",
+            EventKind::HitPin => "hit_pin",
         }
     }
 
@@ -132,6 +137,7 @@ impl EventKind {
             EventKind::FreeListSteal => "stripe",
             EventKind::EpollWakeup => "ready_events",
             EventKind::PinOrMiss => "opcode",
+            EventKind::HitPin => "page",
         }
     }
 
@@ -144,6 +150,7 @@ impl EventKind {
                 | EventKind::IoRetry
                 | EventKind::IoError
                 | EventKind::FreeListSteal
+                | EventKind::HitPin
         )
     }
 }

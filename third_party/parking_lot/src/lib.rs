@@ -13,8 +13,33 @@
 //!   and never dereference it, so an address in the same allocation is
 //!   an adequate substitute.
 
+use std::cell::Cell;
 use std::fmt;
 use std::sync::{self, TryLockError};
+
+thread_local! {
+    /// Successful lock acquisitions (mutex lock/try_lock, rwlock
+    /// read/write and try_ variants, condvar re-acquire) by this
+    /// thread. Because every lock in the workspace routes through this
+    /// shim, the counter is a complete census of lock traffic — the
+    /// "zero lock acquisitions per cache hit" tests read their own
+    /// thread's delta across a window of hits. A thread-local `Cell`
+    /// increment costs ~1 ns and shares no cache line, so it stays on
+    /// permanently instead of hiding behind a feature that production
+    /// builds would then diverge from.
+    static ACQUISITIONS: Cell<u64> = const { Cell::new(0) };
+}
+
+#[inline]
+fn count_acquisition() {
+    ACQUISITIONS.with(|c| c.set(c.get() + 1));
+}
+
+/// Total lock acquisitions performed by the calling thread since it
+/// started (monotone; read twice and subtract to count a window).
+pub fn thread_acquisitions() -> u64 {
+    ACQUISITIONS.with(|c| c.get())
+}
 
 /// Exclusive lock, `parking_lot::Mutex`-shaped (no poisoning, guard
 /// returned directly from `lock`).
@@ -47,16 +72,23 @@ impl<T: ?Sized> Mutex<T> {
     /// Block until the lock is held.
     pub fn lock(&self) -> MutexGuard<'_, T> {
         let g = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        count_acquisition();
         MutexGuard { inner: Some(g) }
     }
 
     /// Non-blocking attempt.
     pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
         match self.inner.try_lock() {
-            Ok(g) => Some(MutexGuard { inner: Some(g) }),
-            Err(TryLockError::Poisoned(e)) => Some(MutexGuard {
-                inner: Some(e.into_inner()),
-            }),
+            Ok(g) => {
+                count_acquisition();
+                Some(MutexGuard { inner: Some(g) })
+            }
+            Err(TryLockError::Poisoned(e)) => {
+                count_acquisition();
+                Some(MutexGuard {
+                    inner: Some(e.into_inner()),
+                })
+            }
             Err(TryLockError::WouldBlock) => None,
         }
     }
@@ -118,6 +150,7 @@ impl Condvar {
     pub fn wait<T>(&self, guard: &mut MutexGuard<'_, T>) {
         let g = guard.inner.take().expect("guard present");
         let g = self.inner.wait(g).unwrap_or_else(|e| e.into_inner());
+        count_acquisition(); // wait re-acquires the lock before returning
         guard.inner = Some(g);
     }
 
@@ -173,25 +206,31 @@ impl<T> RwLock<T> {
 impl<T: ?Sized> RwLock<T> {
     /// Acquire a shared read lock.
     pub fn read(&self) -> RwLockReadGuard<'_, T> {
-        RwLockReadGuard {
-            inner: self.inner.read().unwrap_or_else(|e| e.into_inner()),
-        }
+        let g = self.inner.read().unwrap_or_else(|e| e.into_inner());
+        count_acquisition();
+        RwLockReadGuard { inner: g }
     }
 
     /// Acquire the exclusive write lock.
     pub fn write(&self) -> RwLockWriteGuard<'_, T> {
-        RwLockWriteGuard {
-            inner: self.inner.write().unwrap_or_else(|e| e.into_inner()),
-        }
+        let g = self.inner.write().unwrap_or_else(|e| e.into_inner());
+        count_acquisition();
+        RwLockWriteGuard { inner: g }
     }
 
     /// Non-blocking read attempt.
     pub fn try_read(&self) -> Option<RwLockReadGuard<'_, T>> {
         match self.inner.try_read() {
-            Ok(g) => Some(RwLockReadGuard { inner: g }),
-            Err(TryLockError::Poisoned(e)) => Some(RwLockReadGuard {
-                inner: e.into_inner(),
-            }),
+            Ok(g) => {
+                count_acquisition();
+                Some(RwLockReadGuard { inner: g })
+            }
+            Err(TryLockError::Poisoned(e)) => {
+                count_acquisition();
+                Some(RwLockReadGuard {
+                    inner: e.into_inner(),
+                })
+            }
             Err(TryLockError::WouldBlock) => None,
         }
     }
@@ -199,10 +238,16 @@ impl<T: ?Sized> RwLock<T> {
     /// Non-blocking write attempt.
     pub fn try_write(&self) -> Option<RwLockWriteGuard<'_, T>> {
         match self.inner.try_write() {
-            Ok(g) => Some(RwLockWriteGuard { inner: g }),
-            Err(TryLockError::Poisoned(e)) => Some(RwLockWriteGuard {
-                inner: e.into_inner(),
-            }),
+            Ok(g) => {
+                count_acquisition();
+                Some(RwLockWriteGuard { inner: g })
+            }
+            Err(TryLockError::Poisoned(e)) => {
+                count_acquisition();
+                Some(RwLockWriteGuard {
+                    inner: e.into_inner(),
+                })
+            }
             Err(TryLockError::WouldBlock) => None,
         }
     }
@@ -247,6 +292,35 @@ impl<'a, T: ?Sized> std::ops::DerefMut for RwLockWriteGuard<'a, T> {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn acquisition_counter_is_per_thread_and_complete() {
+        let base = thread_acquisitions();
+        let m = Mutex::new(0);
+        let l = RwLock::new(0);
+        drop(m.lock());
+        assert!(m.try_lock().is_some());
+        drop(l.read());
+        drop(l.write());
+        assert!(l.try_read().is_some());
+        assert!(l.try_write().is_some());
+        assert_eq!(thread_acquisitions() - base, 6);
+        // Failed try_ attempts are not acquisitions.
+        let g = m.lock();
+        assert!(m.try_lock().is_none());
+        drop(g);
+        assert_eq!(thread_acquisitions() - base, 7);
+        // Another thread's locking never shows up in ours.
+        std::thread::spawn(|| {
+            let m = Mutex::new(0);
+            for _ in 0..100 {
+                drop(m.lock());
+            }
+        })
+        .join()
+        .unwrap();
+        assert_eq!(thread_acquisitions() - base, 7);
+    }
 
     #[test]
     fn mutex_lock_try_lock() {
