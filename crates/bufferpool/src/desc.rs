@@ -598,7 +598,11 @@ mod tests {
             for _ in 0..10_000 {
                 let s = d.snapshot();
                 assert_eq!(s.lsn, s.tag * 2, "snapshot tore tag against lsn");
-                assert_eq!(s.valid, s.tag.is_multiple_of(2), "snapshot tore tag vs flags");
+                assert_eq!(
+                    s.valid,
+                    s.tag.is_multiple_of(2),
+                    "snapshot tore tag vs flags"
+                );
             }
             writer.join().unwrap();
         });

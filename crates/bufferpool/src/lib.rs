@@ -31,6 +31,7 @@ pub mod managers;
 pub mod page_table;
 pub mod pool;
 pub mod storage;
+pub mod swap;
 pub mod wal;
 
 pub use bgwriter::BgWriter;
@@ -42,4 +43,5 @@ pub use managers::{
 pub use page_table::PageTable;
 pub use pool::{BufferPool, InvalidateOutcome, PinnedPage, PoolSession, PoolStats, RetryPolicy};
 pub use storage::{FaultPlan, FaultyDisk, SimDisk, Storage};
+pub use swap::{SwapManager, SwapReport};
 pub use wal::{Lsn, Wal};

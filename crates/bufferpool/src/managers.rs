@@ -35,6 +35,24 @@ pub trait ManagerHandle {
 
     /// Commit any deferred bookkeeping (end of a thread's run).
     fn flush(&mut self) {}
+
+    /// Manager hot-swap: surrender any thread-private deferred accesses
+    /// *without* committing them into the (retiring) manager, so the
+    /// swap coordinator can replay them into the successor. Handles
+    /// with no deferred state return an empty vec.
+    fn take_for_swap(&mut self) -> Vec<(PageId, FrameId)> {
+        Vec::new()
+    }
+
+    /// Manager hot-swap: adopt accesses recorded against a predecessor
+    /// manager. The default replays them as ordinary hits; BP-Wrapper
+    /// handles override this to re-queue quietly (the accesses were
+    /// already counted and recorded once).
+    fn absorb(&mut self, entries: &[(PageId, FrameId)]) {
+        for &(page, frame) in entries {
+            self.on_hit(page, frame);
+        }
+    }
 }
 
 /// A replacement algorithm plus its synchronization scheme.
@@ -55,6 +73,36 @@ pub trait ReplacementManager: Send + Sync {
     /// BP-Wrapper publication board. `None` for managers with no
     /// combining machinery at all.
     fn combining_snapshot(&self) -> Option<CombiningSnapshot> {
+        None
+    }
+
+    /// Manager hot-swap: the resident `(frame, page)` set this manager
+    /// believes in, for transfer into a successor. Callers must freeze
+    /// residency (hold every pool miss-shard lock) first.
+    fn export_state(&self) -> Vec<(FrameId, PageId)> {
+        Vec::new()
+    }
+
+    /// Manager hot-swap: seed a *fresh* manager with a predecessor's
+    /// resident set before it is installed (so its first miss decision
+    /// already sees the inherited working set).
+    fn import_state(&self, _state: &[(FrameId, PageId)]) {}
+
+    /// Manager hot-swap: drain any published-but-undrained combining
+    /// batches off this (retiring) manager, returning the raw accesses
+    /// so the coordinator can replay them into the successor. Managers
+    /// without a publication board return an empty vec.
+    fn take_published(&self) -> Vec<(PageId, FrameId)> {
+        Vec::new()
+    }
+
+    /// Hot-swap the live manager for `next`, if this manager supports
+    /// it ([`SwapManager`](crate::swap::SwapManager) does; static
+    /// managers return `None` and drop `next`). Callers must freeze
+    /// residency first — [`BufferPool::swap_manager`](crate::BufferPool::swap_manager)
+    /// is the safe entry point.
+    fn swap_to(&self, next: Box<dyn ReplacementManager>) -> Option<crate::swap::SwapReport> {
+        drop(next);
         None
     }
 }
@@ -80,6 +128,62 @@ impl<M: ReplacementManager + ?Sized> ReplacementManager for Box<M> {
 
     fn combining_snapshot(&self) -> Option<CombiningSnapshot> {
         (**self).combining_snapshot()
+    }
+
+    fn export_state(&self) -> Vec<(FrameId, PageId)> {
+        (**self).export_state()
+    }
+
+    fn import_state(&self, state: &[(FrameId, PageId)]) {
+        (**self).import_state(state)
+    }
+
+    fn take_published(&self) -> Vec<(PageId, FrameId)> {
+        (**self).take_published()
+    }
+
+    fn swap_to(&self, next: Box<dyn ReplacementManager>) -> Option<crate::swap::SwapReport> {
+        (**self).swap_to(next)
+    }
+}
+
+// Arc'd managers forward too, so tests and drivers can keep a typed
+// reference to a manager they also hand to a [`SwapManager`] slot.
+impl<M: ReplacementManager> ReplacementManager for Arc<M> {
+    fn name(&self) -> String {
+        (**self).name()
+    }
+
+    fn handle(&self) -> Box<dyn ManagerHandle + '_> {
+        (**self).handle()
+    }
+
+    fn invalidate(&self, frame: FrameId) {
+        (**self).invalidate(frame)
+    }
+
+    fn lock_snapshot(&self) -> LockSnapshot {
+        (**self).lock_snapshot()
+    }
+
+    fn combining_snapshot(&self) -> Option<CombiningSnapshot> {
+        (**self).combining_snapshot()
+    }
+
+    fn export_state(&self) -> Vec<(FrameId, PageId)> {
+        (**self).export_state()
+    }
+
+    fn import_state(&self, state: &[(FrameId, PageId)]) {
+        (**self).import_state(state)
+    }
+
+    fn take_published(&self) -> Vec<(PageId, FrameId)> {
+        (**self).take_published()
+    }
+
+    fn swap_to(&self, next: Box<dyn ReplacementManager>) -> Option<crate::swap::SwapReport> {
+        (**self).swap_to(next)
     }
 }
 
@@ -114,6 +218,18 @@ impl<P: ReplacementPolicy> ReplacementManager for CoarseManager<P> {
 
     fn lock_snapshot(&self) -> LockSnapshot {
         self.lock.stats().snapshot()
+    }
+
+    fn export_state(&self) -> Vec<(FrameId, PageId)> {
+        self.lock.lock().resident_pages()
+    }
+
+    fn import_state(&self, state: &[(FrameId, PageId)]) {
+        let mut g = self.lock.lock();
+        for &(frame, page) in state {
+            let out = g.record_miss(page, Some(frame), &mut |_| true);
+            debug_assert_eq!(out, MissOutcome::AdmittedFree(frame));
+        }
     }
 }
 
@@ -201,6 +317,28 @@ impl ReplacementManager for ClockManager {
 
     fn lock_snapshot(&self) -> LockSnapshot {
         self.lock.stats().snapshot()
+    }
+
+    fn export_state(&self) -> Vec<(FrameId, PageId)> {
+        let g = self.lock.lock();
+        (0..self.frames())
+            .filter(|&f| g.present[f])
+            .map(|f| (f as FrameId, g.page_of[f]))
+            .collect()
+    }
+
+    fn import_state(&self, state: &[(FrameId, PageId)]) {
+        let mut g = self.lock.lock();
+        for &(frame, page) in state {
+            let f = frame as usize;
+            debug_assert!(!g.present[f], "import into occupied frame {frame}");
+            g.page_of[f] = page;
+            g.present[f] = true;
+            g.resident += 1;
+            // Inherited pages get one sweep of protection, like a fresh
+            // admission would.
+            self.referenced[f].store(1, Ordering::Relaxed);
+        }
     }
 }
 
@@ -305,6 +443,27 @@ impl<P: ReplacementPolicy> ReplacementManager for WrappedManager<P> {
     fn combining_snapshot(&self) -> Option<CombiningSnapshot> {
         Some(self.wrapper.combining_snapshot())
     }
+
+    fn export_state(&self) -> Vec<(FrameId, PageId)> {
+        self.wrapper.with_locked(|p| p.resident_pages())
+    }
+
+    fn import_state(&self, state: &[(FrameId, PageId)]) {
+        self.wrapper.with_locked(|p| {
+            for &(frame, page) in state {
+                let out = p.record_miss(page, Some(frame), &mut |_| true);
+                debug_assert_eq!(out, MissOutcome::AdmittedFree(frame));
+            }
+        });
+    }
+
+    fn take_published(&self) -> Vec<(PageId, FrameId)> {
+        self.wrapper
+            .drain_published()
+            .into_iter()
+            .map(|e| (e.page, e.frame))
+            .collect()
+    }
 }
 
 struct WrappedHandle<'m, P: ReplacementPolicy> {
@@ -327,6 +486,14 @@ impl<'m, P: ReplacementPolicy> ManagerHandle for WrappedHandle<'m, P> {
 
     fn flush(&mut self) {
         self.handle.flush();
+    }
+
+    fn take_for_swap(&mut self) -> Vec<(PageId, FrameId)> {
+        self.handle.take_for_swap()
+    }
+
+    fn absorb(&mut self, entries: &[(PageId, FrameId)]) {
+        self.handle.absorb(entries);
     }
 }
 

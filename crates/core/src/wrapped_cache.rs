@@ -26,6 +26,7 @@ pub struct WrappedCache<P: ReplacementPolicy> {
     map: HashMap<PageId, FrameId>,
     free: Vec<FrameId>,
     stats: SimStats,
+    evictions: Option<Vec<PageId>>,
 }
 
 impl<P: ReplacementPolicy> WrappedCache<P> {
@@ -43,7 +44,20 @@ impl<P: ReplacementPolicy> WrappedCache<P> {
             map: HashMap::with_capacity(frames),
             free: (0..frames as FrameId).rev().collect(),
             stats: SimStats::default(),
+            evictions: None,
         }
+    }
+
+    /// Opt into recording the victim page of every eviction, in order
+    /// (mirrors [`CacheSim::with_eviction_log`](bpw_replacement::CacheSim::with_eviction_log)).
+    pub fn with_eviction_log(mut self) -> Self {
+        self.evictions = Some(Vec::new());
+        self
+    }
+
+    /// Victim pages in eviction order (empty unless opted in).
+    pub fn eviction_log(&self) -> &[PageId] {
+        self.evictions.as_deref().unwrap_or(&[])
     }
 
     /// Access `page`; returns `true` on a hit.
@@ -62,6 +76,9 @@ impl<P: ReplacementPolicy> WrappedCache<P> {
             MissOutcome::Evicted { frame, victim } => {
                 self.map.remove(&victim);
                 self.map.insert(page, frame);
+                if let Some(log) = self.evictions.as_mut() {
+                    log.push(victim);
+                }
             }
             MissOutcome::NoEvictableFrame => {
                 panic!("wrapped policy failed to evict with a permissive filter");

@@ -206,6 +206,46 @@ impl<P: ReplacementPolicy> BpWrapper<P> {
         f(&mut guard)
     }
 
+    /// Drain every published-but-undrained batch off the publication
+    /// board **without applying it** and return the entries. This is
+    /// the manager hot-swap retirement path: when this wrapper is being
+    /// replaced, handles abandon their slots (see
+    /// [`AccessHandle::take_for_swap`]) and the swap coordinator moves
+    /// the stranded advice into the successor manager. Returns an empty
+    /// vec when combining is off.
+    pub fn drain_published(&self) -> Vec<AccessEntry> {
+        let Some(board) = self.board.as_ref() else {
+            return Vec::new();
+        };
+        let mut out = Vec::new();
+        loop {
+            let drained = board.drain_pass(None, |batch| out.extend_from_slice(batch));
+            if drained == 0 {
+                break;
+            }
+        }
+        out
+    }
+
+    /// Quietly enqueue already-recorded accesses into a caller-owned
+    /// queue: no access counter increment and no `RecordHit` history op
+    /// (each entry was recorded exactly once by its original thread —
+    /// the eventual commit supplies the matching `CommitHit`). Flushes
+    /// whenever the queue fills so arbitrarily large transfers fit.
+    fn absorb_into_queue(
+        &self,
+        queue: &mut AccessQueue,
+        slot: Option<SlotId>,
+        entries: &[(PageId, FrameId)],
+    ) {
+        for &(page, frame) in entries {
+            if queue.is_full() {
+                self.flush_queue(queue, slot);
+            }
+            queue.push(page, frame);
+        }
+    }
+
     /// The hit path of the paper's pseudo-code, against a caller-owned
     /// private queue.
     fn hit_with_queue(
@@ -535,6 +575,29 @@ impl<'w, P: ReplacementPolicy> AccessHandle<'w, P> {
         self.queue.len()
     }
 
+    /// Manager hot-swap: surrender this handle's queued accesses and
+    /// abandon its publication slot, *without* committing anything into
+    /// the (retiring) wrapper. The returned entries must be re-queued
+    /// into the successor via [`AccessHandle::absorb`]. Any batch this
+    /// handle already published stays on the board — the swap
+    /// coordinator retires the whole board with
+    /// [`BpWrapper::drain_published`]; touching it here would race that
+    /// drain. The leaked slot is harmless: the board retires with the
+    /// old manager.
+    pub fn take_for_swap(&mut self) -> Vec<(PageId, FrameId)> {
+        self.slot = None;
+        self.queue.drain().map(|e| (e.page, e.frame)).collect()
+    }
+
+    /// Manager hot-swap: quietly adopt accesses recorded against a
+    /// predecessor manager (no counter increment, no `RecordHit` op —
+    /// they were already recorded once). They commit with this
+    /// wrapper's next batch.
+    pub fn absorb(&mut self, entries: &[(PageId, FrameId)]) {
+        self.wrapper
+            .absorb_into_queue(&mut self.queue, self.slot, entries);
+    }
+
     /// The wrapper this handle feeds.
     pub fn wrapper(&self) -> &'w BpWrapper<P> {
         self.wrapper
@@ -593,6 +656,18 @@ impl<P: ReplacementPolicy> ArcAccessHandle<P> {
     /// Number of accesses currently waiting in this thread's queue.
     pub fn queued(&self) -> usize {
         self.queue.len()
+    }
+
+    /// See [`AccessHandle::take_for_swap`].
+    pub fn take_for_swap(&mut self) -> Vec<(PageId, FrameId)> {
+        self.slot = None;
+        self.queue.drain().map(|e| (e.page, e.frame)).collect()
+    }
+
+    /// See [`AccessHandle::absorb`].
+    pub fn absorb(&mut self, entries: &[(PageId, FrameId)]) {
+        self.wrapper
+            .absorb_into_queue(&mut self.queue, self.slot, entries);
     }
 
     /// The wrapper this handle feeds.

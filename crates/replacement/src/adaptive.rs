@@ -1,0 +1,160 @@
+//! Online adaptive replacement: the sampled access tap that feeds the
+//! [`Advisor`](crate::advisor::Advisor)'s shadow caches.
+//!
+//! The tap follows the bpw-trace discipline for zero-cost-when-off
+//! instrumentation: the *disabled* cost on the hot path is a single
+//! relaxed atomic load, and the *enabled* cost (paid only by every
+//! Nth access — the pool keeps the 1-in-N counter session-local so
+//! even the countdown is unshared) is a couple of relaxed atomics into
+//! a fixed lossy ring. No locks, no allocation, and overwrites are
+//! counted, never blocked on: a replacement advisor can tolerate losing
+//! samples, the hit path can't tolerate waiting.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+
+use crate::traits::PageId;
+
+/// A lossy, lock-free ring of sampled page accesses. Producers are the
+/// pool's fetch paths (many threads); the consumer is the advisor
+/// driver, which [`SampleTap::drain`]s periodically.
+pub struct SampleTap {
+    enabled: AtomicBool,
+    /// 1-in-N sampling period the pool applies per session.
+    period: u64,
+    /// Slots hold `page + 1`; 0 means empty. Capacity is a power of
+    /// two so indexing is a mask.
+    ring: Vec<AtomicU64>,
+    head: AtomicUsize,
+    pushed: AtomicU64,
+    dropped: AtomicU64,
+}
+
+impl SampleTap {
+    /// A tap sampling every `period`-th access into a ring of
+    /// `capacity` slots (rounded up to a power of two).
+    pub fn new(period: u64, capacity: usize) -> Self {
+        let cap = capacity.max(2).next_power_of_two();
+        SampleTap {
+            enabled: AtomicBool::new(true),
+            period: period.max(1),
+            ring: (0..cap).map(|_| AtomicU64::new(0)).collect(),
+            head: AtomicUsize::new(0),
+            pushed: AtomicU64::new(0),
+            dropped: AtomicU64::new(0),
+        }
+    }
+
+    /// The 1-in-N sampling period sessions should apply.
+    pub fn period(&self) -> u64 {
+        self.period
+    }
+
+    /// Pause/resume sampling (e.g. while a swap is mid-flight there is
+    /// no point scoring the transition noise).
+    pub fn set_enabled(&self, on: bool) {
+        self.enabled.store(on, Ordering::Relaxed);
+    }
+
+    /// Whether producers should bother sampling — one relaxed load.
+    #[inline]
+    pub fn is_enabled(&self) -> bool {
+        self.enabled.load(Ordering::Relaxed)
+    }
+
+    /// Record one sampled access. Lossy: overwriting an unconsumed
+    /// sample counts it dropped rather than waiting.
+    #[inline]
+    pub fn push(&self, page: PageId) {
+        if !self.is_enabled() {
+            return;
+        }
+        let i = self.head.fetch_add(1, Ordering::Relaxed) & (self.ring.len() - 1);
+        let prev = self.ring[i].swap(page + 1, Ordering::Relaxed);
+        self.pushed.fetch_add(1, Ordering::Relaxed);
+        if prev != 0 {
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Take every unconsumed sample. Order is approximate (the ring is
+    /// multi-producer and lossy) — fine for shadow-cache scoring, which
+    /// only needs a statistically faithful stream.
+    pub fn drain(&self, out: &mut Vec<PageId>) {
+        for slot in &self.ring {
+            let v = slot.swap(0, Ordering::Relaxed);
+            if v != 0 {
+                out.push(v - 1);
+            }
+        }
+    }
+
+    /// Samples ever pushed.
+    pub fn pushed(&self) -> u64 {
+        self.pushed.load(Ordering::Relaxed)
+    }
+
+    /// Samples overwritten before the advisor drained them.
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_and_drain_round_trip() {
+        let tap = SampleTap::new(8, 16);
+        assert_eq!(tap.period(), 8);
+        for p in 0..10u64 {
+            tap.push(p);
+        }
+        let mut out = Vec::new();
+        tap.drain(&mut out);
+        out.sort_unstable();
+        assert_eq!(out, (0..10u64).collect::<Vec<_>>());
+        assert_eq!(tap.pushed(), 10);
+        assert_eq!(tap.dropped(), 0);
+        // Drained slots are empty.
+        out.clear();
+        tap.drain(&mut out);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn overflow_drops_not_blocks() {
+        let tap = SampleTap::new(1, 4);
+        for p in 0..100u64 {
+            tap.push(p);
+        }
+        assert_eq!(tap.pushed(), 100);
+        assert_eq!(tap.dropped(), 100 - 4);
+        let mut out = Vec::new();
+        tap.drain(&mut out);
+        assert_eq!(out.len(), 4);
+        // The survivors are the most recent window.
+        assert!(out.iter().all(|&p| p >= 96));
+    }
+
+    #[test]
+    fn disabled_tap_records_nothing() {
+        let tap = SampleTap::new(1, 8);
+        tap.set_enabled(false);
+        assert!(!tap.is_enabled());
+        tap.push(7);
+        assert_eq!(tap.pushed(), 0);
+        tap.set_enabled(true);
+        tap.push(7);
+        assert_eq!(tap.pushed(), 1);
+    }
+
+    #[test]
+    fn page_zero_survives_the_sentinel_encoding() {
+        let tap = SampleTap::new(1, 4);
+        tap.push(0);
+        let mut out = Vec::new();
+        tap.drain(&mut out);
+        assert_eq!(out, vec![0]);
+    }
+}

@@ -38,6 +38,7 @@ pub struct CacheSim<P: ReplacementPolicy> {
     map: HashMap<PageId, FrameId>,
     free: Vec<FrameId>,
     stats: SimStats,
+    evictions: Option<Vec<PageId>>,
 }
 
 impl<P: ReplacementPolicy> CacheSim<P> {
@@ -54,7 +55,21 @@ impl<P: ReplacementPolicy> CacheSim<P> {
             map: HashMap::with_capacity(frames),
             free: (0..frames as FrameId).rev().collect(),
             stats: SimStats::default(),
+            evictions: None,
         }
+    }
+
+    /// Opt into recording the victim page of every eviction, in order.
+    /// The log is what the live-vs-shadow property tests compare.
+    pub fn with_eviction_log(mut self) -> Self {
+        self.evictions = Some(Vec::new());
+        self
+    }
+
+    /// Victim pages in eviction order (empty unless
+    /// [`CacheSim::with_eviction_log`] was used).
+    pub fn eviction_log(&self) -> &[PageId] {
+        self.evictions.as_deref().unwrap_or(&[])
     }
 
     /// Access `page`; returns `true` on a hit.
@@ -74,6 +89,9 @@ impl<P: ReplacementPolicy> CacheSim<P> {
                 let removed = self.map.remove(&victim);
                 debug_assert_eq!(removed, Some(frame), "victim {victim} map mismatch");
                 self.map.insert(page, frame);
+                if let Some(log) = self.evictions.as_mut() {
+                    log.push(victim);
+                }
             }
             MissOutcome::NoEvictableFrame => {
                 // All-evictable filter means this is a policy bug.

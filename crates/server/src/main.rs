@@ -6,6 +6,7 @@
 //!                    [--queue N] [--policy P] [--max-pipeline N]
 //!                    [--frames N] [--page-size B] [--pages N] [--manager SPEC]
 //!                    [--combining off|overflow|flat] [--miss-shards N] [--slo-us U]
+//!                    [--adaptive true]
 //!                    [--faulty true] [--fault-seed S] [--fail-reads-ppm N]
 //!                    [--fail-writes-ppm N] [--spike-ppm N] [--spike-us U]
 //! bpw-server loadgen --addr H:P [--connections N] [--requests N]
@@ -167,6 +168,7 @@ fn server_config(flags: &HashMap<String, String>) -> Result<ServerConfig, String
             Some(v) => Some(v.parse().map_err(|e| format!("--slo-us {v:?}: {e}"))?),
             None => None,
         },
+        adaptive: get(flags, "adaptive", d.adaptive)?,
     })
 }
 

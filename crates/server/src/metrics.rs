@@ -222,6 +222,13 @@ impl ServerMetrics {
     /// data path's hot counter cache lines). The `trace` sub-object
     /// reports the event-trace collector's health.
     pub fn to_json(&self, snap: &StatsSnapshot) -> String {
+        self.to_json_with(snap, None)
+    }
+
+    /// [`to_json`](Self::to_json) with an optional pre-rendered
+    /// `advisor` sub-object (adaptive-replacement servers attach their
+    /// expert scores and swap counters here).
+    pub fn to_json_with(&self, snap: &StatsSnapshot, advisor: Option<&str>) -> String {
         let StatsSnapshot {
             pool,
             lock,
@@ -297,6 +304,9 @@ impl ServerMetrics {
                 .field_u64("combine_depth_last", c.combine_depth_last)
                 .field_u64("combine_depth_peak", c.combine_depth_peak);
             o.field_raw("combining", &comb.finish());
+        }
+        if let Some(a) = advisor {
+            o.field_raw("advisor", a);
         }
         o.finish()
     }

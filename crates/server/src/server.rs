@@ -21,10 +21,11 @@ use std::time::{Duration, Instant};
 
 use bpw_bufferpool::{
     BufferPool, ClockManager, CoarseManager, FaultPlan, FaultyDisk, PoolSession,
-    ReplacementManager, SimDisk, Storage, WrappedManager,
+    ReplacementManager, SimDisk, Storage, SwapManager, WrappedManager,
 };
 use bpw_core::{Combining, WrapperConfig};
-use bpw_replacement::PolicyKind;
+use bpw_metrics::JsonObject;
+use bpw_replacement::{Advisor, AdvisorConfig, PolicyKind, SampleTap};
 use crossbeam::channel::{self, Sender};
 
 use crate::backpressure::{
@@ -119,6 +120,11 @@ pub struct ServerConfig {
     /// via `EXEMPLARS`. `None` keeps the recorder off and tracing
     /// untouched.
     pub slo_us: Option<u64>,
+    /// `--adaptive true`: wrap the (necessarily `wrapped-*`) manager in a
+    /// [`SwapManager`], sample the fetch stream into shadow caches, and
+    /// let the advisor thread hot-swap the policy when a challenger
+    /// sustainably wins. ADVISOR state is exported via STATS/METRICS.
+    pub adaptive: bool,
 }
 
 impl Default for ServerConfig {
@@ -138,6 +144,7 @@ impl Default for ServerConfig {
             mode: FrontendMode::Threaded,
             max_pipeline: 64,
             slo_us: None,
+            adaptive: false,
         }
     }
 }
@@ -243,6 +250,19 @@ impl ReplyTo {
     }
 }
 
+/// Adaptive-replacement state shared between the advisor thread and the
+/// STATS/METRICS renderers.
+pub(crate) struct AdaptiveShared {
+    /// The hot-swappable manager (the pool's `Box<dyn ReplacementManager>`
+    /// forwards `swap_to` into this same instance via its `Arc`).
+    pub(crate) swap: Arc<SwapManager>,
+    /// Expert scorer; the advisor thread holds this lock only while
+    /// feeding drained samples, never across a swap.
+    pub(crate) advisor: Mutex<Advisor>,
+    /// The lossy sampled-access ring the fetch path feeds.
+    pub(crate) tap: Arc<SampleTap>,
+}
+
 /// Shared state every thread of the server sees. Deliberately does NOT
 /// hold the admission queue's sender side: workers carry this struct,
 /// and a worker owning a sender to its own queue would keep the channel
@@ -258,6 +278,8 @@ pub(crate) struct Shared {
     /// scrape per [`STATS_TTL`] pays the counter walk; the rest read
     /// the published snapshot without touching data-path cache lines.
     pub(crate) stats_cache: bpw_metrics::SnapshotCache<StatsSnapshot>,
+    /// Present when the config enabled `--adaptive`.
+    pub(crate) adaptive: Option<Arc<AdaptiveShared>>,
 }
 
 /// How long a published [`StatsSnapshot`] is served before a scrape
@@ -334,6 +356,9 @@ pub struct Server {
     /// True when this server armed the flight recorder (and therefore
     /// owns disarming it on join).
     armed_flight: bool,
+    /// Advisor thread (present with `--adaptive`): drains the sample
+    /// tap, scores shadow caches, and hot-swaps the winning policy.
+    advisor: Option<JoinHandle<()>>,
 }
 
 impl Server {
@@ -342,6 +367,47 @@ impl Server {
         let wrapper = WrapperConfig::default().with_combining_mode(config.combining);
         let manager = build_manager_with(&config.manager, config.frames, wrapper)
             .map_err(|e| io::Error::new(io::ErrorKind::InvalidInput, e))?;
+        // Adaptive mode: interpose the hot-swap layer and set up the
+        // sampled tap + expert scorer. Only wrapped-* managers make
+        // sense to adapt between (the advisor swaps among them).
+        let mut adaptive = None;
+        let manager: Box<dyn ReplacementManager> = if config.adaptive {
+            let incumbent: PolicyKind = config
+                .manager
+                .trim()
+                .to_ascii_lowercase()
+                .strip_prefix("wrapped-")
+                .ok_or_else(|| {
+                    io::Error::new(
+                        io::ErrorKind::InvalidInput,
+                        "--adaptive requires a wrapped-<policy> manager",
+                    )
+                })?
+                .parse()
+                .map_err(|e: String| io::Error::new(io::ErrorKind::InvalidInput, e))?;
+            let advisor_cfg = AdvisorConfig {
+                shadow_frames: config.frames.min(256),
+                window: 256,
+                sample_period: 4,
+                ..AdvisorConfig::default()
+            };
+            let candidates = [
+                PolicyKind::Lru,
+                PolicyKind::TwoQ,
+                PolicyKind::Lirs,
+                PolicyKind::Arc,
+            ];
+            let swap = Arc::new(SwapManager::new(manager));
+            let state = Arc::new(AdaptiveShared {
+                swap: Arc::clone(&swap),
+                advisor: Mutex::new(Advisor::new(&candidates, incumbent, advisor_cfg)),
+                tap: Arc::new(SampleTap::new(advisor_cfg.sample_period, 4096)),
+            });
+            adaptive = Some(state);
+            Box::new(swap)
+        } else {
+            manager
+        };
         let mut faulty = None;
         let storage: Arc<dyn Storage> = match config.fault_plan {
             Some(plan) => {
@@ -355,6 +421,9 @@ impl Server {
         if let Some(shards) = config.miss_shards {
             pool = pool.with_miss_shards(shards);
         }
+        if let Some(state) = &adaptive {
+            pool = pool.with_sample_tap(Arc::clone(&state.tap));
+        }
         let pool = Arc::new(pool);
         let (admission, work) = admission_queue(config.queue_capacity, config.policy);
         let shared = Arc::new(Shared {
@@ -364,6 +433,43 @@ impl Server {
             pages: config.pages,
             depth: admission.depth_gauge(),
             stats_cache: bpw_metrics::SnapshotCache::default(),
+            adaptive,
+        });
+
+        // Advisor thread: drain the tap, feed the shadow caches, and
+        // hot-swap when a challenger sustainably beats the incumbent.
+        // The swap itself goes through `BufferPool::swap_manager`, which
+        // freezes residency under the miss-shard locks.
+        let advisor = shared.adaptive.as_ref().map(|state| {
+            let state = Arc::clone(state);
+            let shared = Arc::clone(&shared);
+            let frames = config.frames;
+            thread::Builder::new()
+                .name("bpw-advisor".into())
+                .spawn(move || {
+                    let mut buf = Vec::new();
+                    while !shared.stop.load(Ordering::SeqCst) {
+                        thread::sleep(Duration::from_millis(2));
+                        buf.clear();
+                        state.tap.drain(&mut buf);
+                        let nominated = {
+                            let mut adv = state.advisor.lock().expect("advisor lock");
+                            for &p in &buf {
+                                adv.observe(p);
+                            }
+                            adv.nominate()
+                        };
+                        if let Some(kind) = nominated {
+                            let spec = format!("wrapped-{}", kind.name().to_ascii_lowercase());
+                            let next = build_manager_with(&spec, frames, wrapper)
+                                .expect("nominated policies always build");
+                            if shared.pool.swap_manager(next).is_some() {
+                                state.advisor.lock().expect("advisor lock").adopt(kind);
+                            }
+                        }
+                    }
+                })
+                .expect("spawn advisor")
         });
 
         let mut janitor = None;
@@ -438,6 +544,7 @@ impl Server {
             conns,
             janitor,
             armed_flight,
+            advisor,
         })
     }
 
@@ -459,6 +566,12 @@ impl Server {
     /// The fault-injecting disk, when the config enabled one.
     pub fn faulty_disk(&self) -> Option<&Arc<FaultyDisk>> {
         self.faulty.as_ref()
+    }
+
+    /// The hot-swap layer, when the config enabled `--adaptive`. Tests
+    /// use this to drive swaps directly and read swap/migration counts.
+    pub fn adaptive_swap(&self) -> Option<&Arc<SwapManager>> {
+        self.shared.adaptive.as_ref().map(|a| &a.swap)
     }
 
     /// Render the same JSON a `STATS` request returns.
@@ -510,6 +623,9 @@ impl Server {
         }
         if let Some(j) = self.janitor.take() {
             let _ = j.join();
+        }
+        if let Some(a) = self.advisor.take() {
+            let _ = a.join();
         }
         if self.armed_flight {
             // This server turned the recorder (and tracing) on; leave
@@ -807,8 +923,48 @@ fn execute(
     }
 }
 
+/// Render the ADVISOR sub-object for STATS: expert scores, swap/
+/// migration counters, and tap health.
+pub(crate) fn advisor_json(state: &AdaptiveShared) -> String {
+    let snap = state.advisor.lock().expect("advisor lock").snapshot();
+    let mut experts = String::from("[");
+    for (i, e) in snap.experts.iter().enumerate() {
+        if i > 0 {
+            experts.push(',');
+        }
+        let mut eo = JsonObject::new();
+        eo.field_str("policy", e.policy.name())
+            .field_f64("ewma", e.ewma)
+            .field_f64("lifetime_hit_ratio", e.lifetime_hit_ratio);
+        experts.push_str(&eo.finish());
+    }
+    experts.push(']');
+    let mut o = JsonObject::new();
+    o.field_str("incumbent", snap.incumbent.name());
+    match snap.leader {
+        Some(l) => o.field_str("leader", l.name()),
+        None => o.field_raw("leader", "null"),
+    };
+    o.field_u64("lead_streak", snap.lead_streak as u64)
+        .field_u64("samples", snap.samples)
+        .field_u64("windows", snap.windows)
+        .field_u64("adoptions", snap.adoptions)
+        .field_u64("swaps", state.swap.swaps())
+        .field_u64("migrations", state.swap.migrations())
+        .field_u64("pages_transferred", state.swap.pages_transferred())
+        .field_u64("advice_recovered", state.swap.advice_recovered())
+        .field_u64("tap_pushed", state.tap.pushed())
+        .field_u64("tap_dropped", state.tap.dropped())
+        .field_str("live_manager", &state.swap.current_name())
+        .field_raw("experts", &experts);
+    o.finish()
+}
+
 pub(crate) fn stats_json(shared: &Shared) -> String {
-    shared.metrics.to_json(&shared.stats_snapshot())
+    let advisor = shared.adaptive.as_deref().map(advisor_json);
+    shared
+        .metrics
+        .to_json_with(&shared.stats_snapshot(), advisor.as_deref())
 }
 
 /// Prometheus-style text exposition: the METRICS reply. Same sources
@@ -1060,6 +1216,62 @@ pub(crate) fn metrics_text(shared: &Shared) -> String {
             "bpw_combining_depth_peak",
             "Most batches ever drained in one combining critical section.",
             c.combine_depth_peak as f64,
+        );
+    }
+    // Adaptive-replacement series (`--adaptive` servers only).
+    if let Some(state) = shared.adaptive.as_deref() {
+        let snap = state.advisor.lock().expect("advisor lock").snapshot();
+        w.counter(
+            "bpw_advisor_samples_total",
+            "Sampled accesses scored by the shadow caches.",
+            snap.samples,
+        )
+        .counter(
+            "bpw_advisor_windows_total",
+            "Scoring windows closed by the advisor.",
+            snap.windows,
+        )
+        .counter(
+            "bpw_advisor_adoptions_total",
+            "Challenger policies adopted (hot-swapped in).",
+            snap.adoptions,
+        )
+        .counter(
+            "bpw_advisor_swaps_total",
+            "Manager hot-swaps completed.",
+            state.swap.swaps(),
+        )
+        .counter(
+            "bpw_advisor_migrations_total",
+            "Lazy handle migrations after swaps.",
+            state.swap.migrations(),
+        )
+        .counter(
+            "bpw_advisor_pages_transferred_total",
+            "Resident pages carried across swaps via export/import.",
+            state.swap.pages_transferred(),
+        )
+        .counter(
+            "bpw_advisor_advice_recovered_total",
+            "Published accesses drained off retired managers' boards.",
+            state.swap.advice_recovered(),
+        )
+        .counter(
+            "bpw_advisor_tap_dropped_total",
+            "Samples overwritten before the advisor drained them.",
+            state.tap.dropped(),
+        );
+        let names: Vec<&str> = snap.experts.iter().map(|e| e.policy.name()).collect();
+        let ewma_ppm: Vec<(&str, u64)> = names
+            .iter()
+            .zip(&snap.experts)
+            .map(|(n, e)| (*n, (e.ewma * 1e6) as u64))
+            .collect();
+        w.labeled_counter(
+            "bpw_advisor_expert_ewma_ppm",
+            "Each expert's EWMA shadow hit ratio, parts per million.",
+            "policy",
+            &ewma_ppm,
         );
     }
     w.finish()

@@ -4,7 +4,7 @@
 //! distributed-lock alternative from §V-A *does* hurt, which is why the
 //! paper rejects it.
 
-use bpw_core::{PartitionedCache, WrappedCache, WrapperConfig};
+use bpw_core::{Combining, PartitionedCache, WrappedCache, WrapperConfig};
 use bpw_replacement::{CacheSim, PolicyKind};
 use bpw_workloads::{Trace, WorkloadKind};
 
@@ -28,15 +28,23 @@ fn wrapped_hit_ratio_is_identical_on_paper_workloads() {
     for kind in WorkloadKind::ALL {
         let trace = workload_trace(kind, 150);
         for policy in [PolicyKind::TwoQ, PolicyKind::Lirs, PolicyKind::Mq] {
-            let frames = 1024;
-            let mut bare = CacheSim::new(policy.build(frames));
-            let mut wrapped = WrappedCache::new(policy.build(frames), WrapperConfig::default());
-            let a = bare.run(trace.iter().copied());
-            let b = wrapped.run(trace.iter().copied());
-            assert_eq!(
-                a, b,
-                "{kind}/{policy}: wrapped hit/miss stats must be identical"
-            );
+            // Neutrality must hold whatever the commit path: plain
+            // try-lock batching and full flat combining alike.
+            for combining in [Combining::Off, Combining::Flat] {
+                let cfg = WrapperConfig {
+                    combining,
+                    ..WrapperConfig::default()
+                };
+                let frames = 1024;
+                let mut bare = CacheSim::new(policy.build(frames));
+                let mut wrapped = WrappedCache::new(policy.build(frames), cfg);
+                let a = bare.run(trace.iter().copied());
+                let b = wrapped.run(trace.iter().copied());
+                assert_eq!(
+                    a, b,
+                    "{kind}/{policy}/{combining:?}: wrapped hit/miss stats must be identical"
+                );
+            }
         }
     }
 }
@@ -77,19 +85,25 @@ fn order_preservation_across_batch_boundaries() {
     // (same resident set), not merely the same hit count.
     let trace = workload_trace(WorkloadKind::Dbt2, 60);
     let frames = 512;
-    let mut bare = CacheSim::new(PolicyKind::Lirs.build(frames));
-    let mut wrapped = WrappedCache::new(PolicyKind::Lirs.build(frames), WrapperConfig::default());
-    for &p in &trace {
-        bare.access(p);
-        wrapped.access(p);
-    }
-    wrapped.flush();
-    // Identical resident sets page-for-page.
-    for &p in &trace {
-        assert_eq!(
-            bare.is_resident(p),
-            wrapped.is_resident(p),
-            "residency diverged for page {p}"
-        );
+    for combining in [Combining::Off, Combining::Flat] {
+        let cfg = WrapperConfig {
+            combining,
+            ..WrapperConfig::default()
+        };
+        let mut bare = CacheSim::new(PolicyKind::Lirs.build(frames));
+        let mut wrapped = WrappedCache::new(PolicyKind::Lirs.build(frames), cfg);
+        for &p in &trace {
+            bare.access(p);
+            wrapped.access(p);
+        }
+        wrapped.flush();
+        // Identical resident sets page-for-page.
+        for &p in &trace {
+            assert_eq!(
+                bare.is_resident(p),
+                wrapped.is_resident(p),
+                "residency diverged for page {p} ({combining:?})"
+            );
+        }
     }
 }
